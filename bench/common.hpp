@@ -1,0 +1,52 @@
+#pragma once
+
+/// Shared plumbing for the reproduction benches (one binary per paper table
+/// or figure). Environment knobs:
+///   DOPF_BENCH_INSTANCES  comma list of instances
+///                         (default "ieee13,ieee123,ieee8500")
+///   DOPF_BENCH_FULL=1     run everything to convergence, including the
+///                         benchmark ADMM on the 8500-bus instance (slow on
+///                         one host core); otherwise its total time is
+///                         projected from measured per-iteration cost.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/instances.hpp"
+
+namespace dopf::bench {
+
+inline std::vector<std::string> instance_names() {
+  const char* env = std::getenv("DOPF_BENCH_INSTANCES");
+  const std::string csv = env != nullptr && *env != '\0'
+                              ? env
+                              : "ieee13,ieee123,ieee8500";
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!token.empty()) names.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
+
+inline bool full_mode() {
+  const char* env = std::getenv("DOPF_BENCH_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dopf::bench

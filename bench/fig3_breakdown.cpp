@@ -1,0 +1,100 @@
+/// Reproduces Figure 3: average per-iteration time of the global, local and
+/// dual updates (and their total) under three execution regimes:
+///   (top)    multiple CPUs in parallel          — virtual cluster
+///   (middle) multiple GPUs via MPI              — SIMT cost model + staging
+///   (bottom) one GPU, threads-per-block sweep   — SIMT cost model
+///
+/// Expected shapes (paper): CPU local time falls with N while global/dual
+/// stay flat; multi-GPU local time *rises* slightly with N (PCIe staging +
+/// MPI); the thread sweep accelerates the local kernel, most on the
+/// 8500-bus instance whose many small subproblems map one-per-block.
+
+#include "bench/common.hpp"
+#include "core/admm.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/measure.hpp"
+#include "simt/gpu_admm.hpp"
+#include "simt/multi_gpu.hpp"
+
+namespace {
+
+void cpu_row(const dopf::runtime::Instance& inst,
+             const dopf::core::AdmmOptions& opt) {
+  const auto costs =
+      dopf::runtime::measure_solver_free(inst.problem, opt, 30);
+  std::printf("  multi-CPU:\n");
+  std::printf("  %6s %12s %12s %12s %12s\n", "CPUs", "global", "local",
+              "dual", "total");
+  for (std::size_t cpus : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const dopf::runtime::VirtualCluster cluster(cpus,
+                                                dopf::runtime::CommModel{});
+    const auto phase = cluster.price_local_update(costs.component_seconds,
+                                                  costs.payload_vars);
+    const double total = phase.total() + costs.global_update_seconds +
+                         costs.dual_update_seconds;
+    std::printf("  %6zu %12.3e %12.3e %12.3e %12.3e\n", cpus,
+                costs.global_update_seconds, phase.total(),
+                costs.dual_update_seconds, total);
+  }
+}
+
+void gpu_row(const dopf::runtime::Instance& inst,
+             const dopf::core::AdmmOptions& opt) {
+  // Functional multi-GPU execution (bit-identical iterates): the phase time
+  // combines the slowest device's kernels with PCIe staging and MPI traffic
+  // of the consensus payload.
+  std::printf("  multi-GPU (MPI):\n");
+  std::printf("  %6s %12s %12s %12s %12s\n", "GPUs", "global", "local",
+              "dual", "total");
+  for (std::size_t gpus : {1u, 2u, 4u, 8u}) {
+    dopf::simt::MultiGpuOptions mo;
+    mo.gpu.admm = opt;
+    mo.gpu.admm.max_iterations = 30;
+    mo.gpu.admm.check_every = 1000;
+    mo.num_devices = gpus;
+    dopf::simt::MultiGpuSolverFreeAdmm gpu(inst.problem, mo);
+    gpu.solve();
+    const auto avg = gpu.iteration_averages();
+    std::printf("  %6zu %12.3e %12.3e %12.3e %12.3e\n", gpus,
+                avg.global_update, avg.local_update, avg.dual_update,
+                avg.total());
+  }
+}
+
+void thread_row(const dopf::runtime::Instance& inst,
+                const dopf::core::AdmmOptions& opt) {
+  std::printf("  single GPU, threads-per-block sweep:\n");
+  std::printf("  %6s %12s %12s %12s %12s\n", "T", "global", "local", "dual",
+              "total");
+  for (int threads : {1, 2, 4, 8, 16, 32, 64}) {
+    dopf::simt::GpuAdmmOptions gopt;
+    gopt.admm = opt;
+    gopt.admm.max_iterations = 30;
+    gopt.admm.check_every = 1000;
+    gopt.threads_per_block = threads;
+    dopf::simt::GpuSolverFreeAdmm gpu(inst.problem, gopt);
+    gpu.solve();
+    const auto avg = gpu.kernel_averages();
+    std::printf("  %6d %12.3e %12.3e %12.3e %12.3e\n", threads,
+                avg.global_update, avg.local_update, avg.dual_update,
+                avg.total());
+  }
+}
+
+}  // namespace
+
+int main() {
+  dopf::bench::header("Figure 3",
+                      "per-iteration update-time breakdown: CPUs / GPUs / "
+                      "GPU threads");
+  dopf::core::AdmmOptions opt;
+  for (const std::string& name : dopf::bench::instance_names()) {
+    const auto inst = dopf::runtime::make_instance(name);
+    std::printf("\n%s (S = %zu)\n", name.c_str(),
+                inst.problem.num_components());
+    cpu_row(inst, opt);
+    gpu_row(inst, opt);
+    thread_row(inst, opt);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+/// Reproduces Table II: the number of rows and columns of the centralized
+/// constraint matrix A in (7) for each test instance.
+///
+/// Paper values: IEEE13 (456, 454); IEEE123 (1834, 1834);
+/// IEEE8500 (86114, 87285). Our feeders are calibrated stand-ins (see
+/// DESIGN.md), so sizes match in order of magnitude, not digit for digit.
+
+#include "bench/common.hpp"
+#include "opf/stats.hpp"
+
+int main() {
+  dopf::bench::header("Table II", "size of A in the centralized LP (7)");
+  std::printf("%-14s %10s %10s %12s\n", "instance", "rows", "cols",
+              "nonzeros");
+  for (const std::string& name : dopf::bench::instance_names()) {
+    const auto inst = dopf::runtime::make_instance(name);
+    const auto sizes = dopf::opf::model_sizes(inst.model);
+    std::printf("%-14s %10zu %10zu %12zu\n", name.c_str(), sizes.rows,
+                sizes.cols, sizes.nonzeros);
+  }
+  std::printf(
+      "\npaper:   ieee13 (456, 454)   ieee123 (1834, 1834)   "
+      "ieee8500 (86114, 87285)\n");
+  return 0;
+}

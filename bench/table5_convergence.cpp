@@ -1,0 +1,118 @@
+/// Reproduces Table V: total time and iterations to reach the termination
+/// criterion (16) with eps_rel = 1e-3 and rho = 100, for the solver-free
+/// ADMM ("ours", 16 CPUs) vs the benchmark ADMM with bound-constrained QP
+/// subproblems (32 / 128 / 512 CPUs as in the paper).
+///
+/// Wall-clock methodology (DESIGN.md substitution): per-component compute
+/// seconds are *measured* on this host, then projected onto a virtual
+/// cluster (alpha-beta communication model, makespan accounting). Absolute
+/// seconds therefore differ from the paper's Bebop cluster; the shape —
+/// who wins and by roughly what factor, growing with instance size — is the
+/// reproduced claim (paper: 5.7x / 23x / 67x).
+///
+/// On one host core the benchmark ADMM cannot be run to convergence on the
+/// 8500-bus instance in reasonable time; by default its iteration count is
+/// projected as (ours' iterations) x (the 13/123 iteration ratio trend ~ 1),
+/// matching the paper's observation that both methods need a similar
+/// iteration count. Set DOPF_BENCH_FULL=1 to run it for real.
+
+#include <cmath>
+
+#include "baseline/benchmark_admm.hpp"
+#include "bench/common.hpp"
+#include "core/admm.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/measure.hpp"
+
+namespace {
+
+struct MethodReport {
+  int cpus = 0;
+  double time_s = 0.0;
+  long long iterations = 0;
+  bool projected = false;
+};
+
+int paper_benchmark_cpus(const std::string& name) {
+  if (name == "ieee13") return 32;
+  if (name == "ieee123") return 128;
+  if (name == "ieee8500") return 512;
+  return 64;
+}
+
+double per_iteration_seconds(const dopf::runtime::IterationCosts& costs,
+                             int cpus) {
+  const dopf::runtime::VirtualCluster cluster(cpus,
+                                              dopf::runtime::CommModel{});
+  const auto phase =
+      cluster.price_local_update(costs.component_seconds, costs.payload_vars);
+  return phase.total() + costs.global_update_seconds +
+         costs.dual_update_seconds;
+}
+
+}  // namespace
+
+int main() {
+  dopf::bench::header("Table V",
+                      "total time & iterations to convergence "
+                      "(eps_rel=1e-3, rho=100)");
+  const bool full = dopf::bench::full_mode();
+  std::printf("%-14s | %6s %12s %10s | %6s %12s %10s | %8s\n", "instance",
+              "CPUs", "ours[s]", "iters", "CPUs", "benchmark[s]", "iters",
+              "speedup");
+
+  dopf::core::AdmmOptions opt;  // paper defaults
+  opt.check_every = 10;
+  opt.max_iterations = 200000;
+
+  for (const std::string& name : dopf::bench::instance_names()) {
+    const auto inst = dopf::runtime::make_instance(name);
+
+    // Measured per-iteration costs (30 iterations with per-component timers).
+    const auto ours_costs =
+        dopf::runtime::measure_solver_free(inst.problem, opt, 30);
+    const auto base_costs =
+        dopf::runtime::measure_benchmark(inst.problem, opt, 30);
+
+    MethodReport ours;
+    ours.cpus = 16;
+    {
+      dopf::core::SolverFreeAdmm admm(inst.problem, opt);
+      const auto res = admm.solve();
+      ours.iterations = res.iterations;
+      ours.time_s =
+          per_iteration_seconds(ours_costs, ours.cpus) * res.iterations;
+      if (!res.converged) std::printf("WARNING: ours did not converge\n");
+    }
+
+    MethodReport base;
+    base.cpus = paper_benchmark_cpus(name);
+    const bool run_baseline = full || name != "ieee8500";
+    if (run_baseline) {
+      dopf::baseline::BenchmarkAdmm admm(inst.problem, opt);
+      const auto res = admm.solve();
+      base.iterations = res.iterations;
+      if (!res.converged) {
+        std::printf("WARNING: benchmark did not converge\n");
+      }
+    } else {
+      base.iterations = ours.iterations;  // paper: similar iteration counts
+      base.projected = true;
+    }
+    base.time_s =
+        per_iteration_seconds(base_costs, base.cpus) * base.iterations;
+
+    std::printf("%-14s | %6d %12.2f %10lld | %6d %12.2f %9lld%s | %7.1fx\n",
+                name.c_str(), ours.cpus, ours.time_s, ours.iterations,
+                base.cpus, base.time_s, base.iterations,
+                base.projected ? "*" : " ", base.time_s / ours.time_s);
+  }
+  std::printf(
+      "\n(*) iterations projected from ours (run with DOPF_BENCH_FULL=1 for "
+      "the real count)\n");
+  std::printf(
+      "paper:   ieee13 4.91s/944 vs 28.13s/1064 (5.7x)   "
+      "ieee123 7.25s/3496 vs 169.67s/3215 (23x)\n"
+      "         ieee8500 668.3s/15817 vs 44720s/26252 (67x)\n");
+  return 0;
+}

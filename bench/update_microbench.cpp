@@ -1,0 +1,112 @@
+/// Google-benchmark micro-benchmarks of the per-iteration kernels: the
+/// closed-form local update (15) vs the benchmark's per-component QP solve,
+/// plus the global (13)/(18) and dual (12) updates. These are the
+/// building-block costs behind Figures 1, 3 and 4.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/benchmark_admm.hpp"
+#include "core/admm.hpp"
+#include "runtime/instances.hpp"
+#include "simt/gpu_admm.hpp"
+
+namespace {
+
+const dopf::runtime::Instance& instance13() {
+  static const auto inst = dopf::runtime::make_instance("ieee13");
+  return inst;
+}
+
+const dopf::runtime::Instance& instance123() {
+  static const auto inst = dopf::runtime::make_instance("ieee123");
+  return inst;
+}
+
+const dopf::runtime::Instance& pick(int which) {
+  return which == 0 ? instance13() : instance123();
+}
+
+void BM_SolverFreeLocalUpdate(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  dopf::core::SolverFreeAdmm admm(inst.problem, {});
+  admm.global_update();
+  for (auto _ : state) {
+    admm.local_update();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          inst.problem.num_components());
+}
+BENCHMARK(BM_SolverFreeLocalUpdate)->Arg(0)->Arg(1);
+
+void BM_BenchmarkQpLocalUpdate(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  dopf::baseline::BenchmarkAdmm admm(inst.problem, {});
+  admm.global_update();
+  for (auto _ : state) {
+    admm.local_update();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          inst.problem.num_components());
+}
+BENCHMARK(BM_BenchmarkQpLocalUpdate)->Arg(0)->Arg(1);
+
+void BM_GlobalUpdate(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  dopf::core::SolverFreeAdmm admm(inst.problem, {});
+  for (auto _ : state) {
+    admm.global_update();
+  }
+}
+BENCHMARK(BM_GlobalUpdate)->Arg(0)->Arg(1);
+
+void BM_DualUpdate(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  dopf::core::SolverFreeAdmm admm(inst.problem, {});
+  admm.global_update();
+  admm.local_update();
+  for (auto _ : state) {
+    admm.dual_update();
+  }
+}
+BENCHMARK(BM_DualUpdate)->Arg(0)->Arg(1);
+
+void BM_Residuals(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  dopf::core::SolverFreeAdmm admm(inst.problem, {});
+  admm.global_update();
+  admm.local_update();
+  admm.dual_update();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(admm.compute_residuals(1));
+  }
+}
+BENCHMARK(BM_Residuals)->Arg(0)->Arg(1);
+
+void BM_Precompute(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dopf::core::LocalSolvers::precompute(inst.problem));
+  }
+}
+BENCHMARK(BM_Precompute)->Arg(0)->Arg(1);
+
+void BM_ModelBuild(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dopf::opf::build_model(inst.net));
+  }
+}
+BENCHMARK(BM_ModelBuild)->Arg(0)->Arg(1);
+
+void BM_Decompose(benchmark::State& state) {
+  const auto& inst = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dopf::opf::decompose(inst.net, inst.model));
+  }
+}
+BENCHMARK(BM_Decompose)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

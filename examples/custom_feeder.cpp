@@ -1,0 +1,129 @@
+// Build a feeder programmatically with the public network API, persist it in
+// the text exchange format, reload it, and solve the OPF — the workflow a
+// downstream user follows to run their own system through the library.
+
+#include <cstdio>
+
+#include "core/admm.hpp"
+#include "feeders/feeder_io.hpp"
+#include "network/network.hpp"
+#include "opf/decompose.hpp"
+#include "solver/reference.hpp"
+
+using namespace dopf::network;
+
+int main() {
+  // --- A small rural feeder: 3-phase trunk, single-phase laterals,
+  // one service transformer, a wye and a delta load, plus a wind DER.
+  Network net;
+
+  Bus sub;
+  sub.name = "substation";
+  sub.w_min = PerPhase<double>::uniform(1.0);
+  sub.w_max = PerPhase<double>::uniform(1.0);
+  const int b0 = net.add_bus(sub);
+
+  Bus b;
+  b.name = "junction";
+  const int b1 = net.add_bus(b);
+  b.name = "village";
+  const int b2 = net.add_bus(b);
+  b.name = "farm";
+  b.phases = PhaseSet::a();
+  const int b3 = net.add_bus(b);
+  b.name = "mill";
+  b.phases = PhaseSet::abc();
+  const int b4 = net.add_bus(b);
+
+  auto line = [&](const char* name, int from, int to, PhaseSet ph, double r,
+                  double x, bool xfmr = false) {
+    Line l;
+    l.name = name;
+    l.from_bus = from;
+    l.to_bus = to;
+    l.phases = ph;
+    for (Phase p : ph.phases()) {
+      for (Phase q : ph.phases()) {
+        l.r(p, q) = p == q ? r : 0.2 * r;
+        l.x(p, q) = p == q ? x : 0.25 * x;
+      }
+    }
+    l.is_transformer = xfmr;
+    net.add_line(l);
+  };
+  line("trunk1", b0, b1, PhaseSet::abc(), 0.004, 0.009);
+  line("trunk2", b1, b2, PhaseSet::abc(), 0.006, 0.012);
+  line("lateral", b1, b3, PhaseSet::a(), 0.02, 0.03);
+  line("xfmr", b2, b4, PhaseSet::abc(), 0.002, 0.012, /*xfmr=*/true);
+
+  Generator slack;
+  slack.name = "grid";
+  slack.bus = b0;
+  net.add_generator(slack);
+  Generator wind;
+  wind.name = "wind";
+  wind.bus = b2;
+  wind.p_max = PerPhase<double>::uniform(0.3);
+  wind.q_min = PerPhase<double>::uniform(-0.1);
+  wind.q_max = PerPhase<double>::uniform(0.1);
+  wind.cost = 0.1;
+  net.add_generator(wind);
+
+  Load village;
+  village.name = "village";
+  village.bus = b2;
+  village.p_ref = PerPhase<double>::uniform(0.25);
+  village.q_ref = PerPhase<double>::uniform(0.1);
+  village.alpha = PerPhase<double>::uniform(1.0);  // constant current
+  village.beta = PerPhase<double>::uniform(1.0);
+  net.add_load(village);
+
+  Load farm;
+  farm.name = "farm";
+  farm.bus = b3;
+  farm.phases = PhaseSet::a();
+  farm.p_ref = PerPhase<double>::uniform(0.08);
+  farm.q_ref = PerPhase<double>::uniform(0.03);
+  net.add_load(farm);
+
+  Load mill;  // three-phase delta-connected motor load
+  mill.name = "mill";
+  mill.bus = b4;
+  mill.connection = Connection::kDelta;
+  mill.p_ref = PerPhase<double>::uniform(0.15);
+  mill.q_ref = PerPhase<double>::uniform(0.09);
+  net.add_load(mill);
+
+  net.validate();
+  std::printf("built: %s\n", net.summary().c_str());
+
+  // --- Persist and reload through the exchange format.
+  const std::string path = "/tmp/custom_feeder_example.feeder";
+  dopf::feeders::save_feeder(net, path);
+  const Network reloaded = dopf::feeders::load_feeder(path);
+  std::printf("round-tripped through %s: %s\n", path.c_str(),
+              reloaded.summary().c_str());
+
+  // --- Solve distributed OPF and cross-check with the reference LP.
+  const auto model = dopf::opf::build_model(reloaded);
+  const auto problem = dopf::opf::decompose(reloaded, model);
+  dopf::core::AdmmOptions opt;
+  opt.eps_rel = 1e-5;
+  dopf::core::SolverFreeAdmm admm(problem, opt);
+  const auto res = admm.solve();
+  const auto ref = dopf::solver::reference_solve(model);
+  std::printf("\nADMM (%d iterations): objective %.6f\n", res.iterations,
+              res.objective);
+  std::printf("reference LP:         objective %.6f (%s)\n", ref.objective,
+              dopf::solver::to_string(ref.status));
+
+  std::printf("\ndispatch (real power, summed over phases):\n");
+  for (const auto& g : reloaded.generators()) {
+    double total = 0.0;
+    for (Phase p : g.phases.phases()) {
+      total += res.x[model.vars.gen_p(g.id, p)];
+    }
+    std::printf("  %-6s %8.4f\n", g.name.c_str(), total);
+  }
+  return 0;
+}

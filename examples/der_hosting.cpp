@@ -1,0 +1,70 @@
+// DER hosting study on the IEEE13-style feeder: sweep the capacity of a
+// photovoltaic plant and watch the optimal dispatch shift from substation
+// import to local generation — the renewable-integration use case the
+// paper's introduction motivates.
+//
+// Also reports the feeder's voltage profile (min/max |V|) at each step,
+// extracted from the squared-magnitude w variables.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+#include "opf/variables.hpp"
+
+using dopf::network::PerPhase;
+using dopf::network::Phase;
+
+int main() {
+  std::printf("PV hosting sweep on the IEEE13-style feeder\n");
+  std::printf("%10s %12s %12s %12s %10s %10s\n", "PV cap", "objective",
+              "sub import", "PV output", "min |V|", "max |V|");
+
+  for (double cap : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    dopf::network::Network net = dopf::feeders::ieee13();
+    // Generator 1 is the PV plant at s680b; give it the swept capacity and
+    // make it cheap so the OPF prefers it.
+    auto& pv = net.generator_mutable(1);
+    pv.p_max = PerPhase<double>::uniform(cap / 3.0);  // per phase
+    pv.q_min = PerPhase<double>::uniform(-cap / 6.0);
+    pv.q_max = PerPhase<double>::uniform(cap / 6.0);
+    pv.cost = 0.05;  // near-free energy
+    net.validate();
+
+    const auto model = dopf::opf::build_model(net);
+    const auto problem = dopf::opf::decompose(net, model);
+    dopf::core::AdmmOptions opt;
+    opt.eps_rel = 1e-4;
+    opt.max_iterations = 100000;
+    dopf::core::SolverFreeAdmm admm(problem, opt);
+    const auto res = admm.solve();
+    if (!res.converged) {
+      std::printf("%10.3f  (did not converge)\n", cap);
+      continue;
+    }
+
+    double import_p = 0.0, pv_p = 0.0;
+    for (Phase p : net.generator(0).phases.phases()) {
+      import_p += res.x[model.vars.gen_p(0, p)];
+    }
+    for (Phase p : net.generator(1).phases.phases()) {
+      pv_p += res.x[model.vars.gen_p(1, p)];
+    }
+    double vmin = 10.0, vmax = 0.0;
+    for (const auto& bus : net.buses()) {
+      for (Phase p : bus.phases.phases()) {
+        const double v = std::sqrt(res.x[model.vars.bus_w(bus.id, p)]);
+        vmin = std::min(vmin, v);
+        vmax = std::max(vmax, v);
+      }
+    }
+    std::printf("%10.3f %12.5f %12.5f %12.5f %10.4f %10.4f\n", cap,
+                res.objective, import_p, pv_p, vmin, vmax);
+  }
+  std::printf(
+      "\nexpected: substation import falls as PV capacity grows, until the "
+      "feeder's\nload (plus voltage-band limits) saturates the benefit.\n");
+  return 0;
+}

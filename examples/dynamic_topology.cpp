@@ -1,0 +1,124 @@
+// Dynamic topology reconfiguration — the scenario that motivates
+// component-wise decomposition in the paper's introduction.
+//
+// A distribution operator reconfigures feeders by opening/closing tie
+// switches (e.g. after a fault, or to balance load). Because the
+// decomposition is per-bus/per-line, a topology change only touches the
+// components incident to the switched line; everything else (including the
+// precomputed Abar_s/bbar_s of every untouched component) is structurally
+// reusable. This example:
+//   1. builds a 123-bus-class feeder with tie lines,
+//   2. solves the OPF,
+//   3. "opens" a tie switch (flow limits to ~0) and doubles a lateral load,
+//   4. re-solves, comparing iteration counts and dispatch.
+
+#include <cstdio>
+
+#include "core/admm.hpp"
+#include "feeders/synthetic.hpp"
+#include "network/network.hpp"
+#include "opf/decompose.hpp"
+#include "opf/variables.hpp"
+
+using dopf::core::AdmmOptions;
+using dopf::core::AdmmResult;
+using dopf::core::SolverFreeAdmm;
+
+namespace {
+
+double substation_import(const dopf::network::Network& net,
+                         const dopf::opf::OpfModel& model,
+                         std::span<const double> x) {
+  double total = 0.0;
+  for (auto p : net.generator(0).phases.phases()) {
+    total += x[model.vars.gen_p(0, p)];
+  }
+  return total;
+}
+
+/// Solve and keep (x, lambda) for warm-starting the next event.
+std::pair<std::vector<double>, std::vector<double>> solveable_state(
+    const dopf::network::Network& net, const dopf::opf::OpfModel& model) {
+  const auto problem = dopf::opf::decompose(net, model);
+  AdmmOptions opt;
+  SolverFreeAdmm admm(problem, opt);
+  const AdmmResult res = admm.solve();
+  return {res.x,
+          std::vector<double>(admm.lambda().begin(), admm.lambda().end())};
+}
+
+AdmmResult solve(const dopf::network::Network& net,
+                 const dopf::opf::OpfModel& model, const char* label) {
+  const auto problem = dopf::opf::decompose(net, model);
+  AdmmOptions opt;
+  SolverFreeAdmm admm(problem, opt);
+  const AdmmResult res = admm.solve();
+  std::printf("%-22s S=%zu  iterations=%5d  objective=%8.4f  import=%.4f\n",
+              label, problem.num_components(), res.iterations, res.objective,
+              substation_import(net, model, res.x));
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  dopf::feeders::SyntheticSpec spec = dopf::feeders::ieee123_spec();
+  spec.num_extra_lines = 6;  // tie switches available for reconfiguration
+  dopf::network::Network net = dopf::feeders::synthetic_feeder(spec);
+  std::printf("%s\n\n", net.summary().c_str());
+
+  auto model = dopf::opf::build_model(net);
+  solve(net, model, "nominal topology");
+
+  // --- Event: a tie switch opens (e.g. protection action).
+  const int tie = static_cast<int>(net.num_lines()) - 1;
+  auto& sw = net.line_mutable(tie);
+  std::printf("\nopening tie '%s' (%s -- %s)\n", sw.name.c_str(),
+              net.bus(sw.from_bus).name.c_str(),
+              net.bus(sw.to_bus).name.c_str());
+  sw.flow_limit = dopf::network::PerPhase<double>::uniform(1e-9);
+  net.validate();
+  model = dopf::opf::build_model(net);
+  solve(net, model, "tie opened");
+
+  // --- Event: load picks up on a lateral (cold-load pickup after
+  // restoration) — double every load on the last 20 buses. The variable
+  // layout is unchanged, so the operator can warm-start from the previous
+  // solution instead of re-solving cold.
+  const auto before_pickup = solveable_state(net, model);
+  int touched = 0;
+  for (std::size_t l = 0; l < net.num_loads(); ++l) {
+    auto& load = net.load_mutable(static_cast<int>(l));
+    if (load.bus >= static_cast<int>(net.num_buses()) - 20) {
+      for (auto p : load.phases.phases()) {
+        load.p_ref[p] *= 2.0;
+        load.q_ref[p] *= 2.0;
+      }
+      ++touched;
+    }
+  }
+  std::printf("\ncold-load pickup: doubled %d loads on the far lateral\n",
+              touched);
+  net.validate();
+  model = dopf::opf::build_model(net);
+  const AdmmResult cold = solve(net, model, "pickup, cold start");
+  {
+    const auto problem = dopf::opf::decompose(net, model);
+    AdmmOptions opt;
+    SolverFreeAdmm admm(problem, opt);
+    admm.warm_start(before_pickup.first, before_pickup.second);
+    const AdmmResult warm = admm.solve();
+    std::printf("%-22s S=%zu  iterations=%5d  objective=%8.4f  (%.1fx "
+                "fewer iterations)\n",
+                "pickup, warm start", problem.num_components(),
+                warm.iterations, warm.objective,
+                static_cast<double>(cold.iterations) /
+                    std::max(1, warm.iterations));
+  }
+
+  std::printf(
+      "\nNote: only components incident to the switched line / loaded buses "
+      "change;\nthe per-component structure (and the operator's bound boxes) "
+      "is reusable across events.\n");
+  return 0;
+}

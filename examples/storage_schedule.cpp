@@ -1,0 +1,69 @@
+// Multi-period OPF with battery storage: schedule a day of operation on the
+// IEEE13-style feeder under a time-of-use price and a residential load
+// shape. The battery is a time-coupled component in the same consensus
+// decomposition the paper uses for buses and lines — the extension the
+// paper's ref [15] (multi-period three-phase distributed OPF) points at.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "multiperiod/multiperiod.hpp"
+
+int main() {
+  const auto net = dopf::feeders::ieee13();
+
+  dopf::multiperiod::MultiPeriodSpec spec;
+  spec.periods = 24;
+  spec.period_hours = 1.0;
+  // Residential double-peak load shape (per-unit of the nominal load).
+  spec.load_scale = {0.55, 0.50, 0.48, 0.47, 0.50, 0.60, 0.75, 0.90,
+                     0.85, 0.80, 0.78, 0.80, 0.82, 0.80, 0.78, 0.82,
+                     0.95, 1.15, 1.30, 1.35, 1.25, 1.05, 0.85, 0.65};
+  // Time-of-use tariff: cheap nights, pricey evening peak.
+  spec.price.assign(24, 1.0);
+  for (int t = 0; t < 7; ++t) spec.price[t] = 0.4;
+  for (int t = 17; t < 22; ++t) spec.price[t] = 2.5;
+
+  dopf::multiperiod::Storage batt;
+  batt.name = "battery671";
+  batt.bus = 4;  // bus 671
+  batt.charge_max = 0.04;
+  batt.discharge_max = 0.04;
+  batt.energy_max = 0.5;
+  batt.energy_init = 0.25;
+  batt.efficiency = 0.92;
+  spec.storages.push_back(batt);
+
+  const auto mp = dopf::multiperiod::build_multiperiod(net, spec);
+  std::printf(
+      "stacked problem: %zu variables, %zu components over %d periods\n",
+      mp.problem.num_vars, mp.problem.num_components(), mp.periods);
+
+  dopf::core::AdmmOptions opt;
+  opt.eps_rel = 1e-5;
+  opt.max_iterations = 400000;
+  opt.relaxation = 1.6;
+  opt.check_every = 10;
+  dopf::core::SolverFreeAdmm admm(mp.problem, opt);
+  const auto res = admm.solve();
+  std::printf("ADMM: %s in %d iterations, total cost %.4f\n\n",
+              res.converged ? "converged" : "NOT converged", res.iterations,
+              res.objective);
+
+  std::printf("%4s %7s %7s | %10s %10s\n", "hour", "load", "price",
+              "batt [kW]", "SOC [kWh]");
+  for (int t = 0; t < mp.periods; ++t) {
+    const double inj = mp.net_injection(res.x, 0, t);
+    std::printf("%4d %7.2f %7.2f | %+10.4f %10.4f  %s\n", t,
+                spec.load_scale[t], spec.price[t], inj, mp.soc(res.x, 0, t),
+                inj < -1e-3   ? "charging"
+                : inj > 1e-3  ? "discharging"
+                              : "");
+  }
+  std::printf(
+      "\nexpected: charge through the cheap night, discharge into the "
+      "evening peak,\nfinish at or above the initial state of charge.\n");
+  return 0;
+}

@@ -1,0 +1,352 @@
+#include "core/admm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dopf::core {
+
+using Clock = std::chrono::steady_clock;
+using dopf::opf::Component;
+using dopf::opf::DistributedProblem;
+
+namespace {
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Uniform per-message quantization (communication-compression extension):
+/// snap every entry to one of 2^bits levels spanning [-max|v|, +max|v|].
+void quantize_message(std::span<double> v, int bits) {
+  if (bits <= 0 || bits >= 52 || v.empty()) return;
+  double scale = 0.0;
+  for (double x : v) scale = std::max(scale, std::abs(x));
+  if (scale == 0.0) return;
+  const double levels = std::ldexp(1.0, bits) - 1.0;  // 2^bits - 1
+  const double delta = 2.0 * scale / levels;
+  for (double& x : v) x = std::round(x / delta) * delta;
+}
+}  // namespace
+
+const char* to_string(AdmmStatus status) {
+  switch (status) {
+    case AdmmStatus::kConverged:
+      return "converged";
+    case AdmmStatus::kIterationLimit:
+      return "iteration-limit";
+    case AdmmStatus::kTimeLimit:
+      return "time-limit";
+    case AdmmStatus::kDiverged:
+      return "diverged";
+  }
+  return "?";
+}
+
+LocalSolvers LocalSolvers::precompute(const DistributedProblem& problem) {
+  LocalSolvers solvers;
+  solvers.projectors.reserve(problem.components.size());
+  for (const Component& comp : problem.components) {
+    solvers.projectors.emplace_back(comp.a, comp.b);
+  }
+  return solvers;
+}
+
+SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
+                               AdmmOptions options)
+    : problem_(&problem), options_(options), rho_(options.rho) {
+  const auto start = Clock::now();
+  solvers_ = LocalSolvers::precompute(problem);
+  timing_.precompute = seconds_since(start);
+  init_storage();
+}
+
+SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
+                               AdmmOptions options, LocalSolvers solvers)
+    : problem_(&problem),
+      options_(options),
+      solvers_(std::move(solvers)),
+      rho_(options.rho) {
+  init_storage();
+}
+
+void SolverFreeAdmm::init_storage() {
+  offsets_.clear();
+  offsets_.reserve(problem_->components.size());
+  total_local_ = 0;
+  for (const Component& comp : problem_->components) {
+    offsets_.push_back(total_local_);
+    total_local_ += comp.num_vars();
+  }
+  x_.assign(problem_->num_vars, 0.0);
+  z_.assign(total_local_, 0.0);
+  z_prev_.assign(total_local_, 0.0);
+  lambda_.assign(total_local_, 0.0);
+  y_scratch_.assign(total_local_, 0.0);
+  reset();
+}
+
+void SolverFreeAdmm::reset() {
+  rho_ = options_.rho;
+  active_.assign(problem_->components.size(), 1);
+  async_rng_.seed(options_.async_seed);
+  x_ = problem_->x0;
+  std::fill(lambda_.begin(), lambda_.end(), 0.0);
+  // z_s = B_s x0 (the paper's per-element initial values are encoded in x0).
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    double* zs = z_.data() + offsets_[s];
+    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+      zs[j] = problem_->x0[comp.global[j]];
+    }
+  }
+  z_prev_ = z_;
+  component_seconds_.assign(problem_->components.size(), 0.0);
+  timing_.global_update = timing_.local_update = timing_.dual_update =
+      timing_.residuals = 0.0;
+  timing_.iterations = 0;
+}
+
+void SolverFreeAdmm::warm_start(std::span<const double> x,
+                                std::span<const double> lambda) {
+  if (x.size() != problem_->num_vars) {
+    throw std::invalid_argument("warm_start: x size mismatch");
+  }
+  if (!lambda.empty() && lambda.size() != total_local_) {
+    throw std::invalid_argument("warm_start: lambda size mismatch");
+  }
+  std::copy(x.begin(), x.end(), x_.begin());
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    double* zs = z_.data() + offsets_[s];
+    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+      zs[j] = x_[comp.global[j]];
+    }
+  }
+  z_prev_ = z_;
+  if (lambda.empty()) {
+    std::fill(lambda_.begin(), lambda_.end(), 0.0);
+  } else {
+    std::copy(lambda.begin(), lambda.end(), lambda_.begin());
+  }
+}
+
+void SolverFreeAdmm::global_update() {
+  // (18): xhat_i = (rho * sum of copies - c_i - (B'lambda)_i) / (rho * deg_i)
+  // then clip to the bounds (the step that owns (9d)).
+  const std::size_t n = problem_->num_vars;
+  const double* c = problem_->c.data();
+  const int* deg = problem_->copy_count.data();
+
+  // accum = rho * B'z - B'lambda, scattered component by component.
+  std::vector<double>& accum = x_;  // overwrite in place
+  std::fill(accum.begin(), accum.end(), 0.0);
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    const double* zs = z_.data() + offsets_[s];
+    const double* ls = lambda_.data() + offsets_[s];
+    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+      accum[comp.global[j]] += rho_ * zs[j] - ls[j];
+    }
+  }
+  const double* lb = problem_->lb.data();
+  const double* ub = problem_->ub.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xhat = (accum[i] - c[i]) / (rho_ * deg[i]);
+    x_[i] = std::min(std::max(xhat, lb[i]), ub[i]);
+  }
+}
+
+void SolverFreeAdmm::local_update() {
+  // (15): x_s = proj_{A_s x = b_s}(B_s x + lambda_s / rho).
+  z_prev_.swap(z_);
+  const bool timed = options_.record_component_times;
+  const int qbits = options_.quantize_bits;
+  const bool async = options_.async_fraction < 1.0;
+  if (async) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (char& a : active_) {
+      a = unit(async_rng_) < options_.async_fraction ? 1 : 0;
+    }
+  }
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    if (async && !active_[s]) {
+      // Straggler: keep the stale local solution.
+      std::copy(z_prev_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]),
+                z_prev_.begin() +
+                    static_cast<std::ptrdiff_t>(offsets_[s] + comp.num_vars()),
+                z_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]));
+      continue;
+    }
+    const std::size_t ns = comp.num_vars();
+    double* y = y_scratch_.data() + offsets_[s];
+    const double* ls = lambda_.data() + offsets_[s];
+    double* zs = z_.data() + offsets_[s];
+
+    const auto start = timed ? Clock::now() : Clock::time_point{};
+    const double alpha = options_.relaxation;
+    const double* zp = z_prev_.data() + offsets_[s];
+    if (alpha == 1.0) {
+      for (std::size_t j = 0; j < ns; ++j) {
+        y[j] = x_[comp.global[j]];
+      }
+    } else {
+      for (std::size_t j = 0; j < ns; ++j) {
+        y[j] = alpha * x_[comp.global[j]] + (1.0 - alpha) * zp[j];
+      }
+    }
+    if (qbits > 0) {
+      // The operator -> agent broadcast of B_s x is compressed; the agent's
+      // own dual variables stay exact.
+      quantize_message({y, ns}, qbits);
+    }
+    for (std::size_t j = 0; j < ns; ++j) {
+      y[j] += ls[j] / rho_;
+    }
+    solvers_.projectors[s].project_into({y, ns}, {zs, ns});
+    if (qbits > 0) {
+      // The agent -> operator reply (x_s) is compressed symmetrically.
+      quantize_message({zs, ns}, qbits);
+    }
+    if (timed) component_seconds_[s] += seconds_since(start);
+  }
+}
+
+void SolverFreeAdmm::dual_update() {
+  // (12): lambda_s += rho * (B_s x - x_s); under over-relaxation B_s x is
+  // replaced by the same relaxed combination the local update saw.
+  const double alpha = options_.relaxation;
+  const bool async = options_.async_fraction < 1.0;
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    if (async && !active_[s]) continue;  // straggler keeps stale duals
+    double* ls = lambda_.data() + offsets_[s];
+    const double* zs = z_.data() + offsets_[s];
+    const double* zp = z_prev_.data() + offsets_[s];
+    if (alpha == 1.0) {
+      for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+        ls[j] += rho_ * (x_[comp.global[j]] - zs[j]);
+      }
+    } else {
+      for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+        const double relaxed =
+            alpha * x_[comp.global[j]] + (1.0 - alpha) * zp[j];
+        ls[j] += rho_ * (relaxed - zs[j]);
+      }
+    }
+    if (options_.quantize_bits > 0) {
+      // lambda_s rides along in the agent -> operator message.
+      quantize_message({ls, comp.num_vars()}, options_.quantize_bits);
+    }
+  }
+}
+
+IterationRecord SolverFreeAdmm::compute_residuals(int iteration) const {
+  // With each row of B_s selecting one distinct global variable,
+  //   pres  = ||Bx - z||, dres = rho ||z - z_prev||,
+  //   eps_p = eps_rel * max(||Bx||, ||z||), eps_d = eps_rel * ||lambda||.
+  IterationRecord rec;
+  rec.iteration = iteration;
+  rec.rho = rho_;
+  double pres2 = 0.0, bx2 = 0.0, z2 = 0.0, dz2 = 0.0, l2 = 0.0;
+  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
+    const Component& comp = problem_->components[s];
+    const double* zs = z_.data() + offsets_[s];
+    const double* zp = z_prev_.data() + offsets_[s];
+    const double* ls = lambda_.data() + offsets_[s];
+    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+      const double bx = x_[comp.global[j]];
+      const double d = bx - zs[j];
+      pres2 += d * d;
+      bx2 += bx * bx;
+      z2 += zs[j] * zs[j];
+      const double dz = zs[j] - zp[j];
+      dz2 += dz * dz;
+      l2 += ls[j] * ls[j];
+    }
+  }
+  rec.primal_residual = std::sqrt(pres2);
+  rec.dual_residual = rho_ * std::sqrt(dz2);
+  rec.eps_primal = options_.eps_rel * std::sqrt(std::max(bx2, z2));
+  rec.eps_dual = options_.eps_rel * std::sqrt(l2);
+  return rec;
+}
+
+bool SolverFreeAdmm::termination_satisfied(const IterationRecord& rec) const {
+  return rec.primal_residual <= rec.eps_primal &&
+         rec.dual_residual <= rec.eps_dual;
+}
+
+double SolverFreeAdmm::objective() const {
+  return dopf::linalg::dot(problem_->c, x_);
+}
+
+AdmmResult SolverFreeAdmm::solve() {
+  AdmmResult result;
+  int recorded = 0;
+  const auto wall_start = Clock::now();
+  for (int t = 1; t <= options_.max_iterations; ++t) {
+    auto tic = Clock::now();
+    global_update();
+    timing_.global_update += seconds_since(tic);
+
+    tic = Clock::now();
+    local_update();
+    timing_.local_update += seconds_since(tic);
+
+    tic = Clock::now();
+    dual_update();
+    timing_.dual_update += seconds_since(tic);
+    ++timing_.iterations;
+
+    result.iterations = t;
+    if (t % options_.check_every == 0) {
+      tic = Clock::now();
+      const IterationRecord rec = compute_residuals(t);
+      timing_.residuals += seconds_since(tic);
+      if (++recorded % options_.record_every == 0) {
+        result.history.push_back(rec);
+      }
+      result.primal_residual = rec.primal_residual;
+      result.dual_residual = rec.dual_residual;
+      if (termination_satisfied(rec)) {
+        result.converged = true;
+        result.status = AdmmStatus::kConverged;
+        break;
+      }
+      if (!std::isfinite(rec.primal_residual) ||
+          !std::isfinite(rec.dual_residual)) {
+        result.status = AdmmStatus::kDiverged;
+        break;
+      }
+      if (options_.time_limit_seconds > 0.0 &&
+          seconds_since(wall_start) > options_.time_limit_seconds) {
+        result.status = AdmmStatus::kTimeLimit;
+        break;
+      }
+      // Residual balancing (extension): scale rho toward balanced residuals.
+      if (options_.adaptive_rho && t <= options_.adaptive_until &&
+          t % options_.adaptive_every == 0) {
+        if (rec.primal_residual >
+            options_.adaptive_ratio * rec.dual_residual) {
+          rho_ *= options_.adaptive_factor;
+        } else if (rec.dual_residual >
+                   options_.adaptive_ratio * rec.primal_residual) {
+          rho_ /= options_.adaptive_factor;
+        }
+      }
+    }
+  }
+  result.x.assign(x_.begin(), x_.end());
+  result.objective = objective();
+  result.final_rho = rho_;
+  result.timing = timing_;
+  result.component_seconds.assign(component_seconds_.begin(),
+                                  component_seconds_.end());
+  return result;
+}
+
+}  // namespace dopf::core

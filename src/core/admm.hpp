@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "linalg/affine_projector.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::core {
+
+/// Options shared by the solver-free ADMM and the benchmark ADMM.
+/// The extension fields (adaptive_rho, relaxation, quantize_bits) are
+/// honoured by core::SolverFreeAdmm only; the benchmark ADMM reproduces the
+/// paper's comparison configuration and ignores them.
+struct AdmmOptions {
+  double rho = 100.0;     ///< penalty parameter (paper default)
+  double eps_rel = 1e-3;  ///< relative tolerance in (16) (paper default)
+  int max_iterations = 200000;
+  /// Wall-clock budget in seconds; <= 0 disables. Checked at the same
+  /// cadence as the termination criterion.
+  double time_limit_seconds = 0.0;
+  /// Evaluate the termination criterion every k iterations (1 = paper).
+  int check_every = 1;
+  /// Record an IterationRecord every k checks (for residual plots).
+  int record_every = 1;
+
+  /// Residual balancing [29] (extension; off reproduces the paper).
+  bool adaptive_rho = false;
+  double adaptive_ratio = 10.0;  ///< trigger when residuals differ by this
+  double adaptive_factor = 2.0;  ///< multiply/divide rho by this
+  int adaptive_every = 100;      ///< check cadence
+  int adaptive_until = 10000;    ///< freeze rho afterwards (keeps theory)
+
+  /// Over-relaxation factor alpha (standard ADMM acceleration; 1.0
+  /// reproduces the paper, 1.5-1.8 typically reduces iterations). The
+  /// local/dual updates see alpha*B_s x + (1-alpha)*x_s^(t) instead of
+  /// B_s x. Note: the paper's ref [30] (multiple local updates) targets
+  /// *inexact* local solvers and is a no-op for closed-form local steps,
+  /// so this is the acceleration we expose instead.
+  double relaxation = 1.0;
+
+  /// Communication compression (the future-work direction of the paper's
+  /// ref [37]): quantize every operator<->agent message to this many bits
+  /// per entry with per-component uniform quantization. 0 disables
+  /// (lossless, reproduces the paper). Inexact-ADMM territory: expect more
+  /// iterations in exchange for an 8x-64/bits reduction in traffic.
+  int quantize_bits = 0;
+
+  /// Asynchronous (partial-participation) mode: each iteration, every
+  /// component performs its local/dual update only with this probability;
+  /// the others keep their stale iterates — the straggler/lossy-agent
+  /// setting of the paper's non-ideal-communication references [12], [14].
+  /// 1.0 reproduces the synchronous paper algorithm. Applies to
+  /// SolverFreeAdmm only.
+  double async_fraction = 1.0;
+  /// Seed for the async participation draws (runs stay reproducible).
+  std::uint64_t async_seed = 1;
+
+  /// Accumulate per-component local-update wall time (adds timer overhead;
+  /// enable only for the runtime/cluster measurement benches).
+  bool record_component_times = false;
+};
+
+/// One sampled point of the residual trajectories (Fig. 2).
+struct IterationRecord {
+  int iteration = 0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  double eps_primal = 0.0;
+  double eps_dual = 0.0;
+  double rho = 0.0;
+};
+
+/// Wall-clock breakdown per update kind (Fig. 3): seconds spent in total,
+/// and the number of iterations over which they accumulated.
+struct TimingBreakdown {
+  double precompute = 0.0;
+  double global_update = 0.0;
+  double local_update = 0.0;
+  double dual_update = 0.0;
+  double residuals = 0.0;
+  int iterations = 0;
+
+  double total() const {
+    return global_update + local_update + dual_update + residuals;
+  }
+};
+
+/// Why the iteration stopped.
+enum class AdmmStatus {
+  kConverged,       ///< (16) satisfied
+  kIterationLimit,  ///< max_iterations reached
+  kTimeLimit,       ///< time_limit_seconds exceeded
+  kDiverged,        ///< non-finite residuals (model inconsistent or rho bad)
+};
+
+const char* to_string(AdmmStatus status);
+
+struct AdmmResult {
+  std::vector<double> x;  ///< global solution (clipped to bounds)
+  AdmmStatus status = AdmmStatus::kIterationLimit;
+  bool converged = false;
+  int iterations = 0;
+  double objective = 0.0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  double final_rho = 0.0;
+  std::vector<IterationRecord> history;
+  TimingBreakdown timing;
+  /// Per-component cumulative local-update seconds (empty unless
+  /// record_component_times).
+  std::vector<double> component_seconds;
+};
+
+/// Precomputed closed-form local solvers: the Abar_s / bbar_s pairs of
+/// (15b)-(15c), one AffineProjector per component (lines 2-3 of
+/// Algorithm 1). Reusable across solver instances, rho values, and the
+/// serial / SIMT execution paths.
+struct LocalSolvers {
+  std::vector<dopf::linalg::AffineProjector> projectors;
+
+  static LocalSolvers precompute(const dopf::opf::DistributedProblem& problem);
+};
+
+/// The paper's contribution (Algorithm 1): solver-free consensus ADMM for
+/// the component-wise distributed model (9).
+///
+/// Per iteration:
+///   global update (13)/(18): x = clip((rho*B'z - c - B'lambda) / (rho*deg))
+///   local update  (15):      x_s = proj_{A_s x = b_s}(B_s x + lambda_s/rho)
+///   dual update   (12):      lambda_s += rho*(B_s x - x_s)
+/// with termination by the relative primal/dual residuals (16).
+///
+/// The class also exposes the individual updates so the SIMT-simulated GPU
+/// backend and the virtual-cluster harness can drive one step at a time.
+class SolverFreeAdmm {
+ public:
+  /// `problem` must outlive the solver. Precomputes the local solvers
+  /// unless a precomputed set is supplied.
+  SolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
+                 AdmmOptions options);
+  SolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
+                 AdmmOptions options, LocalSolvers solvers);
+
+  /// Run Algorithm 1 to termination.
+  AdmmResult solve();
+
+  // --- Step-level API (state machine: call in global->local->dual order).
+  void global_update();
+  void local_update();
+  void dual_update();
+  /// Residuals of (16) for the current iterate.
+  IterationRecord compute_residuals(int iteration) const;
+  bool termination_satisfied(const IterationRecord& rec) const;
+
+  std::span<const double> x() const { return x_; }
+  /// Concatenated local solutions z = [x_1; ...; x_S] of (17).
+  std::span<const double> z() const { return z_; }
+  std::span<const double> lambda() const { return lambda_; }
+  double rho() const { return rho_; }
+  const LocalSolvers& local_solvers() const { return solvers_; }
+  /// Start offset of component s within z / lambda.
+  std::size_t offset(std::size_t s) const { return offsets_[s]; }
+
+  /// Reset iterates to the paper's initial point (Sec. V-A).
+  void reset();
+
+  /// Warm-start from a previous solution of a problem with the same
+  /// variable layout (e.g. after a load or price change on an unchanged
+  /// topology): x seeds the global iterate, z_s = B_s x, and `lambda`
+  /// (concatenated, size = total local dimension) seeds the duals — pass an
+  /// empty span to zero them. Cuts re-solve iterations substantially for
+  /// small perturbations; see examples/dynamic_topology.
+  void warm_start(std::span<const double> x,
+                  std::span<const double> lambda = {});
+
+  const dopf::opf::DistributedProblem& problem() const { return *problem_; }
+  const AdmmOptions& options() const { return options_; }
+
+  /// Objective c'x of the current global iterate.
+  double objective() const;
+
+  std::span<const double> component_seconds() const {
+    return component_seconds_;
+  }
+  TimingBreakdown& timing() { return timing_; }
+
+ private:
+  void init_storage();
+
+  const dopf::opf::DistributedProblem* problem_;
+  AdmmOptions options_;
+  LocalSolvers solvers_;
+  double rho_;
+
+  std::vector<std::size_t> offsets_;  // component start in z / lambda
+  std::size_t total_local_ = 0;       // sum n_s
+
+  std::vector<double> x_;       // global iterate (n)
+  std::vector<double> z_;       // local solutions, concatenated
+  std::vector<double> z_prev_;  // previous local solutions (for dres)
+  std::vector<double> lambda_;  // duals, concatenated
+  std::vector<double> y_scratch_;
+
+  std::vector<double> component_seconds_;
+  TimingBreakdown timing_;
+
+  // Asynchronous-mode state: which components participate this iteration.
+  std::vector<char> active_;
+  std::mt19937_64 async_rng_;
+};
+
+}  // namespace dopf::core

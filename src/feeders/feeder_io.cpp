@@ -1,0 +1,253 @@
+#include "feeders/feeder_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace dopf::feeders {
+
+using network::Bus;
+using network::Connection;
+using network::Generator;
+using network::kInfinity;
+using network::Line;
+using network::Load;
+using network::Network;
+using network::PerPhase;
+using network::PhaseMatrix;
+using network::PhaseSet;
+
+namespace {
+
+void put(std::ostream& out, double v) {
+  if (v >= kInfinity / 2) {
+    out << " inf";
+  } else if (v <= -kInfinity / 2) {
+    out << " -inf";
+  } else {
+    out << ' ' << std::setprecision(17) << v;
+  }
+}
+
+void put3(std::ostream& out, const PerPhase<double>& v) {
+  for (double x : v.values) put(out, x);
+}
+
+void put9(std::ostream& out, const PhaseMatrix& m) {
+  for (const auto& row : m.m) {
+    for (double x : row) put(out, x);
+  }
+}
+
+/// Token stream over one record line.
+class Tokens {
+ public:
+  Tokens(std::string line, int line_no) : in_(std::move(line)), no_(line_no) {}
+
+  std::string word(const char* what) {
+    std::string t;
+    if (!(in_ >> t)) fail(std::string("missing ") + what);
+    return t;
+  }
+
+  double number(const char* what) {
+    const std::string t = word(what);
+    if (t == "inf") return kInfinity;
+    if (t == "-inf") return -kInfinity;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(t, &pos);
+      if (pos != t.size()) throw std::invalid_argument(t);
+      return v;
+    } catch (const std::exception&) {
+      fail(std::string("bad number '") + t + "' for " + what);
+    }
+  }
+
+  PerPhase<double> triple(const char* what) {
+    PerPhase<double> v;
+    for (double& x : v.values) x = number(what);
+    return v;
+  }
+
+  PhaseMatrix nine(const char* what) {
+    PhaseMatrix m;
+    for (auto& row : m.m) {
+      for (double& x : row) x = number(what);
+    }
+    return m;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw FeederFormatError("feeder line " + std::to_string(no_) + ": " + msg);
+  }
+
+ private:
+  std::istringstream in_;
+  int no_;
+};
+
+}  // namespace
+
+void write_feeder(const Network& net, std::ostream& out) {
+  out << "feeder v1\n";
+  for (const Bus& b : net.buses()) {
+    out << "bus " << b.name << ' ' << b.phases.to_string();
+    put3(out, b.w_min);
+    put3(out, b.w_max);
+    put3(out, b.g_shunt);
+    put3(out, b.b_shunt);
+    out << '\n';
+  }
+  for (const Generator& g : net.generators()) {
+    out << "gen " << g.name << ' ' << net.bus(g.bus).name << ' '
+        << g.phases.to_string();
+    put3(out, g.p_min);
+    put3(out, g.p_max);
+    put3(out, g.q_min);
+    put3(out, g.q_max);
+    put(out, g.cost);
+    out << '\n';
+  }
+  for (const Load& l : net.loads()) {
+    out << "load " << l.name << ' ' << net.bus(l.bus).name << ' '
+        << l.phases.to_string() << ' '
+        << (l.connection == Connection::kDelta ? "delta" : "wye");
+    put3(out, l.alpha);
+    put3(out, l.beta);
+    put3(out, l.p_ref);
+    put3(out, l.q_ref);
+    out << '\n';
+  }
+  for (const Line& l : net.lines()) {
+    out << "line " << l.name << ' ' << net.bus(l.from_bus).name << ' '
+        << net.bus(l.to_bus).name << ' ' << l.phases.to_string() << ' '
+        << (l.is_transformer ? 1 : 0);
+    put3(out, l.tap_ratio);
+    put3(out, l.flow_limit);
+    put9(out, l.r);
+    put9(out, l.x);
+    put3(out, l.g_shunt_from);
+    put3(out, l.b_shunt_from);
+    put3(out, l.g_shunt_to);
+    put3(out, l.b_shunt_to);
+    out << '\n';
+  }
+}
+
+Network read_feeder(std::istream& in) {
+  Network net;
+  std::map<std::string, int> bus_ids;
+  std::string raw;
+  int line_no = 0;
+  bool header_seen = false;
+
+  auto bus_id = [&](const std::string& name, Tokens& tok) {
+    const auto it = bus_ids.find(name);
+    if (it == bus_ids.end()) tok.fail("unknown bus '" + name + "'");
+    return it->second;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    Tokens tok(raw, line_no);
+    std::string kind;
+    {
+      std::istringstream probe(raw);
+      if (!(probe >> kind)) continue;  // blank / comment-only line
+    }
+    kind = tok.word("record kind");
+
+    if (!header_seen) {
+      if (kind != "feeder" || tok.word("version") != "v1") {
+        tok.fail("expected header 'feeder v1'");
+      }
+      header_seen = true;
+      continue;
+    }
+
+    if (kind == "bus") {
+      Bus b;
+      b.name = tok.word("bus name");
+      b.phases = PhaseSet::parse(tok.word("phases"));
+      b.w_min = tok.triple("wmin");
+      b.w_max = tok.triple("wmax");
+      b.g_shunt = tok.triple("gsh");
+      b.b_shunt = tok.triple("bsh");
+      if (bus_ids.count(b.name) != 0) tok.fail("duplicate bus " + b.name);
+      const std::string name = b.name;
+      bus_ids[name] = net.add_bus(std::move(b));
+    } else if (kind == "gen") {
+      Generator g;
+      g.name = tok.word("gen name");
+      g.bus = bus_id(tok.word("bus"), tok);
+      g.phases = PhaseSet::parse(tok.word("phases"));
+      g.p_min = tok.triple("pmin");
+      g.p_max = tok.triple("pmax");
+      g.q_min = tok.triple("qmin");
+      g.q_max = tok.triple("qmax");
+      g.cost = tok.number("cost");
+      net.add_generator(std::move(g));
+    } else if (kind == "load") {
+      Load l;
+      l.name = tok.word("load name");
+      l.bus = bus_id(tok.word("bus"), tok);
+      l.phases = PhaseSet::parse(tok.word("phases"));
+      const std::string conn = tok.word("connection");
+      if (conn == "wye") {
+        l.connection = Connection::kWye;
+      } else if (conn == "delta") {
+        l.connection = Connection::kDelta;
+      } else {
+        tok.fail("connection must be wye or delta, got '" + conn + "'");
+      }
+      l.alpha = tok.triple("alpha");
+      l.beta = tok.triple("beta");
+      l.p_ref = tok.triple("p");
+      l.q_ref = tok.triple("q");
+      net.add_load(std::move(l));
+    } else if (kind == "line") {
+      Line l;
+      l.name = tok.word("line name");
+      l.from_bus = bus_id(tok.word("from"), tok);
+      l.to_bus = bus_id(tok.word("to"), tok);
+      l.phases = PhaseSet::parse(tok.word("phases"));
+      l.is_transformer = tok.number("xfmr flag") != 0.0;
+      l.tap_ratio = tok.triple("tap");
+      l.flow_limit = tok.triple("limit");
+      l.r = tok.nine("r");
+      l.x = tok.nine("x");
+      l.g_shunt_from = tok.triple("gshf");
+      l.b_shunt_from = tok.triple("bshf");
+      l.g_shunt_to = tok.triple("gsht");
+      l.b_shunt_to = tok.triple("bsht");
+      net.add_line(std::move(l));
+    } else {
+      tok.fail("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!header_seen) {
+    throw FeederFormatError("feeder file is empty (missing 'feeder v1')");
+  }
+  net.validate();
+  return net;
+}
+
+void save_feeder(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw FeederFormatError("cannot open for writing: " + path);
+  write_feeder(net, out);
+}
+
+Network load_feeder(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FeederFormatError("cannot open: " + path);
+  return read_feeder(in);
+}
+
+}  // namespace dopf::feeders

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace dopf::feeders {
+
+/// Thrown on malformed feeder files.
+class FeederFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Plain-text feeder exchange format ("dopf feeder v1").
+///
+/// Line-oriented, whitespace-separated, '#' starts a comment. Records:
+///
+///   feeder v1
+///   bus  <name> <phases> <wmin*3> <wmax*3> <gsh*3> <bsh*3>
+///   gen  <name> <bus> <phases> <pmin*3> <pmax*3> <qmin*3> <qmax*3> <cost>
+///   load <name> <bus> <phases> <wye|delta> <alpha*3> <beta*3> <p*3> <q*3>
+///   line <name> <from> <to> <phases> <xfmr:0|1> <tap*3> <limit*3>
+///        <r:9 row-major> <x:9 row-major> <gshf*3> <bshf*3> <gsht*3> <bsht*3>
+///
+/// `inf` / `-inf` tokens denote missing bounds. Buses are referenced by
+/// name; components appear in file order, which fixes their ids. The writer
+/// and parser round-trip losslessly (up to floating-point printing, 17
+/// significant digits).
+void write_feeder(const dopf::network::Network& net, std::ostream& out);
+dopf::network::Network read_feeder(std::istream& in);
+
+/// Convenience file wrappers.
+void save_feeder(const dopf::network::Network& net, const std::string& path);
+dopf::network::Network load_feeder(const std::string& path);
+
+}  // namespace dopf::feeders

@@ -1,0 +1,223 @@
+#include "feeders/ieee13.hpp"
+
+#include <cmath>
+
+namespace dopf::feeders {
+
+using network::Bus;
+using network::Connection;
+using network::Generator;
+using network::kInfinity;
+using network::Line;
+using network::Load;
+using network::Network;
+using network::PerPhase;
+using network::Phase;
+using network::PhaseMatrix;
+using network::PhaseSet;
+
+namespace {
+
+/// Symmetric impedance block with the given self and mutual terms, populated
+/// only on the phases the line carries.
+PhaseMatrix impedance_block(PhaseSet ph, double self, double mutual) {
+  PhaseMatrix m;
+  for (Phase p : ph.phases()) {
+    for (Phase q : ph.phases()) {
+      m(p, q) = (p == q) ? self : mutual;
+    }
+  }
+  return m;
+}
+
+struct LineKind {
+  double r_self, r_mut, x_self, x_mut;
+};
+
+// Per-unit per-length-unit parameters for the conductor classes used below
+// (4.16 kV / 5 MVA base; overhead trunk, lateral, underground, transformer).
+constexpr LineKind kTrunk{0.016, 0.005, 0.045, 0.018};
+constexpr LineKind kLateral{0.035, 0.010, 0.060, 0.020};
+constexpr LineKind kUnderground{0.028, 0.008, 0.030, 0.008};
+constexpr LineKind kXfmr{0.011, 0.0, 0.060, 0.0};
+constexpr LineKind kSwitch{0.0008, 0.0, 0.0016, 0.0};
+
+Line make_line(std::string name, int from, int to, PhaseSet ph,
+               const LineKind& kind, double length, bool xfmr = false,
+               double tap = 1.0) {
+  Line l;
+  l.name = std::move(name);
+  l.from_bus = from;
+  l.to_bus = to;
+  l.phases = ph;
+  l.r = impedance_block(ph, kind.r_self * length, kind.r_mut * length);
+  l.x = impedance_block(ph, kind.x_self * length, kind.x_mut * length);
+  l.is_transformer = xfmr;
+  for (Phase p : ph.phases()) l.tap_ratio[p] = tap;
+  return l;
+}
+
+Load wye_load(std::string name, int bus, PhaseSet ph, double p_per_phase,
+              double pf_q_ratio, double alpha, double beta) {
+  Load ld;
+  ld.name = std::move(name);
+  ld.bus = bus;
+  ld.phases = ph;
+  ld.connection = Connection::kWye;
+  for (Phase p : ph.phases()) {
+    ld.p_ref[p] = p_per_phase;
+    ld.q_ref[p] = p_per_phase * pf_q_ratio;
+    ld.alpha[p] = alpha;
+    ld.beta[p] = beta;
+  }
+  return ld;
+}
+
+Load delta_load(std::string name, int bus, double p_per_phase,
+                double pf_q_ratio, double alpha, double beta) {
+  Load ld = wye_load(std::move(name), bus, PhaseSet::abc(), p_per_phase,
+                     pf_q_ratio, alpha, beta);
+  ld.connection = Connection::kDelta;
+  return ld;
+}
+
+}  // namespace
+
+Network ieee13() {
+  Network net;
+
+  auto add_bus = [&](std::string name, PhaseSet ph) {
+    Bus b;
+    b.name = std::move(name);
+    b.phases = ph;
+    return net.add_bus(std::move(b));
+  };
+
+  // --- Buses (29). Trunk and primary laterals follow the IEEE13 layout;
+  // the s*/d* buses are secondary service or extension buses.
+  const PhaseSet abc = PhaseSet::abc();
+  const int source = add_bus("sourcebus", abc);
+  const int rg60 = add_bus("rg60", abc);
+  const int b632 = add_bus("632", abc);
+  const int b670 = add_bus("670", abc);  // distributed-load midpoint
+  const int b671 = add_bus("671", abc);
+  const int b680 = add_bus("680", abc);
+  const int s680a = add_bus("s680a", abc);
+  const int s680b = add_bus("s680b", abc);
+  const int b633 = add_bus("633", abc);
+  const int b634 = add_bus("634", abc);
+  const int s634a = add_bus("s634a", abc);
+  const int s634b = add_bus("s634b", abc);
+  const int b645 = add_bus("645", PhaseSet::bc());
+  const int b646 = add_bus("646", PhaseSet::bc());
+  const int s646a = add_bus("s646a", PhaseSet::bc());
+  const int s646b = add_bus("s646b", PhaseSet::bc());
+  const int b684 = add_bus("684", PhaseSet::ac());
+  const int b611 = add_bus("611", PhaseSet::c());
+  const int s611a = add_bus("s611a", PhaseSet::c());
+  const int s611b = add_bus("s611b", PhaseSet::c());
+  const int b652 = add_bus("652", PhaseSet::a());
+  const int s652 = add_bus("s652", PhaseSet::a());
+  const int b692 = add_bus("692", abc);
+  const int b675 = add_bus("675", abc);
+  const int s675a = add_bus("s675a", abc);
+  const int s675b = add_bus("s675b", abc);
+  const int d670a = add_bus("d670a", PhaseSet::b());
+  const int d670b = add_bus("d670b", PhaseSet::b());
+  const int d670c = add_bus("d670c", PhaseSet::b());
+
+  // Pin the substation voltage to 1.0 pu (squared).
+  {
+    Bus& b = net.bus_mutable(source);
+    b.w_min = PerPhase<double>::uniform(1.0);
+    b.w_max = PerPhase<double>::uniform(1.0);
+  }
+
+  // --- Lines (28).
+  // Substation regulator boosts the feeder side by ~2.5% (tap on |V|^2).
+  net.add_line(make_line("reg650", source, rg60, abc, kXfmr, 1.0, true,
+                         1.0 / (1.025 * 1.025)));
+  net.add_line(make_line("650-632", rg60, b632, abc, kTrunk, 2.0));
+  net.add_line(make_line("632-670", b632, b670, abc, kTrunk, 0.67));
+  net.add_line(make_line("670-671", b670, b671, abc, kTrunk, 1.33));
+  net.add_line(make_line("671-680", b671, b680, abc, kTrunk, 1.0));
+  net.add_line(make_line("680-s680a", b680, s680a, abc, kXfmr, 1.0, true));
+  net.add_line(make_line("s680a-s680b", s680a, s680b, abc, kLateral, 0.3));
+  net.add_line(make_line("632-633", b632, b633, abc, kLateral, 0.5));
+  net.add_line(make_line("xf633-634", b633, b634, abc, kXfmr, 1.0, true));
+  net.add_line(make_line("634-s634a", b634, s634a, abc, kLateral, 0.2));
+  net.add_line(make_line("s634a-s634b", s634a, s634b, abc, kLateral, 0.2));
+  net.add_line(make_line("632-645", b632, b645, PhaseSet::bc(), kLateral, 0.5));
+  net.add_line(make_line("645-646", b645, b646, PhaseSet::bc(), kLateral, 0.3));
+  net.add_line(
+      make_line("646-s646a", b646, s646a, PhaseSet::bc(), kXfmr, 1.0, true));
+  net.add_line(
+      make_line("s646a-s646b", s646a, s646b, PhaseSet::bc(), kLateral, 0.2));
+  net.add_line(make_line("671-684", b671, b684, PhaseSet::ac(), kLateral, 0.3));
+  net.add_line(make_line("684-611", b684, b611, PhaseSet::c(), kLateral, 0.3));
+  net.add_line(
+      make_line("611-s611a", b611, s611a, PhaseSet::c(), kXfmr, 1.0, true));
+  net.add_line(
+      make_line("s611a-s611b", s611a, s611b, PhaseSet::c(), kLateral, 0.15));
+  net.add_line(
+      make_line("684-652", b684, b652, PhaseSet::a(), kUnderground, 0.8));
+  net.add_line(
+      make_line("652-s652", b652, s652, PhaseSet::a(), kXfmr, 1.0, true));
+  net.add_line(make_line("sw671-692", b671, b692, abc, kSwitch, 1.0));
+  net.add_line(make_line("692-675", b692, b675, abc, kUnderground, 0.5));
+  net.add_line(make_line("675-s675a", b675, s675a, abc, kXfmr, 1.0, true));
+  net.add_line(make_line("s675a-s675b", s675a, s675b, abc, kLateral, 0.25));
+  net.add_line(
+      make_line("670-d670a", b670, d670a, PhaseSet::b(), kLateral, 0.4));
+  net.add_line(
+      make_line("d670a-d670b", d670a, d670b, PhaseSet::b(), kLateral, 0.3));
+  net.add_line(
+      make_line("d670b-d670c", d670b, d670c, PhaseSet::b(), kLateral, 0.3));
+
+  // --- Substation source (the only unbounded generator).
+  {
+    Generator g;
+    g.name = "substation";
+    g.bus = source;
+    g.phases = abc;
+    g.p_min = PerPhase<double>::uniform(0.0);
+    g.p_max = PerPhase<double>::uniform(kInfinity);
+    g.q_min = PerPhase<double>::uniform(-kInfinity);
+    g.q_max = PerPhase<double>::uniform(kInfinity);
+    net.add_generator(std::move(g));
+  }
+  // A small three-phase PV plant at 680's secondary (DER).
+  {
+    Generator g;
+    g.name = "pv680";
+    g.bus = s680b;
+    g.phases = abc;
+    g.p_min = PerPhase<double>::uniform(0.0);
+    g.p_max = PerPhase<double>::uniform(0.02);
+    g.q_min = PerPhase<double>::uniform(-0.01);
+    g.q_max = PerPhase<double>::uniform(0.01);
+    net.add_generator(std::move(g));
+  }
+
+  // --- Loads. Active powers in pu (5 MVA base); alpha/beta encode constant
+  // power (0), constant current (1), constant impedance (2) as labeled in
+  // the IEEE13 data. Mix of wye and delta mirrors the test feeder.
+  net.add_load(wye_load("ld634", s634b, abc, 0.032, 0.58, 0.0, 0.0));
+  net.add_load(wye_load("ld645", b645, PhaseSet::bc(), 0.034, 0.73, 0.0, 0.0));
+  net.add_load(
+      wye_load("ld646", s646b, PhaseSet::bc(), 0.046, 0.57, 2.0, 2.0));
+  net.add_load(delta_load("ld671", b671, 0.077, 0.58, 0.0, 0.0));
+  net.add_load(wye_load("ld675", s675b, abc, 0.056, 0.44, 0.0, 0.0));
+  net.add_load(wye_load("ld692", b692, abc, 0.0113, 0.45, 1.0, 1.0));
+  net.add_load(wye_load("ld611", s611b, PhaseSet::c(), 0.034, 0.47, 1.0, 1.0));
+  net.add_load(wye_load("ld652", s652, PhaseSet::a(), 0.0257, 0.67, 2.0, 2.0));
+  net.add_load(delta_load("ld670", b670, 0.0113, 0.55, 0.0, 0.0));
+  net.add_load(
+      wye_load("ld670b", d670c, PhaseSet::b(), 0.0133, 0.57, 1.0, 1.0));
+  net.add_load(wye_load("ld680", s680b, abc, 0.008, 0.5, 2.0, 2.0));
+
+  net.validate();
+  return net;
+}
+
+}  // namespace dopf::feeders

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "network/network.hpp"
+
+namespace dopf::feeders {
+
+/// Hand-built feeder modeled on the IEEE 13-bus test feeder.
+///
+/// Substitution note (see DESIGN.md): the authoritative IEEE13 definition is
+/// an OpenDSS model we do not ship; this network reproduces its structure —
+/// a short, heavily loaded 4.16 kV feeder with a substation regulator, an
+/// in-line transformer, single/two/three-phase laterals, wye and delta loads
+/// of constant-power/current/impedance types — extended with secondary
+/// service buses so that the component graph matches the paper's Table III
+/// counts for the 13-bus instance (29 nodes, 28 lines, 7 leaf nodes).
+///
+/// All quantities are per-unit on a 4.16 kV / 5 MVA base.
+dopf::network::Network ieee13();
+
+}  // namespace dopf::feeders

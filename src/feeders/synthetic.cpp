@@ -1,0 +1,377 @@
+#include "feeders/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace dopf::feeders {
+
+using network::Bus;
+using network::Connection;
+using network::Generator;
+using network::kInfinity;
+using network::Line;
+using network::Load;
+using network::Network;
+using network::PerPhase;
+using network::Phase;
+using network::PhaseMatrix;
+using network::PhaseSet;
+
+namespace {
+
+PhaseMatrix impedance_block(PhaseSet ph, double self, double mutual) {
+  PhaseMatrix m;
+  for (Phase p : ph.phases()) {
+    for (Phase q : ph.phases()) m(p, q) = (p == q) ? self : mutual;
+  }
+  return m;
+}
+
+Phase random_phase_of(PhaseSet set, std::mt19937_64& rng) {
+  std::vector<Phase> opts;
+  for (Phase p : set.phases()) opts.push_back(p);
+  return opts[std::uniform_int_distribution<std::size_t>(0, opts.size() - 1)(
+      rng)];
+}
+
+/// Drop one random phase of a multi-phase set.
+PhaseSet drop_one_phase(PhaseSet set, std::mt19937_64& rng) {
+  const Phase victim = random_phase_of(set, rng);
+  PhaseSet out;
+  for (Phase p : set.phases()) {
+    if (p != victim) out = out.with(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+SyntheticSpec ieee123_spec() {
+  SyntheticSpec s;
+  s.num_buses = 147;
+  s.num_leaves = 43;
+  s.num_extra_lines = 0;
+  s.keep_phases_prob = 0.5;
+  s.two_phase_prob = 0.15;
+  s.load_density = 0.6;
+  s.delta_prob = 0.2;
+  s.num_der = 3;
+  s.seed = 123123;
+  return s;
+}
+
+SyntheticSpec ieee8500_spec() {
+  SyntheticSpec s;
+  s.num_buses = 11932;
+  s.num_leaves = 1222;
+  s.num_extra_lines = 14291 - (11932 - 1);
+  // The 8500-node feeder is dominated by single-phase secondaries
+  // (Table IV: mean m_s = 3.44 vs 9.08 for the 13-bus system).
+  s.keep_phases_prob = 0.12;
+  s.two_phase_prob = 0.1;
+  // Load sits at service transformers: a modest fraction of graph nodes,
+  // each carrying a realistically sized load.
+  s.load_density = 0.1;
+  s.delta_prob = 0.15;
+  s.transformer_prob = 0.25;
+  s.num_der = 20;
+  s.seed = 85008500;
+  return s;
+}
+
+SyntheticSpec ieee8500_mini_spec() {
+  SyntheticSpec s = ieee8500_spec();
+  s.num_buses = 1194;
+  s.num_leaves = 123;
+  s.num_extra_lines = 236;
+  s.num_der = 4;
+  s.seed = 850850;
+  return s;
+}
+
+Network synthetic_feeder(const SyntheticSpec& spec) {
+  const int n = spec.num_buses;
+  const int leaves_target = spec.num_leaves;
+  if (n < 3) {
+    throw std::invalid_argument("synthetic_feeder: need at least 3 buses");
+  }
+  if (leaves_target < 1 || leaves_target > n - 2) {
+    throw std::invalid_argument(
+        "synthetic_feeder: need 1 <= num_leaves <= num_buses - 2");
+  }
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  Network net;
+
+  // ---- Grow the tree with an exact leaf count.
+  //
+  // Node 1 attaches to the root; afterwards each attachment either targets a
+  // current (non-root) leaf — leaf count unchanged, the leaf becomes
+  // internal — or an internal node — leaf count + 1. Exactly
+  // (leaves_target - 1) of the (n - 2) remaining attachments are scheduled
+  // as the latter, at random positions.
+  std::vector<PhaseSet> bus_phases(n);
+  std::vector<int> parent(n, -1);
+
+  bus_phases[0] = PhaseSet::abc();
+  {
+    Bus root;
+    root.name = "sub";
+    root.phases = PhaseSet::abc();
+    root.w_min = PerPhase<double>::uniform(1.0);
+    root.w_max = PerPhase<double>::uniform(1.0);
+    net.add_bus(std::move(root));
+  }
+
+  auto child_phases = [&](PhaseSet parent_ph) {
+    if (parent_ph.count() == 1) return parent_ph;
+    if (unit(rng) < spec.keep_phases_prob) {
+      if (parent_ph.count() == 3 && unit(rng) < spec.two_phase_prob) {
+        return drop_one_phase(parent_ph, rng);
+      }
+      return parent_ph;
+    }
+    return PhaseSet::single(random_phase_of(parent_ph, rng));
+  };
+
+  std::vector<bool> grow_internal(std::max(0, n - 2), false);
+  std::fill(grow_internal.begin(),
+            grow_internal.begin() + (leaves_target - 1), true);
+  std::shuffle(grow_internal.begin(), grow_internal.end(), rng);
+
+  std::vector<int> leaf_nodes;      // current non-root leaves
+  std::vector<int> internal_nodes;  // root + every node with a child
+  internal_nodes.push_back(0);
+
+  for (int i = 1; i < n; ++i) {
+    int p;
+    if (i == 1) {
+      p = 0;
+    } else if (grow_internal[i - 2] || leaf_nodes.empty()) {
+      p = internal_nodes[std::uniform_int_distribution<std::size_t>(
+          0, internal_nodes.size() - 1)(rng)];
+    } else {
+      const std::size_t k = std::uniform_int_distribution<std::size_t>(
+          0, leaf_nodes.size() - 1)(rng);
+      p = leaf_nodes[k];
+      leaf_nodes[k] = leaf_nodes.back();
+      leaf_nodes.pop_back();
+      internal_nodes.push_back(p);
+    }
+    parent[i] = p;
+    // The trunk section off the substation carries all three phases (also
+    // required so every root-bus voltage variable is covered by a line
+    // component); everything below may drop phases.
+    bus_phases[i] = (i == 1) ? PhaseSet::abc() : child_phases(bus_phases[p]);
+    leaf_nodes.push_back(i);
+
+    Bus b;
+    b.name = "n" + std::to_string(i);
+    b.phases = bus_phases[i];
+    b.w_min = PerPhase<double>::uniform(0.95 * 0.95);
+    b.w_max = PerPhase<double>::uniform(1.05 * 1.05);
+    // Occasional capacitor bank.
+    if (bus_phases[i].count() == 3 && unit(rng) < 0.03) {
+      b.b_shunt = PerPhase<double>::uniform(0.005);
+    }
+    net.add_bus(std::move(b));
+  }
+
+  // ---- Decide load placement and magnitudes first: the conductor sizing
+  // below needs the downstream load each line must carry.
+  std::uniform_real_distribution<double> load_mag(0.4 * spec.load_unit,
+                                                  1.6 * spec.load_unit);
+  struct PlannedLoad {
+    int bus = -1;
+    Connection connection = Connection::kWye;
+    PerPhase<double> p, q;
+    double zip = 0.0;
+  };
+  std::vector<PlannedLoad> planned;
+  std::vector<double> bus_load_total(n, 0.0);
+  int delta_count = 0;
+  std::vector<int> three_phase_unloaded;
+
+  for (int i = 1; i < n; ++i) {
+    if (unit(rng) >= spec.load_density) {
+      if (bus_phases[i].count() == 3) three_phase_unloaded.push_back(i);
+      continue;
+    }
+    PlannedLoad pl;
+    pl.bus = i;
+    pl.connection =
+        (bus_phases[i].count() == 3 && unit(rng) < spec.delta_prob)
+            ? Connection::kDelta
+            : Connection::kWye;
+    if (pl.connection == Connection::kDelta) ++delta_count;
+    const double roll = unit(rng);
+    if (roll < spec.const_current_prob) {
+      pl.zip = 1.0;
+    } else if (roll < spec.const_current_prob + spec.const_impedance_prob) {
+      pl.zip = 2.0;
+    }
+    for (Phase p : bus_phases[i].phases()) {
+      pl.p[p] = load_mag(rng);
+      pl.q[p] = pl.p[p] * (0.3 + 0.4 * unit(rng));
+      bus_load_total[i] += pl.p[p];
+    }
+    planned.push_back(pl);
+  }
+  // Guarantee a minimum number of delta loads on spare three-phase buses so
+  // the delta linearization (4f)-(4j) is exercised at every scale.
+  for (int i : three_phase_unloaded) {
+    if (delta_count >= spec.min_delta_loads) break;
+    PlannedLoad pl;
+    pl.bus = i;
+    pl.connection = Connection::kDelta;
+    for (Phase p : PhaseSet::abc().phases()) {
+      pl.p[p] = load_mag(rng);
+      pl.q[p] = pl.p[p] * (0.3 + 0.4 * unit(rng));
+      bus_load_total[i] += pl.p[p];
+    }
+    planned.push_back(pl);
+    ++delta_count;
+  }
+
+  // ---- Conductor sizing. Downstream load per tree line (children always
+  // have larger indices, so one reverse sweep suffices) plus the tree depth
+  // give a per-line resistance that keeps the worst root-to-leaf voltage
+  // drop within spec.drop_budget at nominal load — the rule real feeders
+  // are engineered to.
+  std::vector<double> subtree_load(bus_load_total);
+  std::vector<int> depth(n, 0);
+  int depth_max = 1;
+  for (int i = 1; i < n; ++i) {
+    depth[i] = depth[parent[i]] + 1;
+    depth_max = std::max(depth_max, depth[i]);
+  }
+  for (int i = n - 1; i >= 1; --i) subtree_load[parent[i]] += subtree_load[i];
+
+  const double per_line_drop =
+      spec.drop_budget / static_cast<double>(depth_max);
+  std::uniform_real_distribution<double> length(0.5, 1.5);
+  auto sized_resistance = [&](double flow_per_phase) {
+    // The squared-voltage drop over a line per (5c) is ~ 2 r p + 2 x q plus
+    // mutual-coupling terms; with x ~ 2r and q ~ 0.5p plus cross-phase
+    // terms, a conservative total is ~ 8 r p. Size r so each line stays
+    // within its share of the budget.
+    return per_line_drop /
+           (8.0 * std::max(flow_per_phase, 0.5 * spec.load_unit));
+  };
+
+  for (int i = 1; i < n; ++i) {
+    const PhaseSet ph = bus_phases[i];
+    Line l;
+    l.name = "l" + std::to_string(i);
+    l.from_bus = parent[i];
+    l.to_bus = i;
+    l.phases = ph;
+    const bool xfmr = unit(rng) < spec.transformer_prob;
+    const double r_self =
+        sized_resistance(subtree_load[i] /
+                         static_cast<double>(std::max<std::size_t>(
+                             1, ph.count()))) *
+        length(rng);
+    if (xfmr) {
+      l.is_transformer = true;
+      l.r = impedance_block(ph, 0.5 * r_self, 0.0);
+      l.x = impedance_block(ph, 2.5 * r_self, 0.0);
+      // Nominal tap: a random off-nominal tap would demand w_i - tau*w_j
+      // offsets that (5c) can only absorb through enormous circulating
+      // flows (offset / 2r with tiny transformer r), which is unphysical
+      // and wrecks ADMM conditioning; real regulators hold their secondary
+      // near nominal.
+      for (Phase p : ph.phases()) l.tap_ratio[p] = 1.0;
+    } else {
+      l.r = impedance_block(ph, r_self, 0.25 * r_self);
+      l.x = impedance_block(ph, 2.0 * r_self, 0.6 * r_self);
+    }
+    net.add_line(std::move(l));
+  }
+
+  // ---- Extra (parallel / tie) lines between internal nodes, preserving
+  // the leaf count. Endpoints must share at least one phase; ties are sized
+  // like lightly loaded laterals.
+  int added = 0;
+  int attempts = 0;
+  std::uniform_int_distribution<std::size_t> pick_internal(
+      0, internal_nodes.size() - 1);
+  while (added < spec.num_extra_lines && attempts < spec.num_extra_lines * 50) {
+    ++attempts;
+    const int u = internal_nodes[pick_internal(rng)];
+    const int v = internal_nodes[pick_internal(rng)];
+    if (u == v) continue;
+    const PhaseSet common = bus_phases[u].intersect(bus_phases[v]);
+    if (common.empty()) continue;
+    Line l;
+    l.name = "tie" + std::to_string(added);
+    l.from_bus = u;
+    l.to_bus = v;
+    l.phases = common;
+    const double r_self = sized_resistance(spec.load_unit) * length(rng);
+    l.r = impedance_block(common, r_self, 0.25 * r_self);
+    l.x = impedance_block(common, 2.0 * r_self, 0.6 * r_self);
+    net.add_line(std::move(l));
+    ++added;
+  }
+  if (added < spec.num_extra_lines) {
+    throw std::runtime_error(
+        "synthetic_feeder: could not place the requested extra lines");
+  }
+
+  // ---- Substation generator at the root.
+  {
+    Generator g;
+    g.name = "substation";
+    g.bus = 0;
+    g.phases = PhaseSet::abc();
+    g.p_min = PerPhase<double>::uniform(0.0);
+    g.p_max = PerPhase<double>::uniform(kInfinity);
+    g.q_min = PerPhase<double>::uniform(-kInfinity);
+    g.q_max = PerPhase<double>::uniform(kInfinity);
+    net.add_generator(std::move(g));
+  }
+  // Distributed generators at random non-root buses, each able to cover a
+  // few typical loads.
+  std::uniform_int_distribution<int> pick_bus(1, n - 1);
+  for (int d = 0; d < spec.num_der; ++d) {
+    const int bus = pick_bus(rng);
+    Generator g;
+    g.name = "der" + std::to_string(d);
+    g.bus = bus;
+    g.phases = bus_phases[bus];
+    g.p_min = PerPhase<double>::uniform(0.0);
+    const double cap = spec.load_unit * (1.0 + 3.0 * unit(rng));
+    g.p_max = PerPhase<double>::uniform(cap);
+    g.q_min = PerPhase<double>::uniform(-0.5 * cap);
+    g.q_max = PerPhase<double>::uniform(0.5 * cap);
+    net.add_generator(std::move(g));
+  }
+
+  // ---- Materialize the planned loads.
+  for (const PlannedLoad& pl : planned) {
+    Load ld;
+    ld.name = (pl.connection == Connection::kDelta ? "ldD" : "ld") +
+              std::to_string(pl.bus);
+    ld.bus = pl.bus;
+    ld.phases = pl.connection == Connection::kDelta ? PhaseSet::abc()
+                                                    : bus_phases[pl.bus];
+    ld.connection = pl.connection;
+    for (Phase p : ld.phases.phases()) {
+      ld.p_ref[p] = pl.p[p];
+      ld.q_ref[p] = pl.q[p];
+      ld.alpha[p] = pl.zip;
+      ld.beta[p] = pl.zip;
+    }
+    net.add_load(std::move(ld));
+  }
+
+  net.validate();
+  return net;
+}
+
+}  // namespace dopf::feeders

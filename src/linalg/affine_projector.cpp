@@ -1,0 +1,63 @@
+#include "linalg/affine_projector.hpp"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+
+namespace dopf::linalg {
+
+AffineProjector::AffineProjector(const Matrix& a, std::span<const double> b)
+    : m_(a.rows()) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("AffineProjector: b size must match rows");
+  }
+  const std::size_t n = a.cols();
+  // Gram matrix A A^T is SPD iff A has full row rank.
+  const Cholesky gram(gram_aat(a));
+
+  // Abar = A^T (A A^T)^{-1} A - I, built column-block-wise:
+  // solve (A A^T) Y = A  (Y is m x n), then Abar = A^T Y - I.
+  Matrix y(m_, n);
+  std::vector<double> col(m_);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m_; ++i) col[i] = a(i, j);
+    gram.solve_in_place(col);
+    for (std::size_t i = 0; i < m_; ++i) y(i, j) = col[i];
+  }
+  abar_ = multiply_atb(a, y);
+  for (std::size_t i = 0; i < n; ++i) abar_(i, i) -= 1.0;
+
+  // bbar = A^T (A A^T)^{-1} b.
+  const std::vector<double> gb = gram.solve(b);
+  bbar_ = multiply_transpose(a, gb);
+}
+
+std::vector<double> AffineProjector::apply_paper_form(
+    std::span<const double> d, double rho) const {
+  std::vector<double> x = multiply(abar_, d);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = x[i] / rho + bbar_[i];
+  return x;
+}
+
+std::vector<double> AffineProjector::project(std::span<const double> y) const {
+  std::vector<double> out(dim());
+  project_into(y, out);
+  return out;
+}
+
+void AffineProjector::project_into(std::span<const double> y,
+                                   std::span<double> out) const {
+  // P(y) = -Abar y + bbar  (see header comment).
+  const std::size_t n = dim();
+  if (y.size() != n || out.size() != n) {
+    throw std::invalid_argument("AffineProjector::project: size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    const auto row = abar_.row(i);
+    for (std::size_t j = 0; j < n; ++j) sum += row[j] * y[j];
+    out[i] = bbar_[i] - sum;
+  }
+}
+
+}  // namespace dopf::linalg

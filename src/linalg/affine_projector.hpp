@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dopf::linalg {
+
+/// Precomputed orthogonal projector onto the affine set {x : A x = b} for a
+/// full-row-rank A.
+///
+/// This is exactly the paper's local-update machinery (15):
+///   Abar = A^T (A A^T)^{-1} A - I       (15b)
+///   bbar = A^T (A A^T)^{-1} b           (15c)
+///   x_s^{t+1} = (1/rho) * Abar * d + bbar,   d = -rho*v - lambda   (15a)
+/// which algebraically equals the projection P(v + lambda/rho) with
+///   P(y) = (I - A^T (A A^T)^{-1} A) y + bbar = -Abar y + bbar ... note the
+/// sign: Abar = A^T(AA^T)^{-1}A - I so P(y) = -Abar*y + ... Careful readers:
+/// (1/rho)*Abar*(-rho*y) + bbar = -Abar*y + bbar = (I - A^T(AA^T)^{-1}A) y + bbar.
+///
+/// Construction is O(m^2 n + m^3) and happens once per component (the
+/// "Precomputation" step, lines 2-3 of Algorithm 1); apply() is a dense
+/// matvec, the entirety of the per-iteration local update.
+class AffineProjector {
+ public:
+  /// `a` must have full row rank (run row_reduce() first if unsure).
+  /// Throws SingularMatrixError if A A^T is numerically singular.
+  AffineProjector(const Matrix& a, std::span<const double> b);
+
+  std::size_t dim() const noexcept { return abar_.rows(); }
+  std::size_t num_constraints() const noexcept { return m_; }
+
+  /// The paper's (15a): x = (1/rho) * Abar * d + bbar.
+  std::vector<double> apply_paper_form(std::span<const double> d,
+                                       double rho) const;
+
+  /// Equivalent projection form: returns argmin_{Ax=b} ||x - y||_2.
+  std::vector<double> project(std::span<const double> y) const;
+
+  /// project() writing into `out` (no allocation; hot path).
+  void project_into(std::span<const double> y, std::span<double> out) const;
+
+  /// Abar from (15b); exposed for the SIMT kernels, which index its rows
+  /// directly from "device" memory.
+  const Matrix& abar() const noexcept { return abar_; }
+  /// bbar from (15c).
+  std::span<const double> bbar() const noexcept { return bbar_; }
+
+ private:
+  std::size_t m_ = 0;
+  Matrix abar_;                // (15b), n x n
+  std::vector<double> bbar_;   // (15c), n
+};
+
+}  // namespace dopf::linalg

@@ -1,0 +1,68 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace dopf::linalg {
+
+Cholesky::Cholesky(const Matrix& a, double tol) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= tol) {
+      throw SingularMatrixError(
+          "Cholesky: matrix is not positive definite (pivot " +
+          std::to_string(diag) + " at " + std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void Cholesky::solve_in_place(std::span<double> x) const {
+  const std::size_t n = dim();
+  if (x.size() != n) {
+    throw std::invalid_argument("Cholesky::solve: size mismatch");
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = dim();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e.assign(n, 0.0);
+    e[j] = 1.0;
+    solve_in_place(e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = e[i];
+  }
+  return inv;
+}
+
+}  // namespace dopf::linalg

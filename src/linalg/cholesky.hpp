@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dopf::linalg {
+
+/// Thrown when a matrix expected to be SPD / full rank is not (within
+/// tolerance). The paper's preprocessing (Sec. IV-B) guarantees `A_s A_s^T`
+/// is SPD after row reduction; this error firing afterwards indicates a bug
+/// or an inconsistent model, so we fail loudly.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Dense Cholesky factorization of a symmetric positive definite matrix.
+///
+/// Used for the per-component Gram matrices `A_s A_s^T` in the local-update
+/// precomputation (15b)-(15c); those are small (Table IV), so an O(m^3)
+/// dense factorization is negligible and done once.
+class Cholesky {
+ public:
+  /// Factor the SPD matrix `a` (only the lower triangle is read).
+  /// Throws SingularMatrixError if a pivot falls below `tol`.
+  explicit Cholesky(const Matrix& a, double tol = 1e-12);
+
+  std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// Solve L L^T x = b.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve in place.
+  void solve_in_place(std::span<double> x) const;
+
+  /// Explicit inverse (tests / diagnostics only; prefer solve()).
+  Matrix inverse() const;
+
+  const Matrix& lower() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace dopf::linalg

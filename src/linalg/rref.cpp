@@ -1,0 +1,86 @@
+#include "linalg/rref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace dopf::linalg {
+
+RrefResult row_reduce(const Matrix& a_in, std::vector<double> b,
+                      double tol) {
+  if (a_in.rows() != b.size()) {
+    throw std::invalid_argument("row_reduce: b size must match rows of A");
+  }
+  Matrix a = a_in;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  double max_abs = 0.0;
+  for (double v : a.data()) max_abs = std::max(max_abs, std::abs(v));
+  const double eps = tol * std::max(1.0, max_abs);
+
+  RrefResult result;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < n && pivot_row < m; ++col) {
+    // Partial pivoting: pick the largest-magnitude entry in this column at or
+    // below pivot_row.
+    std::size_t best = pivot_row;
+    double best_abs = std::abs(a(pivot_row, col));
+    for (std::size_t r = pivot_row + 1; r < m; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best_abs) {
+        best = r;
+        best_abs = v;
+      }
+    }
+    if (best_abs <= eps) continue;  // no pivot in this column
+
+    if (best != pivot_row) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(pivot_row, j), a(best, j));
+      }
+      std::swap(b[pivot_row], b[best]);
+    }
+
+    // Normalize pivot row.
+    const double pivot = a(pivot_row, col);
+    for (std::size_t j = col; j < n; ++j) a(pivot_row, j) /= pivot;
+    b[pivot_row] /= pivot;
+    a(pivot_row, col) = 1.0;  // avoid residual roundoff on the pivot itself
+
+    // Eliminate the column everywhere else (full RREF, as in the paper).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        a(r, j) -= factor * a(pivot_row, j);
+      }
+      a(r, col) = 0.0;
+      b[r] -= factor * b[pivot_row];
+    }
+
+    result.pivot_cols.push_back(col);
+    ++pivot_row;
+  }
+  result.rank = pivot_row;
+
+  // Rows below the rank are (numerically) zero rows of A; a nonzero RHS there
+  // means the system is inconsistent.
+  for (std::size_t r = result.rank; r < m; ++r) {
+    if (std::abs(b[r]) > eps) {
+      result.inconsistent = true;
+      break;
+    }
+  }
+
+  result.a = Matrix(result.rank, n);
+  result.b.assign(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(result.rank));
+  for (std::size_t r = 0; r < result.rank; ++r) {
+    for (std::size_t j = 0; j < n; ++j) result.a(r, j) = a(r, j);
+  }
+  return result;
+}
+
+}  // namespace dopf::linalg

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dopf::linalg {
+
+/// Result of row-reducing an augmented system [A | b].
+struct RrefResult {
+  /// Row-reduced A restricted to its first `rank` (independent) rows.
+  Matrix a;
+  /// Correspondingly reduced right-hand side.
+  std::vector<double> b;
+  /// Numerical row rank of [A] found during elimination.
+  std::size_t rank = 0;
+  /// True if a row reduced to [0 ... 0 | nonzero], i.e. A x = b has no
+  /// solution. `a`/`b` still contain the reduced independent rows.
+  bool inconsistent = false;
+  /// Pivot column of each kept row, in order.
+  std::vector<std::size_t> pivot_cols;
+};
+
+/// Reduce the augmented system [A | b] to reduced row echelon form with
+/// partial (max-magnitude) pivoting, dropping dependent rows.
+///
+/// This is the preprocessing of Sec. IV-B of the paper: component equality
+/// blocks `A_s x_s = b_s` coming out of the OPF model builder may contain
+/// linearly dependent rows (e.g. a delta load's aggregate balance (4f) can be
+/// implied by (4g)-(4j) combinations); the local update (15) requires
+/// `A_s A_s^T` invertible, i.e. full row rank. Matrices are tiny (Table IV),
+/// so O(m^2 n) elimination is negligible and run once per component.
+///
+/// `tol` is the magnitude below which a candidate pivot is considered zero,
+/// scaled by the largest entry of A.
+RrefResult row_reduce(const Matrix& a, std::vector<double> b,
+                      double tol = 1e-10);
+
+}  // namespace dopf::linalg

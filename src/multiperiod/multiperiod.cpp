@@ -1,0 +1,213 @@
+#include "multiperiod/multiperiod.hpp"
+
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dopf::multiperiod {
+
+using dopf::linalg::kInfinity;
+using dopf::network::Generator;
+using dopf::network::Network;
+using dopf::network::PerPhase;
+using dopf::network::Phase;
+using dopf::opf::Component;
+using dopf::opf::DistributedProblem;
+using dopf::opf::ModelError;
+
+double MultiPeriodProblem::net_injection(std::span<const double> x,
+                                         std::size_t k, int t) const {
+  double total = 0.0;
+  for (int idx : storage_vars[k].charge[t]) {
+    if (idx >= 0) total += x[idx];
+  }
+  for (int idx : storage_vars[k].discharge[t]) {
+    if (idx >= 0) total += x[idx];
+  }
+  return total;
+}
+
+MultiPeriodProblem build_multiperiod(
+    const Network& net, const MultiPeriodSpec& spec,
+    const dopf::opf::DecomposeOptions& decompose_options) {
+  if (spec.periods < 1) {
+    throw std::invalid_argument("build_multiperiod: periods must be >= 1");
+  }
+  std::vector<double> load_scale = spec.load_scale;
+  if (load_scale.empty()) load_scale.assign(spec.periods, 1.0);
+  std::vector<double> price = spec.price;
+  if (price.empty()) price.assign(spec.periods, 1.0);
+  if (load_scale.size() != static_cast<std::size_t>(spec.periods) ||
+      price.size() != static_cast<std::size_t>(spec.periods)) {
+    throw std::invalid_argument(
+        "build_multiperiod: load_scale/price must have one entry per period");
+  }
+  for (const Storage& st : spec.storages) {
+    if (st.bus < 0 || static_cast<std::size_t>(st.bus) >= net.num_buses()) {
+      throw std::invalid_argument("build_multiperiod: storage at unknown bus");
+    }
+    if (st.energy_init > st.energy_max || st.energy_init < 0.0 ||
+        st.charge_max < 0.0 || st.discharge_max < 0.0 ||
+        st.efficiency <= 0.0 || st.efficiency > 1.0) {
+      throw std::invalid_argument(
+          "build_multiperiod: inconsistent storage parameters for '" +
+          st.name + "'");
+    }
+  }
+
+  MultiPeriodProblem mp;
+  mp.periods = spec.periods;
+  mp.period_hours = spec.period_hours;
+  mp.storage_vars.resize(spec.storages.size());
+  for (auto& sv : mp.storage_vars) {
+    sv.soc.assign(spec.periods, -1);
+    sv.charge.assign(spec.periods, {-1, -1, -1});
+    sv.discharge.assign(spec.periods, {-1, -1, -1});
+  }
+
+  DistributedProblem& stacked = mp.problem;
+
+  // ---- Per-period blocks.
+  for (int t = 0; t < spec.periods; ++t) {
+    Network period_net = net;  // value copy
+    for (std::size_t l = 0; l < period_net.num_loads(); ++l) {
+      auto& load = period_net.load_mutable(static_cast<int>(l));
+      for (Phase p : load.phases.phases()) {
+        load.p_ref[p] *= load_scale[t];
+        load.q_ref[p] *= load_scale[t];
+      }
+    }
+    // Time-varying substation energy price (generator 0 by convention).
+    period_net.generator_mutable(0).cost = price[t];
+
+    // Storage shows up in each period as a charge "generator" (p <= 0) and
+    // a discharge generator (p >= 0) at its bus; costs are zero — the value
+    // of storage comes from shifting substation purchases across periods.
+    for (std::size_t k = 0; k < spec.storages.size(); ++k) {
+      const Storage& st = spec.storages[k];
+      Generator chg;
+      chg.name = st.name + ".chg";
+      chg.bus = st.bus;
+      chg.phases = st.phases;
+      chg.p_min = PerPhase<double>::uniform(-st.charge_max);
+      chg.p_max = PerPhase<double>::uniform(0.0);
+      chg.q_min = PerPhase<double>::uniform(0.0);
+      chg.q_max = PerPhase<double>::uniform(0.0);
+      chg.cost = 0.0;
+      Generator dis = chg;
+      dis.name = st.name + ".dis";
+      dis.p_min = PerPhase<double>::uniform(0.0);
+      dis.p_max = PerPhase<double>::uniform(st.discharge_max);
+      const int chg_id = period_net.add_generator(std::move(chg));
+      const int dis_id = period_net.add_generator(std::move(dis));
+      if (t == 0) mp.storage_gen_ids.push_back({chg_id, dis_id});
+    }
+    period_net.validate();
+
+    dopf::opf::OpfModel model = dopf::opf::build_model(period_net);
+    DistributedProblem block =
+        dopf::opf::decompose(period_net, model, decompose_options);
+
+    const std::size_t offset = stacked.num_vars;
+    mp.period_offset.push_back(offset);
+    stacked.num_vars += block.num_vars;
+    stacked.c.insert(stacked.c.end(), block.c.begin(), block.c.end());
+    stacked.lb.insert(stacked.lb.end(), block.lb.begin(), block.lb.end());
+    stacked.ub.insert(stacked.ub.end(), block.ub.begin(), block.ub.end());
+    stacked.x0.insert(stacked.x0.end(), block.x0.begin(), block.x0.end());
+    for (Component& comp : block.components) {
+      for (int& g : comp.global) g += static_cast<int>(offset);
+      comp.name = "t" + std::to_string(t) + ":" + comp.name;
+      stacked.components.push_back(std::move(comp));
+    }
+
+    // Record storage variable positions inside this block.
+    for (std::size_t k = 0; k < spec.storages.size(); ++k) {
+      const auto [chg_id, dis_id] = mp.storage_gen_ids[k];
+      for (Phase p : spec.storages[k].phases.phases()) {
+        mp.storage_vars[k].charge[t][dopf::network::index(p)] =
+            model.vars.gen_p(chg_id, p) + static_cast<int>(offset);
+        mp.storage_vars[k].discharge[t][dopf::network::index(p)] =
+            model.vars.gen_p(dis_id, p) + static_cast<int>(offset);
+      }
+    }
+    mp.period_models.push_back(std::move(model));
+    mp.period_nets.push_back(std::move(period_net));
+  }
+
+  // ---- State-of-charge variables (appended after all period blocks).
+  for (std::size_t k = 0; k < spec.storages.size(); ++k) {
+    const Storage& st = spec.storages[k];
+    for (int t = 0; t < spec.periods; ++t) {
+      mp.storage_vars[k].soc[t] = static_cast<int>(stacked.num_vars++);
+      stacked.c.push_back(0.0);
+      stacked.lb.push_back(0.0);
+      stacked.ub.push_back(st.energy_max);
+      stacked.x0.push_back(st.energy_init);
+    }
+    if (st.sustain) {
+      // Final SOC must return to at least the initial level.
+      stacked.lb[mp.storage_vars[k].soc[spec.periods - 1]] = st.energy_init;
+    }
+  }
+
+  // ---- One time-coupling component per storage device:
+  //   e_t - e_{t-1} + h * (sum_ph dis + eta * sum_ph chg) = 0,
+  // with e_{-1} := energy_init moved to the right-hand side.
+  const double h = spec.period_hours;
+  for (std::size_t k = 0; k < spec.storages.size(); ++k) {
+    const Storage& st = spec.storages[k];
+    Component comp;
+    comp.name = "storage:" + st.name;
+
+    // Local variable set: first all SOCs, then all power copies.
+    auto local_of = [&](int global) {
+      for (std::size_t j = 0; j < comp.global.size(); ++j) {
+        if (comp.global[j] == global) return static_cast<int>(j);
+      }
+      comp.global.push_back(global);
+      return static_cast<int>(comp.global.size() - 1);
+    };
+
+    std::vector<std::vector<std::pair<int, double>>> rows(spec.periods);
+    std::vector<double> rhs(spec.periods, 0.0);
+    for (int t = 0; t < spec.periods; ++t) {
+      rows[t].push_back({local_of(mp.storage_vars[k].soc[t]), 1.0});
+      if (t == 0) {
+        rhs[t] = st.energy_init;
+      } else {
+        rows[t].push_back({local_of(mp.storage_vars[k].soc[t - 1]), -1.0});
+      }
+      for (int idx : mp.storage_vars[k].discharge[t]) {
+        if (idx >= 0) rows[t].push_back({local_of(idx), h});
+      }
+      for (int idx : mp.storage_vars[k].charge[t]) {
+        if (idx >= 0) rows[t].push_back({local_of(idx), h * st.efficiency});
+      }
+    }
+    comp.a = dopf::linalg::Matrix(spec.periods, comp.global.size());
+    comp.b = rhs;
+    for (int t = 0; t < spec.periods; ++t) {
+      for (const auto& [j, coeff] : rows[t]) {
+        comp.a(t, j) += coeff;
+      }
+    }
+    comp.rows_before_reduction = spec.periods;
+    stacked.components.push_back(std::move(comp));
+  }
+
+  // ---- Consensus copy counts over the stacked problem.
+  stacked.copy_count.assign(stacked.num_vars, 0);
+  for (const Component& comp : stacked.components) {
+    for (int g : comp.global) ++stacked.copy_count[g];
+  }
+  for (std::size_t i = 0; i < stacked.copy_count.size(); ++i) {
+    if (stacked.copy_count[i] == 0) {
+      throw ModelError("multiperiod: variable " + std::to_string(i) +
+                       " covered by no component");
+    }
+  }
+  return mp;
+}
+
+}  // namespace dopf::multiperiod

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+#include "network/phase.hpp"
+
+namespace dopf::network {
+
+using dopf::linalg::kInfinity;
+
+/// A bus (node) of the feeder. Voltage magnitudes are modeled squared
+/// (the `w` variables of the paper), so the bounds here are on |V|^2.
+struct Bus {
+  int id = -1;
+  std::string name;
+  PhaseSet phases = PhaseSet::abc();
+  /// Bounds on squared voltage magnitude, per phase (eq. (2b)). Typical
+  /// ANSI band 0.95^2 .. 1.05^2.
+  PerPhase<double> w_min = PerPhase<double>::uniform(0.95 * 0.95);
+  PerPhase<double> w_max = PerPhase<double>::uniform(1.05 * 1.05);
+  /// Shunt conductance / susceptance (eq. (3)).
+  PerPhase<double> g_shunt = PerPhase<double>::uniform(0.0);
+  PerPhase<double> b_shunt = PerPhase<double>::uniform(0.0);
+};
+
+/// A (distributed) generator or the substation head. The paper's objective
+/// (6a) minimizes total generated real power with unit cost; `cost` scales
+/// this component's contribution.
+struct Generator {
+  int id = -1;
+  std::string name;
+  int bus = -1;
+  PhaseSet phases = PhaseSet::abc();
+  PerPhase<double> p_min = PerPhase<double>::uniform(0.0);
+  PerPhase<double> p_max = PerPhase<double>::uniform(kInfinity);
+  PerPhase<double> q_min = PerPhase<double>::uniform(-kInfinity);
+  PerPhase<double> q_max = PerPhase<double>::uniform(kInfinity);
+  double cost = 1.0;
+};
+
+/// Load connection type (Table I: wye loads Y_i, delta loads D_i).
+enum class Connection { kWye, kDelta };
+
+/// A ZIP-style voltage-dependent load (eq. (4)): alpha/beta = 0 constant
+/// power, 1 constant current, 2 constant impedance, per the linearization
+/// of [16]. `p_ref`/`q_ref` are the a_{l,phi}, b_{l,phi} reference values.
+struct Load {
+  int id = -1;
+  std::string name;
+  int bus = -1;
+  PhaseSet phases = PhaseSet::abc();
+  Connection connection = Connection::kWye;
+  PerPhase<double> p_ref = PerPhase<double>::uniform(0.0);
+  PerPhase<double> q_ref = PerPhase<double>::uniform(0.0);
+  PerPhase<double> alpha = PerPhase<double>::uniform(0.0);
+  PerPhase<double> beta = PerPhase<double>::uniform(0.0);
+};
+
+/// A branch or transformer connecting two buses. Modeled by the linearized
+/// flow equations (5a)-(5c) with the 3x3 series impedance blocks r/x and the
+/// voltage-magnitude coupling matrices M^p / M^q derived from them.
+struct Line {
+  int id = -1;
+  std::string name;
+  int from_bus = -1;
+  int to_bus = -1;
+  PhaseSet phases = PhaseSet::abc();
+  /// Series resistance / reactance blocks (per unit).
+  PhaseMatrix r;
+  PhaseMatrix x;
+  /// Shunt conductance / susceptance at the from (i) and to (j) ends
+  /// (g^s_{eij,phi}, b^s_{eij,phi} in (5)).
+  PerPhase<double> g_shunt_from = PerPhase<double>::uniform(0.0);
+  PerPhase<double> b_shunt_from = PerPhase<double>::uniform(0.0);
+  PerPhase<double> g_shunt_to = PerPhase<double>::uniform(0.0);
+  PerPhase<double> b_shunt_to = PerPhase<double>::uniform(0.0);
+  /// Tap ratio tau of (5c); 1.0 for plain branches.
+  PerPhase<double> tap_ratio = PerPhase<double>::uniform(1.0);
+  /// Symmetric per-phase flow limits: p,q in [-limit, +limit] (2c)-(2d);
+  /// kInfinity disables the bound.
+  PerPhase<double> flow_limit = PerPhase<double>::uniform(kInfinity);
+  /// Transformers are lines with is_transformer=true; the component graph of
+  /// Sec. V-A inserts an internal node for them.
+  bool is_transformer = false;
+};
+
+}  // namespace dopf::network

@@ -1,0 +1,184 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace dopf::network {
+
+void Network::check_bus_exists(int bus, const char* what) const {
+  if (bus < 0 || static_cast<std::size_t>(bus) >= buses_.size()) {
+    throw NetworkError(std::string(what) + ": unknown bus id " +
+                       std::to_string(bus));
+  }
+}
+
+int Network::add_bus(Bus bus) {
+  bus.id = static_cast<int>(buses_.size());
+  if (bus.phases.empty()) {
+    throw NetworkError("add_bus: bus must carry at least one phase");
+  }
+  buses_.push_back(std::move(bus));
+  gens_at_.emplace_back();
+  loads_at_.emplace_back();
+  lines_at_.emplace_back();
+  return buses_.back().id;
+}
+
+int Network::add_generator(Generator gen) {
+  check_bus_exists(gen.bus, "add_generator");
+  gen.id = static_cast<int>(generators_.size());
+  generators_.push_back(std::move(gen));
+  gens_at_[generators_.back().bus].push_back(generators_.back().id);
+  return generators_.back().id;
+}
+
+int Network::add_load(Load load) {
+  check_bus_exists(load.bus, "add_load");
+  load.id = static_cast<int>(loads_.size());
+  loads_.push_back(std::move(load));
+  loads_at_[loads_.back().bus].push_back(loads_.back().id);
+  return loads_.back().id;
+}
+
+int Network::add_line(Line line) {
+  check_bus_exists(line.from_bus, "add_line");
+  check_bus_exists(line.to_bus, "add_line");
+  if (line.from_bus == line.to_bus) {
+    throw NetworkError("add_line: self-loop on bus " +
+                       std::to_string(line.from_bus));
+  }
+  line.id = static_cast<int>(lines_.size());
+  lines_.push_back(std::move(line));
+  const Line& l = lines_.back();
+  lines_at_[l.from_bus].push_back({l.id, true});
+  lines_at_[l.to_bus].push_back({l.id, false});
+  return l.id;
+}
+
+std::vector<int> Network::leaf_buses() const {
+  std::vector<int> leaves;
+  for (const Bus& b : buses_) {
+    if (lines_at_[b.id].size() == 1) leaves.push_back(b.id);
+  }
+  return leaves;
+}
+
+bool Network::is_connected() const {
+  if (buses_.empty()) return true;
+  std::vector<bool> seen(buses_.size(), false);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (const LineIncidence& inc : lines_at_[u]) {
+      const Line& l = lines_[inc.line];
+      const int v = inc.from_side ? l.to_bus : l.from_bus;
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == buses_.size();
+}
+
+bool Network::is_radial() const {
+  return is_connected() && lines_.size() + 1 == buses_.size();
+}
+
+void Network::validate() const {
+  for (const Generator& g : generators_) {
+    const Bus& b = buses_.at(g.bus);
+    if (!g.phases.subset_of(b.phases)) {
+      throw NetworkError("generator " + std::to_string(g.id) + " phases " +
+                         g.phases.to_string() + " not a subset of bus " +
+                         std::to_string(g.bus) + " phases " +
+                         b.phases.to_string());
+    }
+    for (Phase p : g.phases.phases()) {
+      if (g.p_min[p] > g.p_max[p] || g.q_min[p] > g.q_max[p]) {
+        throw NetworkError("generator " + std::to_string(g.id) +
+                           ": inverted bounds");
+      }
+    }
+  }
+  for (const Load& l : loads_) {
+    const Bus& b = buses_.at(l.bus);
+    if (!l.phases.subset_of(b.phases)) {
+      throw NetworkError("load " + std::to_string(l.id) +
+                         " phases not a subset of its bus phases");
+    }
+    if (l.connection == Connection::kDelta && l.phases != PhaseSet::abc()) {
+      throw NetworkError(
+          "load " + std::to_string(l.id) +
+          ": delta loads must be three-phase (linearization (4f)-(4j) "
+          "assumes a full delta)");
+    }
+    for (Phase p : l.phases.phases()) {
+      if (l.alpha[p] < 0.0 || l.beta[p] < 0.0) {
+        throw NetworkError("load " + std::to_string(l.id) +
+                           ": negative ZIP exponent");
+      }
+    }
+  }
+  for (const Line& l : lines_) {
+    const Bus& from = buses_.at(l.from_bus);
+    const Bus& to = buses_.at(l.to_bus);
+    if (!l.phases.subset_of(from.phases) || !l.phases.subset_of(to.phases)) {
+      throw NetworkError("line " + std::to_string(l.id) +
+                         " phases not a subset of its endpoint bus phases");
+    }
+    if (l.phases.empty()) {
+      throw NetworkError("line " + std::to_string(l.id) + " carries no phase");
+    }
+    for (Phase p : l.phases.phases()) {
+      if (l.tap_ratio[p] <= 0.0) {
+        throw NetworkError("line " + std::to_string(l.id) +
+                           ": non-positive tap ratio");
+      }
+      if (l.flow_limit[p] <= 0.0) {
+        throw NetworkError("line " + std::to_string(l.id) +
+                           ": non-positive flow limit");
+      }
+    }
+  }
+  for (const Bus& b : buses_) {
+    for (Phase p : b.phases.phases()) {
+      if (b.w_min[p] > b.w_max[p] || b.w_min[p] < 0.0) {
+        throw NetworkError("bus " + std::to_string(b.id) +
+                           ": bad voltage bounds");
+      }
+    }
+  }
+  if (generators_.empty()) {
+    throw NetworkError("network has no generator (no substation modeled)");
+  }
+  if (!is_connected()) {
+    throw NetworkError("network graph is not connected");
+  }
+}
+
+std::string Network::summary() const {
+  std::ostringstream os;
+  std::size_t n_delta = 0;
+  for (const Load& l : loads_) {
+    if (l.connection == Connection::kDelta) ++n_delta;
+  }
+  std::size_t n_xfmr = 0;
+  for (const Line& l : lines_) {
+    if (l.is_transformer) ++n_xfmr;
+  }
+  os << "network: " << buses_.size() << " buses, " << lines_.size()
+     << " lines (" << n_xfmr << " transformers), " << generators_.size()
+     << " generators, " << loads_.size() << " loads (" << n_delta
+     << " delta), " << leaf_buses().size() << " leaves, "
+     << (is_radial() ? "radial" : "meshed");
+  return os.str();
+}
+
+}  // namespace dopf::network

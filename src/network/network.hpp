@@ -1,0 +1,107 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "network/components.hpp"
+
+namespace dopf::network {
+
+/// Thrown when network construction or validation fails.
+class NetworkError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Incidence of a line at a bus, with the orientation needed by the power
+/// balance (3): `from_side` is true when the bus is the line's from-bus, in
+/// which case the (eij) flow variables enter the balance; otherwise (eji).
+struct LineIncidence {
+  int line = -1;
+  bool from_side = true;
+};
+
+/// A multi-phase distribution network: buses, generators, ZIP loads
+/// (wye/delta), lines and transformers.
+///
+/// The class owns all component records and maintains adjacency. Components
+/// are identified by dense integer ids assigned at insertion (the index into
+/// the corresponding vector), which downstream modules use directly.
+class Network {
+ public:
+  /// Adds a component; the id field is overwritten with the assigned id,
+  /// which is returned. References (bus ids) must already exist.
+  int add_bus(Bus bus);
+  int add_generator(Generator gen);
+  int add_load(Load load);
+  int add_line(Line line);
+
+  std::size_t num_buses() const noexcept { return buses_.size(); }
+  std::size_t num_generators() const noexcept { return generators_.size(); }
+  std::size_t num_loads() const noexcept { return loads_.size(); }
+  std::size_t num_lines() const noexcept { return lines_.size(); }
+
+  std::span<const Bus> buses() const noexcept { return buses_; }
+  std::span<const Generator> generators() const noexcept {
+    return generators_;
+  }
+  std::span<const Load> loads() const noexcept { return loads_; }
+  std::span<const Line> lines() const noexcept { return lines_; }
+
+  const Bus& bus(int id) const { return buses_.at(id); }
+  const Generator& generator(int id) const { return generators_.at(id); }
+  const Load& load(int id) const { return loads_.at(id); }
+  const Line& line(int id) const { return lines_.at(id); }
+
+  /// Mutable access for scenario edits (e.g. topology reconfiguration
+  /// examples); callers must re-run validate() afterwards.
+  Bus& bus_mutable(int id) { return buses_.at(id); }
+  Line& line_mutable(int id) { return lines_.at(id); }
+  Load& load_mutable(int id) { return loads_.at(id); }
+  Generator& generator_mutable(int id) { return generators_.at(id); }
+
+  std::span<const int> generators_at(int bus) const {
+    return gens_at_.at(bus);
+  }
+  std::span<const int> loads_at(int bus) const { return loads_at_.at(bus); }
+  std::span<const LineIncidence> lines_at(int bus) const {
+    return lines_at_.at(bus);
+  }
+
+  std::size_t degree(int bus) const { return lines_at_.at(bus).size(); }
+
+  /// Buses with exactly one incident line (the leaf nodes merged with their
+  /// line in the paper's decomposition, Sec. V-A).
+  std::vector<int> leaf_buses() const;
+
+  /// True if the network graph is connected and acyclic (a radial feeder).
+  bool is_radial() const;
+
+  /// True if every bus is reachable from bus 0.
+  bool is_connected() const;
+
+  /// Structural validation: phase consistency (line/generator/load phases
+  /// must be subsets of their buses' phases), delta loads must be
+  /// three-phase (the linearization (4f)-(4j) is written for full delta),
+  /// bounds ordered, at least one generator. Throws NetworkError.
+  void validate() const;
+
+  /// One-line description, e.g. "network: 13 buses, 12 lines, ...".
+  std::string summary() const;
+
+ private:
+  void check_bus_exists(int bus, const char* what) const;
+
+  std::vector<Bus> buses_;
+  std::vector<Generator> generators_;
+  std::vector<Load> loads_;
+  std::vector<Line> lines_;
+
+  std::vector<std::vector<int>> gens_at_;
+  std::vector<std::vector<int>> loads_at_;
+  std::vector<std::vector<LineIncidence>> lines_at_;
+};
+
+}  // namespace dopf::network

@@ -1,0 +1,33 @@
+#include "network/phase.hpp"
+
+#include <stdexcept>
+
+namespace dopf::network {
+
+PhaseSet PhaseSet::parse(const std::string& text) {
+  if (text == "-") return PhaseSet::none();
+  PhaseSet s;
+  for (char c : text) {
+    switch (c) {
+      case 'a':
+      case 'A':
+        s = s.with(Phase::kA);
+        break;
+      case 'b':
+      case 'B':
+        s = s.with(Phase::kB);
+        break;
+      case 'c':
+      case 'C':
+        s = s.with(Phase::kC);
+        break;
+      default:
+        throw std::invalid_argument("PhaseSet::parse: bad phase char '" +
+                                    std::string(1, c) + "' in \"" + text +
+                                    "\"");
+    }
+  }
+  return s;
+}
+
+}  // namespace dopf::network

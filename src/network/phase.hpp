@@ -1,0 +1,136 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dopf::network {
+
+/// One of the three phases of a distribution feeder. The paper indexes
+/// phases 1..3; we use a/b/c = 0..2.
+enum class Phase : std::uint8_t { kA = 0, kB = 1, kC = 2 };
+
+inline constexpr std::array<Phase, 3> kAllPhases = {Phase::kA, Phase::kB,
+                                                    Phase::kC};
+
+constexpr std::size_t index(Phase p) { return static_cast<std::size_t>(p); }
+
+/// Compact set of phases present on a component (the paper's P_c). Stored as
+/// a 3-bit mask; value-semantic and trivially copyable.
+class PhaseSet {
+ public:
+  constexpr PhaseSet() = default;
+
+  static constexpr PhaseSet a() { return PhaseSet(0b001); }
+  static constexpr PhaseSet b() { return PhaseSet(0b010); }
+  static constexpr PhaseSet c() { return PhaseSet(0b100); }
+  static constexpr PhaseSet ab() { return PhaseSet(0b011); }
+  static constexpr PhaseSet ac() { return PhaseSet(0b101); }
+  static constexpr PhaseSet bc() { return PhaseSet(0b110); }
+  static constexpr PhaseSet abc() { return PhaseSet(0b111); }
+  static constexpr PhaseSet none() { return PhaseSet(0b000); }
+
+  static constexpr PhaseSet single(Phase p) {
+    return PhaseSet(static_cast<std::uint8_t>(1u << index(p)));
+  }
+
+  constexpr bool has(Phase p) const {
+    return (mask_ & (1u << index(p))) != 0;
+  }
+  constexpr std::size_t count() const {
+    return static_cast<std::size_t>((mask_ & 1u) + ((mask_ >> 1) & 1u) +
+                                    ((mask_ >> 2) & 1u));
+  }
+  constexpr bool empty() const { return mask_ == 0; }
+
+  constexpr PhaseSet with(Phase p) const {
+    return PhaseSet(static_cast<std::uint8_t>(mask_ | (1u << index(p))));
+  }
+  constexpr PhaseSet intersect(PhaseSet other) const {
+    return PhaseSet(static_cast<std::uint8_t>(mask_ & other.mask_));
+  }
+  constexpr bool subset_of(PhaseSet other) const {
+    return (mask_ & ~other.mask_) == 0;
+  }
+
+  constexpr std::uint8_t mask() const { return mask_; }
+  constexpr bool operator==(const PhaseSet&) const = default;
+
+  /// Iteration support: `for (Phase p : set.phases())`.
+  class Range {
+   public:
+    class Iterator {
+     public:
+      Iterator(std::uint8_t mask, std::uint8_t pos) : mask_(mask), pos_(pos) {
+        advance();
+      }
+      Phase operator*() const { return static_cast<Phase>(pos_); }
+      Iterator& operator++() {
+        ++pos_;
+        advance();
+        return *this;
+      }
+      bool operator!=(const Iterator& other) const {
+        return pos_ != other.pos_;
+      }
+
+     private:
+      void advance() {
+        while (pos_ < 3 && (mask_ & (1u << pos_)) == 0) ++pos_;
+      }
+      std::uint8_t mask_;
+      std::uint8_t pos_;
+    };
+    explicit Range(std::uint8_t mask) : mask_(mask) {}
+    Iterator begin() const { return Iterator(mask_, 0); }
+    Iterator end() const { return Iterator(mask_, 3); }
+
+   private:
+    std::uint8_t mask_;
+  };
+  Range phases() const { return Range(mask_); }
+
+  std::string to_string() const {
+    std::string s;
+    if (has(Phase::kA)) s += 'a';
+    if (has(Phase::kB)) s += 'b';
+    if (has(Phase::kC)) s += 'c';
+    return s.empty() ? "-" : s;
+  }
+
+  /// Parse "a", "bc", "abc", "-" (case-insensitive). Throws on other input.
+  static PhaseSet parse(const std::string& text);
+
+ private:
+  explicit constexpr PhaseSet(std::uint8_t mask) : mask_(mask) {}
+  std::uint8_t mask_ = 0;
+};
+
+/// Per-phase scalar container indexed by Phase.
+template <typename T>
+struct PerPhase {
+  std::array<T, 3> values{};
+
+  T& operator[](Phase p) { return values[index(p)]; }
+  const T& operator[](Phase p) const { return values[index(p)]; }
+
+  static PerPhase uniform(T v) { return PerPhase{{v, v, v}}; }
+};
+
+/// Dense 3x3 per-phase matrix (line impedance blocks, M^p / M^q of (5c)).
+struct PhaseMatrix {
+  std::array<std::array<double, 3>, 3> m{};
+
+  double& operator()(Phase i, Phase j) { return m[index(i)][index(j)]; }
+  double operator()(Phase i, Phase j) const { return m[index(i)][index(j)]; }
+  double& operator()(std::size_t i, std::size_t j) { return m[i][j]; }
+  double operator()(std::size_t i, std::size_t j) const { return m[i][j]; }
+
+  static PhaseMatrix diagonal(double v) {
+    PhaseMatrix pm;
+    pm.m[0][0] = pm.m[1][1] = pm.m[2][2] = v;
+    return pm;
+  }
+};
+
+}  // namespace dopf::network

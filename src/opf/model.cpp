@@ -1,0 +1,333 @@
+#include "opf/model.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dopf::opf {
+
+using dopf::linalg::is_unbounded;
+using network::Connection;
+using network::Line;
+using network::Network;
+using network::Phase;
+using network::PhaseSet;
+
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+
+/// Sign pattern of the off-diagonal M^p entries in (5c):
+/// -1 when psi is the phase cyclically following phi, +1 when preceding.
+double mp_sign(std::size_t phi, std::size_t psi) {
+  return psi == (phi + 1) % 3 ? -1.0 : 1.0;
+}
+
+/// M^p_{e,phi,psi} from the line's series impedance block.
+double mp_entry(const Line& line, Phase phi, Phase psi) {
+  const std::size_t i = network::index(phi);
+  const std::size_t j = network::index(psi);
+  if (i == j) return -2.0 * line.r(i, j);
+  return line.r(i, j) + mp_sign(i, j) * kSqrt3 * line.x(i, j);
+}
+
+/// M^q_{e,phi,psi}; the sign pattern is opposite to M^p's.
+double mq_entry(const Line& line, Phase phi, Phase psi) {
+  const std::size_t i = network::index(phi);
+  const std::size_t j = network::index(psi);
+  if (i == j) return -2.0 * line.x(i, j);
+  return line.x(i, j) - mp_sign(i, j) * kSqrt3 * line.r(i, j);
+}
+
+}  // namespace
+
+dopf::sparse::CsrMatrix OpfModel::constraint_matrix() const {
+  std::vector<dopf::sparse::Triplet> trips;
+  for (std::size_t r = 0; r < equations.size(); ++r) {
+    for (const auto& [var, coeff] : equations[r].terms) {
+      trips.push_back({static_cast<std::int64_t>(r), var, coeff});
+    }
+  }
+  return dopf::sparse::CsrMatrix::from_triplets(equations.size(), num_vars(),
+                                                trips);
+}
+
+std::vector<double> OpfModel::rhs() const {
+  std::vector<double> b(equations.size());
+  for (std::size_t r = 0; r < equations.size(); ++r) b[r] = equations[r].rhs;
+  return b;
+}
+
+double OpfModel::objective(std::span<const double> x) const {
+  return dopf::linalg::dot(c, x);
+}
+
+double OpfModel::equation_residual(std::span<const double> x) const {
+  double worst = 0.0;
+  for (const Equation& eq : equations) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : eq.terms) lhs += coeff * x[var];
+    worst = std::max(worst, std::abs(lhs - eq.rhs));
+  }
+  return worst;
+}
+
+double OpfModel::bound_violation(std::span<const double> x) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, lb[i] - x[i]);
+    worst = std::max(worst, x[i] - ub[i]);
+  }
+  return std::max(worst, 0.0);
+}
+
+OpfModel build_model(const Network& net) {
+  net.validate();
+  OpfModel model{VariableIndex(net), {}, {}, {}, {}, {}};
+  const VariableIndex& v = model.vars;
+  const std::size_t n = v.size();
+
+  // ---- Bounds (2) and objective (6a).
+  model.c.assign(n, 0.0);
+  model.lb.assign(n, -dopf::linalg::kInfinity);
+  model.ub.assign(n, dopf::linalg::kInfinity);
+
+  for (const auto& g : net.generators()) {
+    for (Phase p : g.phases.phases()) {
+      model.c[v.gen_p(g.id, p)] = g.cost;
+      model.lb[v.gen_p(g.id, p)] = g.p_min[p];
+      model.ub[v.gen_p(g.id, p)] = g.p_max[p];
+      model.lb[v.gen_q(g.id, p)] = g.q_min[p];
+      model.ub[v.gen_q(g.id, p)] = g.q_max[p];
+    }
+  }
+  for (const auto& b : net.buses()) {
+    for (Phase p : b.phases.phases()) {
+      model.lb[v.bus_w(b.id, p)] = b.w_min[p];
+      model.ub[v.bus_w(b.id, p)] = b.w_max[p];
+    }
+  }
+  for (const auto& l : net.lines()) {
+    for (Phase p : l.phases.phases()) {
+      if (is_unbounded(l.flow_limit[p])) continue;
+      for (int var : {v.flow_pf(l.id, p), v.flow_qf(l.id, p),
+                      v.flow_pt(l.id, p), v.flow_qt(l.id, p)}) {
+        model.lb[var] = -l.flow_limit[p];
+        model.ub[var] = l.flow_limit[p];
+      }
+    }
+  }
+
+  // ---- Initial point (Sec. V-A).
+  model.x0.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v.kind(static_cast<int>(i)) == VarKind::kBusW) {
+      model.x0[i] = 1.0;
+    } else if (!is_unbounded(model.lb[i]) && !is_unbounded(model.ub[i])) {
+      model.x0[i] = 0.5 * (model.lb[i] + model.ub[i]);
+    }
+  }
+
+  // ---- Power balance (3), owned by the bus.
+  for (const auto& bus : net.buses()) {
+    for (Phase p : bus.phases.phases()) {
+      Equation ep, eq;
+      ep.owner = eq.owner = Owner::kBus;
+      ep.owner_id = eq.owner_id = bus.id;
+      ep.name = "balP[" + bus.name + "," + std::string(1, "abc"[index(p)]) + "]";
+      eq.name = "balQ[" + bus.name + "," + std::string(1, "abc"[index(p)]) + "]";
+
+      for (const auto& inc : net.lines_at(bus.id)) {
+        const Line& line = net.line(inc.line);
+        if (!line.phases.has(p)) continue;
+        if (inc.from_side) {
+          ep.add(v.flow_pf(line.id, p), 1.0);
+          eq.add(v.flow_qf(line.id, p), 1.0);
+        } else {
+          ep.add(v.flow_pt(line.id, p), 1.0);
+          eq.add(v.flow_qt(line.id, p), 1.0);
+        }
+      }
+      for (int l : net.loads_at(bus.id)) {
+        if (!net.load(l).phases.has(p)) continue;
+        ep.add(v.load_pb(l, p), 1.0);
+        eq.add(v.load_qb(l, p), 1.0);
+      }
+      ep.add(v.bus_w(bus.id, p), bus.g_shunt[p]);
+      eq.add(v.bus_w(bus.id, p), -bus.b_shunt[p]);
+      for (int g : net.generators_at(bus.id)) {
+        if (!net.generator(g).phases.has(p)) continue;
+        ep.add(v.gen_p(g, p), -1.0);
+        eq.add(v.gen_q(g, p), -1.0);
+      }
+      model.equations.push_back(std::move(ep));
+      model.equations.push_back(std::move(eq));
+    }
+  }
+
+  // ---- Voltage-dependent load model (4a)-(4d) and the connection
+  // equations (4e) (wye) / (4f)-(4j) (delta); owned by the load's bus.
+  for (const auto& load : net.loads()) {
+    const int bus = load.bus;
+    const double kappa = load.connection == Connection::kDelta ? 3.0 : 1.0;
+    for (Phase p : load.phases.phases()) {
+      const char pc = "abc"[index(p)];
+      {
+        Equation e;
+        e.owner = Owner::kBus;
+        e.owner_id = bus;
+        e.name = "loadP[" + load.name + "," + std::string(1, pc) + "]";
+        // p^d - (a*alpha/2) * kappa * w = a - a*alpha/2   [(4a) with (4c/4d)]
+        e.add(v.load_pd(load.id, p), 1.0);
+        e.add(v.bus_w(bus, p), -0.5 * load.p_ref[p] * load.alpha[p] * kappa);
+        e.rhs = load.p_ref[p] * (1.0 - 0.5 * load.alpha[p]);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e;
+        e.owner = Owner::kBus;
+        e.owner_id = bus;
+        e.name = "loadQ[" + load.name + "," + std::string(1, pc) + "]";
+        e.add(v.load_qd(load.id, p), 1.0);
+        e.add(v.bus_w(bus, p), -0.5 * load.q_ref[p] * load.beta[p] * kappa);
+        e.rhs = load.q_ref[p] * (1.0 - 0.5 * load.beta[p]);
+        model.equations.push_back(std::move(e));
+      }
+    }
+
+    if (load.connection == Connection::kWye) {
+      for (Phase p : load.phases.phases()) {
+        Equation e1, e2;
+        e1.owner = e2.owner = Owner::kBus;
+        e1.owner_id = e2.owner_id = bus;
+        e1.name = "wyeP[" + load.name + "]";
+        e2.name = "wyeQ[" + load.name + "]";
+        e1.add(v.load_pb(load.id, p), 1.0);
+        e1.add(v.load_pd(load.id, p), -1.0);
+        e2.add(v.load_qb(load.id, p), 1.0);
+        e2.add(v.load_qd(load.id, p), -1.0);
+        model.equations.push_back(std::move(e1));
+        model.equations.push_back(std::move(e2));
+      }
+    } else {
+      // Delta connection: aggregate balance (4f) plus the four phase
+      // coupling rows (4g)-(4j); phases 1,2,3 of the paper are a,b,c.
+      const int l = load.id;
+      const Phase pa = Phase::kA, pb = Phase::kB, pc3 = Phase::kC;
+      auto eqn = [&](const char* name) {
+        Equation e;
+        e.owner = Owner::kBus;
+        e.owner_id = bus;
+        e.name = std::string(name) + "[" + load.name + "]";
+        return e;
+      };
+      {
+        Equation e = eqn("deltaSumP");  // (4f) real part
+        for (Phase p : load.phases.phases()) {
+          e.add(v.load_pb(l, p), 1.0);
+          e.add(v.load_pd(l, p), -1.0);
+        }
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e = eqn("deltaSumQ");  // (4f) reactive part
+        for (Phase p : load.phases.phases()) {
+          e.add(v.load_qb(l, p), 1.0);
+          e.add(v.load_qd(l, p), -1.0);
+        }
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e = eqn("delta4g");  // (4g)
+        e.add(v.load_pb(l, pb), 1.5);
+        e.add(v.load_qb(l, pb), -0.5 * kSqrt3);
+        e.add(v.load_pd(l, pb), -1.0);
+        e.add(v.load_pd(l, pa), -0.5);
+        e.add(v.load_qd(l, pa), 0.5 * kSqrt3);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e = eqn("delta4h");  // (4h)
+        e.add(v.load_pb(l, pb), 0.5 * kSqrt3);
+        e.add(v.load_qb(l, pb), 1.5);
+        e.add(v.load_pd(l, pa), -0.5 * kSqrt3);
+        e.add(v.load_qd(l, pa), -0.5);
+        e.add(v.load_qd(l, pb), -1.0);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e = eqn("delta4i");  // (4i)
+        e.add(v.load_qb(l, pb), kSqrt3);
+        e.add(v.load_pb(l, pc3), 1.5);
+        e.add(v.load_qb(l, pc3), -0.5 * kSqrt3);
+        e.add(v.load_pd(l, pa), -0.5);
+        e.add(v.load_qd(l, pa), -0.5 * kSqrt3);
+        e.add(v.load_pd(l, pc3), -1.0);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e = eqn("delta4j");  // (4j)
+        e.add(v.load_pb(l, pb), -kSqrt3);
+        e.add(v.load_pb(l, pc3), 0.5 * kSqrt3);
+        e.add(v.load_qb(l, pc3), 1.5);
+        e.add(v.load_pd(l, pa), 0.5 * kSqrt3);
+        e.add(v.load_qd(l, pa), -0.5);
+        e.add(v.load_qd(l, pc3), -1.0);
+        model.equations.push_back(std::move(e));
+      }
+    }
+  }
+
+  // ---- Linearized flow equations (5), owned by the line.
+  for (const auto& line : net.lines()) {
+    const int i = line.from_bus;
+    const int j = line.to_bus;
+    for (Phase p : line.phases.phases()) {
+      const std::string suffix =
+          "[" + line.name + "," + std::string(1, "abc"[index(p)]) + "]";
+      {
+        Equation e;  // (5a)
+        e.owner = Owner::kLine;
+        e.owner_id = line.id;
+        e.name = "flowP" + suffix;
+        e.add(v.flow_pf(line.id, p), 1.0);
+        e.add(v.flow_pt(line.id, p), 1.0);
+        e.add(v.bus_w(i, p), -line.g_shunt_from[p]);
+        e.add(v.bus_w(j, p), -line.g_shunt_to[p]);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e;  // (5b)
+        e.owner = Owner::kLine;
+        e.owner_id = line.id;
+        e.name = "flowQ" + suffix;
+        e.add(v.flow_qf(line.id, p), 1.0);
+        e.add(v.flow_qt(line.id, p), 1.0);
+        e.add(v.bus_w(i, p), line.b_shunt_from[p]);
+        e.add(v.bus_w(j, p), line.b_shunt_to[p]);
+        model.equations.push_back(std::move(e));
+      }
+      {
+        Equation e;  // (5c), all terms moved to the left-hand side
+        e.owner = Owner::kLine;
+        e.owner_id = line.id;
+        e.name = "volt" + suffix;
+        e.add(v.bus_w(i, p), 1.0);
+        e.add(v.bus_w(j, p), -line.tap_ratio[p]);
+        for (Phase psi : line.phases.phases()) {
+          const double mp = mp_entry(line, p, psi);
+          const double mq = mq_entry(line, p, psi);
+          e.add(v.flow_pf(line.id, psi), mp);
+          e.add(v.bus_w(i, psi), -mp * line.g_shunt_from[psi]);
+          e.add(v.flow_qf(line.id, psi), mq);
+          e.add(v.bus_w(i, psi), mq * line.b_shunt_from[psi]);
+        }
+        model.equations.push_back(std::move(e));
+      }
+    }
+  }
+
+  return model;
+}
+
+}  // namespace dopf::opf

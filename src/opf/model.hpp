@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "opf/variables.hpp"
+#include "sparse/csr.hpp"
+
+namespace dopf::opf {
+
+/// Thrown when model construction finds an ill-posed input.
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which component of the paper's decomposition owns an equation.
+enum class Owner : std::uint8_t { kBus, kLine };
+
+/// One linear equality  sum(coeff * x[var]) = rhs  of (7b).
+struct Equation {
+  std::vector<std::pair<int, double>> terms;
+  double rhs = 0.0;
+  std::string name;
+  Owner owner = Owner::kBus;
+  int owner_id = -1;
+
+  void add(int var, double coeff) {
+    if (coeff != 0.0 && var >= 0) terms.emplace_back(var, coeff);
+  }
+};
+
+/// The linearized multi-phase OPF of Section II in the abstract LP form (7):
+///   min c'x  s.t.  A x = b,  lb <= x <= ub,
+/// with every equation tagged by the component (bus or line) that owns it in
+/// the component-wise decomposition. `x0` is the paper's initial point
+/// (Sec. V-A): 1 for voltages, bound midpoints for doubly-bounded variables,
+/// 0 otherwise.
+struct OpfModel {
+  VariableIndex vars;
+  std::vector<Equation> equations;
+  std::vector<double> c;
+  std::vector<double> lb;
+  std::vector<double> ub;
+  std::vector<double> x0;
+
+  std::size_t num_vars() const { return c.size(); }
+  std::size_t num_equations() const { return equations.size(); }
+
+  /// Assemble the sparse A of (7b) (rows follow `equations` order).
+  dopf::sparse::CsrMatrix constraint_matrix() const;
+  /// The b of (7b).
+  std::vector<double> rhs() const;
+
+  /// c' x.
+  double objective(std::span<const double> x) const;
+
+  /// max_i |A x - b|_i, for solution checking.
+  double equation_residual(std::span<const double> x) const;
+  /// max violation of lb <= x <= ub.
+  double bound_violation(std::span<const double> x) const;
+};
+
+/// Build the full model (2)-(5) from a validated network.
+OpfModel build_model(const dopf::network::Network& net);
+
+}  // namespace dopf::opf

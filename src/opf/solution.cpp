@@ -1,0 +1,149 @@
+#include "opf/solution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dopf::opf {
+
+using network::Phase;
+
+namespace {
+double at(std::span<const double> x, int idx) {
+  if (idx < 0) {
+    throw std::out_of_range("SolutionView: component has no such phase");
+  }
+  return x[idx];
+}
+}  // namespace
+
+SolutionView::SolutionView(const dopf::network::Network& net,
+                           const OpfModel& model, std::span<const double> x)
+    : net_(&net), model_(&model), x_(x) {
+  if (x.size() != model.num_vars()) {
+    throw std::invalid_argument("SolutionView: x size != model variables");
+  }
+}
+
+double SolutionView::gen_p(int gen, Phase p) const {
+  return at(x_, model_->vars.gen_p(gen, p));
+}
+double SolutionView::gen_q(int gen, Phase p) const {
+  return at(x_, model_->vars.gen_q(gen, p));
+}
+
+double SolutionView::gen_p_total(int gen) const {
+  double total = 0.0;
+  for (Phase p : net_->generator(gen).phases.phases()) total += gen_p(gen, p);
+  return total;
+}
+
+double SolutionView::total_generation() const {
+  double total = 0.0;
+  for (const auto& g : net_->generators()) total += gen_p_total(g.id);
+  return total;
+}
+
+double SolutionView::bus_w(int bus, Phase p) const {
+  return at(x_, model_->vars.bus_w(bus, p));
+}
+double SolutionView::bus_v(int bus, Phase p) const {
+  return std::sqrt(std::max(0.0, bus_w(bus, p)));
+}
+
+double SolutionView::min_voltage() const {
+  double v = 1e30;
+  for (const auto& b : net_->buses()) {
+    for (Phase p : b.phases.phases()) v = std::min(v, bus_v(b.id, p));
+  }
+  return v;
+}
+
+double SolutionView::max_voltage() const {
+  double v = 0.0;
+  for (const auto& b : net_->buses()) {
+    for (Phase p : b.phases.phases()) v = std::max(v, bus_v(b.id, p));
+  }
+  return v;
+}
+
+double SolutionView::load_p(int load, Phase p) const {
+  return at(x_, model_->vars.load_pd(load, p));
+}
+double SolutionView::load_q(int load, Phase p) const {
+  return at(x_, model_->vars.load_qd(load, p));
+}
+
+double SolutionView::total_load() const {
+  double total = 0.0;
+  for (const auto& l : net_->loads()) {
+    for (Phase p : l.phases.phases()) total += load_p(l.id, p);
+  }
+  return total;
+}
+
+double SolutionView::flow_p_from(int line, Phase p) const {
+  return at(x_, model_->vars.flow_pf(line, p));
+}
+double SolutionView::flow_q_from(int line, Phase p) const {
+  return at(x_, model_->vars.flow_qf(line, p));
+}
+double SolutionView::flow_p_to(int line, Phase p) const {
+  return at(x_, model_->vars.flow_pt(line, p));
+}
+double SolutionView::flow_q_to(int line, Phase p) const {
+  return at(x_, model_->vars.flow_qt(line, p));
+}
+
+double SolutionView::max_loading(int line) const {
+  double worst = 0.0;
+  for (Phase p : net_->line(line).phases.phases()) {
+    worst = std::max(worst, std::abs(flow_p_from(line, p)));
+    worst = std::max(worst, std::abs(flow_p_to(line, p)));
+  }
+  return worst;
+}
+
+void SolutionView::write_report(std::ostream& out) const {
+  out << "objective: " << objective() << "  (total load " << total_load()
+      << ", total generation " << total_generation() << ")\n";
+  out << "voltage band: [" << min_voltage() << ", " << max_voltage()
+      << "] pu\n";
+  out << "feasibility: max |Ax-b| = " << equation_residual()
+      << ", bound violation = " << bound_violation() << "\n";
+  out << "\ndispatch:\n";
+  for (const auto& g : net_->generators()) {
+    out << "  " << g.name << " @" << net_->bus(g.bus).name << ": P = "
+        << gen_p_total(g.id) << " (";
+    bool first = true;
+    for (Phase p : g.phases.phases()) {
+      out << (first ? "" : ", ") << "abc"[network::index(p)] << "="
+          << gen_p(g.id, p);
+      first = false;
+    }
+    out << ")\n";
+  }
+  out << "\nmost loaded lines:\n";
+  // Top five by loading.
+  std::vector<std::pair<double, int>> loads;
+  for (const auto& l : net_->lines()) {
+    loads.push_back({max_loading(l.id), l.id});
+  }
+  std::sort(loads.rbegin(), loads.rend());
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, loads.size()); ++k) {
+    const auto& line = net_->line(loads[k].second);
+    out << "  " << line.name << " (" << net_->bus(line.from_bus).name
+        << " -> " << net_->bus(line.to_bus).name
+        << "): max |p| = " << loads[k].first << "\n";
+  }
+}
+
+std::string SolutionView::report() const {
+  std::ostringstream os;
+  write_report(os);
+  return os.str();
+}
+
+}  // namespace dopf::opf

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "network/network.hpp"
+#include "opf/model.hpp"
+
+namespace dopf::opf {
+
+/// Read-only structured view over a solved global variable vector x of (7):
+/// maps raw entries back to engineering quantities (dispatch, voltages,
+/// flows, load consumption). Non-owning; the network, model and solution
+/// must outlive the view.
+class SolutionView {
+ public:
+  SolutionView(const dopf::network::Network& net, const OpfModel& model,
+               std::span<const double> x);
+
+  // --- Generators.
+  double gen_p(int gen, dopf::network::Phase p) const;
+  double gen_q(int gen, dopf::network::Phase p) const;
+  /// Real power summed over the generator's phases.
+  double gen_p_total(int gen) const;
+  /// Sum of all generation (the objective when every cost is 1).
+  double total_generation() const;
+
+  // --- Buses.
+  /// Squared voltage magnitude w.
+  double bus_w(int bus, dopf::network::Phase p) const;
+  /// Voltage magnitude |V| = sqrt(w).
+  double bus_v(int bus, dopf::network::Phase p) const;
+  /// Lowest / highest |V| over all buses and phases.
+  double min_voltage() const;
+  double max_voltage() const;
+
+  // --- Loads.
+  double load_p(int load, dopf::network::Phase p) const;  ///< consumption p^d
+  double load_q(int load, dopf::network::Phase p) const;
+  double total_load() const;
+
+  // --- Line flows.
+  double flow_p_from(int line, dopf::network::Phase p) const;
+  double flow_q_from(int line, dopf::network::Phase p) const;
+  double flow_p_to(int line, dopf::network::Phase p) const;
+  double flow_q_to(int line, dopf::network::Phase p) const;
+  /// max |p| over the line's phases and both ends (loading indicator).
+  double max_loading(int line) const;
+
+  // --- Solution quality.
+  double objective() const { return model_->objective(x_); }
+  double equation_residual() const { return model_->equation_residual(x_); }
+  double bound_violation() const { return model_->bound_violation(x_); }
+
+  /// Human-readable dispatch + voltage-profile report.
+  void write_report(std::ostream& out) const;
+  std::string report() const;
+
+ private:
+  const dopf::network::Network* net_;
+  const OpfModel* model_;
+  std::span<const double> x_;
+};
+
+}  // namespace dopf::opf

@@ -1,0 +1,116 @@
+#include "opf/variables.hpp"
+
+namespace dopf::opf {
+
+using network::Network;
+using network::Phase;
+
+const char* to_string(VarKind kind) {
+  switch (kind) {
+    case VarKind::kGenP:
+      return "pg";
+    case VarKind::kGenQ:
+      return "qg";
+    case VarKind::kBusW:
+      return "w";
+    case VarKind::kLoadPb:
+      return "pb";
+    case VarKind::kLoadQb:
+      return "qb";
+    case VarKind::kLoadPd:
+      return "pd";
+    case VarKind::kLoadQd:
+      return "qd";
+    case VarKind::kFlowPf:
+      return "pf";
+    case VarKind::kFlowQf:
+      return "qf";
+    case VarKind::kFlowPt:
+      return "pt";
+    case VarKind::kFlowQt:
+      return "qt";
+  }
+  return "?";
+}
+
+int VariableIndex::add(VarKind kind, int comp, Phase p) {
+  const int id = static_cast<int>(kinds_.size());
+  kinds_.push_back(kind);
+  comps_.push_back(comp);
+  phases_.push_back(p);
+  return id;
+}
+
+VariableIndex::VariableIndex(const Network& net) {
+  const Slot empty = {-1, -1, -1};
+
+  gen_p_.assign(net.num_generators(), empty);
+  gen_q_.assign(net.num_generators(), empty);
+  for (const auto& g : net.generators()) {
+    for (Phase p : g.phases.phases()) {
+      gen_p_[g.id][index(p)] = add(VarKind::kGenP, g.id, p);
+      gen_q_[g.id][index(p)] = add(VarKind::kGenQ, g.id, p);
+    }
+  }
+
+  bus_w_.assign(net.num_buses(), empty);
+  for (const auto& b : net.buses()) {
+    for (Phase p : b.phases.phases()) {
+      bus_w_[b.id][index(p)] = add(VarKind::kBusW, b.id, p);
+    }
+  }
+
+  load_pb_.assign(net.num_loads(), empty);
+  load_qb_.assign(net.num_loads(), empty);
+  load_pd_.assign(net.num_loads(), empty);
+  load_qd_.assign(net.num_loads(), empty);
+  for (const auto& l : net.loads()) {
+    for (Phase p : l.phases.phases()) {
+      load_pb_[l.id][index(p)] = add(VarKind::kLoadPb, l.id, p);
+      load_qb_[l.id][index(p)] = add(VarKind::kLoadQb, l.id, p);
+      load_pd_[l.id][index(p)] = add(VarKind::kLoadPd, l.id, p);
+      load_qd_[l.id][index(p)] = add(VarKind::kLoadQd, l.id, p);
+    }
+  }
+
+  flow_pf_.assign(net.num_lines(), empty);
+  flow_qf_.assign(net.num_lines(), empty);
+  flow_pt_.assign(net.num_lines(), empty);
+  flow_qt_.assign(net.num_lines(), empty);
+  for (const auto& l : net.lines()) {
+    for (Phase p : l.phases.phases()) {
+      flow_pf_[l.id][index(p)] = add(VarKind::kFlowPf, l.id, p);
+      flow_qf_[l.id][index(p)] = add(VarKind::kFlowQf, l.id, p);
+      flow_pt_[l.id][index(p)] = add(VarKind::kFlowPt, l.id, p);
+      flow_qt_[l.id][index(p)] = add(VarKind::kFlowQt, l.id, p);
+    }
+  }
+}
+
+std::string VariableIndex::name(const Network& net, int var) const {
+  const VarKind k = kinds_.at(var);
+  const int comp = comps_.at(var);
+  std::string owner;
+  switch (k) {
+    case VarKind::kGenP:
+    case VarKind::kGenQ:
+      owner = net.generator(comp).name;
+      break;
+    case VarKind::kBusW:
+      owner = net.bus(comp).name;
+      break;
+    case VarKind::kLoadPb:
+    case VarKind::kLoadQb:
+    case VarKind::kLoadPd:
+    case VarKind::kLoadQd:
+      owner = net.load(comp).name;
+      break;
+    default:
+      owner = net.line(comp).name;
+      break;
+  }
+  const char phase_char = "abc"[index(phases_.at(var))];
+  return std::string(to_string(k)) + "[" + owner + "," + phase_char + "]";
+}
+
+}  // namespace dopf::opf

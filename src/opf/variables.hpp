@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace dopf::opf {
+
+/// Kind of a global OPF variable (the blocks of x in (7)).
+enum class VarKind : std::uint8_t {
+  kGenP,    ///< p^g_{k,phi}
+  kGenQ,    ///< q^g_{k,phi}
+  kBusW,    ///< w_{i,phi} (squared voltage magnitude)
+  kLoadPb,  ///< p^b_{l,phi} (power withdrawn at the bus)
+  kLoadQb,  ///< q^b_{l,phi}
+  kLoadPd,  ///< p^d_{l,phi} (power consumed by the load)
+  kLoadQd,  ///< q^d_{l,phi}
+  kFlowPf,  ///< p_{eij,phi} (from-side real flow)
+  kFlowQf,  ///< q_{eij,phi}
+  kFlowPt,  ///< p_{eji,phi} (to-side real flow)
+  kFlowQt,  ///< q_{eji,phi}
+};
+
+const char* to_string(VarKind kind);
+
+/// Dense numbering of the global variable vector x of (7), in the paper's
+/// block order: generators, buses, loads, lines; within each component, one
+/// entry per present phase.
+class VariableIndex {
+ public:
+  explicit VariableIndex(const dopf::network::Network& net);
+
+  std::size_t size() const noexcept { return kinds_.size(); }
+
+  // Lookups return -1 when the component does not carry the phase.
+  int gen_p(int gen, dopf::network::Phase p) const {
+    return gen_p_[gen][index(p)];
+  }
+  int gen_q(int gen, dopf::network::Phase p) const {
+    return gen_q_[gen][index(p)];
+  }
+  int bus_w(int bus, dopf::network::Phase p) const {
+    return bus_w_[bus][index(p)];
+  }
+  int load_pb(int load, dopf::network::Phase p) const {
+    return load_pb_[load][index(p)];
+  }
+  int load_qb(int load, dopf::network::Phase p) const {
+    return load_qb_[load][index(p)];
+  }
+  int load_pd(int load, dopf::network::Phase p) const {
+    return load_pd_[load][index(p)];
+  }
+  int load_qd(int load, dopf::network::Phase p) const {
+    return load_qd_[load][index(p)];
+  }
+  int flow_pf(int line, dopf::network::Phase p) const {
+    return flow_pf_[line][index(p)];
+  }
+  int flow_qf(int line, dopf::network::Phase p) const {
+    return flow_qf_[line][index(p)];
+  }
+  int flow_pt(int line, dopf::network::Phase p) const {
+    return flow_pt_[line][index(p)];
+  }
+  int flow_qt(int line, dopf::network::Phase p) const {
+    return flow_qt_[line][index(p)];
+  }
+
+  VarKind kind(int var) const { return kinds_.at(var); }
+  /// Owning component id (generator/bus/load/line id depending on kind).
+  int component(int var) const { return comps_.at(var); }
+  dopf::network::Phase phase(int var) const { return phases_.at(var); }
+
+  /// Debug name, e.g. "w[632,a]" or "pf[650-632,c]".
+  std::string name(const dopf::network::Network& net, int var) const;
+
+ private:
+  using Slot = std::array<int, 3>;
+  static std::size_t index(dopf::network::Phase p) {
+    return dopf::network::index(p);
+  }
+
+  int add(VarKind kind, int comp, dopf::network::Phase p);
+
+  std::vector<Slot> gen_p_, gen_q_, bus_w_;
+  std::vector<Slot> load_pb_, load_qb_, load_pd_, load_qd_;
+  std::vector<Slot> flow_pf_, flow_qf_, flow_pt_, flow_qt_;
+
+  std::vector<VarKind> kinds_;
+  std::vector<int> comps_;
+  std::vector<dopf::network::Phase> phases_;
+};
+
+}  // namespace dopf::opf

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+
+namespace dopf::runtime {
+
+/// Alpha-beta (latency + bandwidth) cost model of one point-to-point
+/// message, the standard first-order model of MPI transfer time.
+///
+/// Substitution note (DESIGN.md): the paper measures real MPI.jl traffic on
+/// the Bebop/Swing clusters; on a single host we price the same traffic with
+/// this model instead. Defaults approximate a 100 Gb/s cluster interconnect
+/// with a few-microsecond MPI latency.
+struct CommModel {
+  double latency_s = 3e-6;       ///< per-message latency (alpha)
+  double bandwidth_gb_s = 10.0;  ///< effective bandwidth (1/beta)
+
+  double message_seconds(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gb_s * 1e9);
+  }
+};
+
+/// Host <-> accelerator staging cost (PCIe), applied once per rank per
+/// direction when ranks host GPUs; this is the "MPI requires transferring
+/// data from GPU to CPU" overhead of Sec. IV-E.
+struct StagingModel {
+  double latency_s = 8e-6;
+  double bandwidth_gb_s = 12.0;
+
+  double transfer_seconds(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gb_s * 1e9);
+  }
+};
+
+}  // namespace dopf::runtime

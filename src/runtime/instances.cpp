@@ -1,0 +1,35 @@
+#include "runtime/instances.hpp"
+
+#include <stdexcept>
+
+#include "feeders/ieee13.hpp"
+#include "feeders/synthetic.hpp"
+
+namespace dopf::runtime {
+
+Instance make_instance(const std::string& name,
+                       const dopf::opf::DecomposeOptions& options) {
+  dopf::network::Network net;
+  if (name == "ieee13") {
+    net = dopf::feeders::ieee13();
+  } else if (name == "ieee123") {
+    net = dopf::feeders::synthetic_feeder(dopf::feeders::ieee123_spec());
+  } else if (name == "ieee8500") {
+    net = dopf::feeders::synthetic_feeder(dopf::feeders::ieee8500_spec());
+  } else if (name == "ieee8500_mini") {
+    net = dopf::feeders::synthetic_feeder(dopf::feeders::ieee8500_mini_spec());
+  } else {
+    throw std::invalid_argument("make_instance: unknown instance '" + name +
+                                "'");
+  }
+  dopf::opf::OpfModel model = dopf::opf::build_model(net);
+  dopf::opf::DistributedProblem problem =
+      dopf::opf::decompose(net, model, options);
+  return Instance{name, std::move(net), std::move(model), std::move(problem)};
+}
+
+std::vector<std::string> paper_instance_names() {
+  return {"ieee13", "ieee123", "ieee8500"};
+}
+
+}  // namespace dopf::runtime

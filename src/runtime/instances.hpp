@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+
+namespace dopf::runtime {
+
+/// A fully prepared test instance: feeder, centralized model (7), and
+/// component-wise decomposition (9). Shared by the benches, examples and
+/// integration tests.
+struct Instance {
+  std::string name;
+  dopf::network::Network net;
+  dopf::opf::OpfModel model;
+  dopf::opf::DistributedProblem problem;
+};
+
+/// Build one of the paper's instances (or the quick stand-in):
+/// "ieee13", "ieee123", "ieee8500", "ieee8500_mini".
+/// Throws std::invalid_argument for unknown names.
+Instance make_instance(const std::string& name,
+                       const dopf::opf::DecomposeOptions& options = {});
+
+/// The three instances evaluated in the paper, in size order.
+std::vector<std::string> paper_instance_names();
+
+}  // namespace dopf::runtime

@@ -1,0 +1,66 @@
+#include "runtime/measure.hpp"
+
+#include <stdexcept>
+
+namespace dopf::runtime {
+
+namespace {
+
+IterationCosts finalize(const dopf::opf::DistributedProblem& problem,
+                        std::span<const double> comp_seconds,
+                        const dopf::core::TimingBreakdown& timing,
+                        int iterations) {
+  IterationCosts costs;
+  costs.measured_iterations = iterations;
+  const double scale = 1.0 / static_cast<double>(iterations);
+  costs.component_seconds.assign(comp_seconds.begin(), comp_seconds.end());
+  for (double& s : costs.component_seconds) {
+    s *= scale;
+    costs.local_update_seconds += s;
+  }
+  costs.payload_vars.reserve(problem.components.size());
+  for (const auto& comp : problem.components) {
+    costs.payload_vars.push_back(comp.num_vars());
+  }
+  costs.global_update_seconds = timing.global_update * scale;
+  costs.dual_update_seconds = timing.dual_update * scale;
+  return costs;
+}
+
+}  // namespace
+
+namespace {
+void check_iterations(int iterations) {
+  if (iterations < 1) {
+    throw std::invalid_argument("measure: iterations must be >= 1");
+  }
+}
+}  // namespace
+
+IterationCosts measure_solver_free(
+    const dopf::opf::DistributedProblem& problem,
+    dopf::core::AdmmOptions options, int iterations) {
+  check_iterations(iterations);
+  options.record_component_times = true;
+  options.max_iterations = iterations;
+  options.check_every = iterations + 1;  // never terminate early
+  dopf::core::SolverFreeAdmm admm(problem, options);
+  const auto result = admm.solve();
+  return finalize(problem, result.component_seconds, result.timing,
+                  result.iterations);
+}
+
+IterationCosts measure_benchmark(const dopf::opf::DistributedProblem& problem,
+                                 dopf::core::AdmmOptions options,
+                                 int iterations) {
+  check_iterations(iterations);
+  options.record_component_times = true;
+  options.max_iterations = iterations;
+  options.check_every = iterations + 1;
+  dopf::baseline::BenchmarkAdmm admm(problem, options);
+  const auto result = admm.solve();
+  return finalize(problem, result.component_seconds, result.timing,
+                  result.iterations);
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "baseline/benchmark_admm.hpp"
+#include "core/admm.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::runtime {
+
+/// Measured per-iteration costs of one ADMM variant on this host:
+/// per-component local-update seconds (averaged over the measured
+/// iterations) plus the aggregator-side global/dual update seconds. These
+/// feed the VirtualCluster, which turns them into multi-rank projections.
+struct IterationCosts {
+  std::vector<double> component_seconds;  ///< avg seconds per iteration
+  std::vector<std::size_t> payload_vars;  ///< n_s per component
+  double global_update_seconds = 0.0;
+  double dual_update_seconds = 0.0;
+  double local_update_seconds = 0.0;  ///< serial sum (1-rank makespan)
+  int measured_iterations = 0;
+};
+
+/// Run `iterations` solver-free ADMM iterations with per-component timers.
+IterationCosts measure_solver_free(const dopf::opf::DistributedProblem& problem,
+                                   dopf::core::AdmmOptions options,
+                                   int iterations);
+
+/// Run `iterations` benchmark-ADMM iterations with per-component timers.
+IterationCosts measure_benchmark(const dopf::opf::DistributedProblem& problem,
+                                 dopf::core::AdmmOptions options,
+                                 int iterations);
+
+}  // namespace dopf::runtime

@@ -1,0 +1,54 @@
+#include "runtime/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace dopf::runtime {
+
+Partition block_partition(std::size_t num_components, std::size_t ranks) {
+  if (ranks == 0) throw std::invalid_argument("block_partition: 0 ranks");
+  Partition parts(ranks);
+  const std::size_t base = num_components / ranks;
+  const std::size_t extra = num_components % ranks;
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::size_t count = base + (r < extra ? 1 : 0);
+    parts[r].reserve(count);
+    for (std::size_t k = 0; k < count; ++k) parts[r].push_back(next++);
+  }
+  return parts;
+}
+
+Partition lpt_partition(std::span<const double> weights, std::size_t ranks) {
+  if (ranks == 0) throw std::invalid_argument("lpt_partition: 0 ranks");
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  Partition parts(ranks);
+  using Entry = std::pair<double, std::size_t>;  // (load, rank)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t r = 0; r < ranks; ++r) heap.push({0.0, r});
+  for (std::size_t s : order) {
+    auto [load, r] = heap.top();
+    heap.pop();
+    parts[r].push_back(s);
+    heap.push({load + weights[s], r});
+  }
+  return parts;
+}
+
+double makespan(const Partition& partition, std::span<const double> weights) {
+  double worst = 0.0;
+  for (const auto& part : partition) {
+    double load = 0.0;
+    for (std::size_t s : part) load += weights[s];
+    worst = std::max(worst, load);
+  }
+  return worst;
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dopf::runtime {
+
+/// Assignment of S components to N ranks. parts[r] lists component ids
+/// owned by rank r.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Contiguous near-even split of S components over N ranks — the paper's
+/// "we distribute S subsystems nearly evenly, assigning each one to a
+/// distinct node" (Sec. V-A).
+Partition block_partition(std::size_t num_components, std::size_t ranks);
+
+/// Weighted longest-processing-time greedy: balance the measured
+/// per-component costs instead of the counts (ablation of the paper's
+/// even-count rule).
+Partition lpt_partition(std::span<const double> weights, std::size_t ranks);
+
+/// max over ranks of the summed weights (the compute makespan).
+double makespan(const Partition& partition, std::span<const double> weights);
+
+}  // namespace dopf::runtime

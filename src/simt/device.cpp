@@ -1,0 +1,76 @@
+#include "simt/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dopf::simt {
+
+void BlockContext::charge(std::size_t items, double flops_per_item,
+                          double bytes_per_item) {
+  if (items == 0) return;
+  const std::size_t rounds = (items + threads - 1) / threads;
+  seconds += static_cast<double>(rounds) *
+             (flops_per_item * flop_time_s_ + bytes_per_item * byte_time_s_);
+}
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
+  // Per-thread arithmetic time. The device-wide throughput is
+  // sm_count*warp_size lanes; a single thread sees the per-lane rate.
+  flop_time_s_ = 1.0 / (spec_.clock_ghz * 1e9 * spec_.flops_per_cycle);
+  // Per-thread effective memory time: the full bandwidth is shared by all
+  // concurrently resident lanes; a single thread's share is bandwidth /
+  // (sm_count * warp_size).
+  const double lanes = static_cast<double>(spec_.sm_count) *
+                       static_cast<double>(spec_.warp_size);
+  byte_time_s_ = lanes / (spec_.mem_bandwidth_gb_s * 1e9);
+}
+
+int Device::concurrent_blocks(int threads_per_block) const {
+  const int warps =
+      (threads_per_block + spec_.warp_size - 1) / spec_.warp_size;
+  const int max_warps_per_sm = 64;  // A100
+  const int by_warps = std::max(1, max_warps_per_sm / std::max(1, warps));
+  const int per_sm = std::min(spec_.max_blocks_per_sm, by_warps);
+  return spec_.sm_count * per_sm;
+}
+
+void Device::launch(const std::string& kernel_name, int num_blocks,
+                    int threads_per_block,
+                    const std::function<void(BlockContext&)>& body) {
+  if (threads_per_block < 1 ||
+      threads_per_block > spec_.max_threads_per_block) {
+    throw std::invalid_argument("Device::launch: bad threads_per_block");
+  }
+  if (num_blocks < 0) {
+    throw std::invalid_argument("Device::launch: negative grid");
+  }
+  double total_block_time = 0.0;
+  double max_block_time = 0.0;
+  for (int b = 0; b < num_blocks; ++b) {
+    BlockContext ctx;
+    ctx.block_index = b;
+    ctx.threads = threads_per_block;
+    ctx.flop_time_s_ = flop_time_s_;
+    ctx.byte_time_s_ = byte_time_s_;
+    body(ctx);
+    total_block_time += ctx.seconds;
+    max_block_time = std::max(max_block_time, ctx.seconds);
+  }
+  const double concurrency =
+      static_cast<double>(concurrent_blocks(threads_per_block));
+  const double makespan =
+      std::max(total_block_time / concurrency, max_block_time);
+  const double time = spec_.kernel_launch_us * 1e-6 + makespan;
+  ledger_.kernel_seconds += time;
+  ledger_.by_kernel[kernel_name] += time;
+}
+
+void Device::record_transfer(std::size_t bytes) {
+  const double time = spec_.pcie_latency_us * 1e-6 +
+                      static_cast<double>(bytes) /
+                          (spec_.pcie_bandwidth_gb_s * 1e9);
+  ledger_.transfer_seconds += time;
+}
+
+}  // namespace dopf::simt

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+/// SIMT execution simulator.
+///
+/// Substitution note (DESIGN.md): the paper runs CUDA.jl kernels on NVIDIA
+/// A100 GPUs, which this environment does not have. This module provides a
+/// functional stand-in: kernels execute bit-exactly on the host (so the
+/// algorithm's trajectory is identical to a real GPU run, which is also what
+/// the paper's Fig. 2 demonstrates), while a calibrated cost model
+/// accumulates the *simulated* execution time a grid/block/thread launch
+/// would take — including launch overhead, SM occupancy (work-span
+/// makespan), per-thread arithmetic/memory cost, and host<->device transfer
+/// cost. Timing claims derived from it are about shape, not absolute
+/// seconds.
+namespace dopf::simt {
+
+/// Hardware parameters of the simulated device. Defaults approximate one
+/// NVIDIA A100-40GB (the paper's Swing nodes).
+struct DeviceSpec {
+  std::string name = "sim-a100";
+  int sm_count = 108;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  /// Resident blocks per SM cap (occupancy limiter for small blocks).
+  int max_blocks_per_sm = 16;
+  /// Per-thread double-precision throughput (FMA = 2 flops/cycle).
+  double clock_ghz = 1.41;
+  double flops_per_cycle = 2.0;
+  /// Effective global-memory bandwidth.
+  double mem_bandwidth_gb_s = 1400.0;
+  /// Fixed kernel launch overhead.
+  double kernel_launch_us = 4.0;
+  /// Host <-> device transfer (PCIe) parameters.
+  double pcie_bandwidth_gb_s = 12.0;
+  double pcie_latency_us = 8.0;
+};
+
+/// Cost charged by a kernel's block for one thread-parallel section.
+struct BlockContext {
+  int block_index = 0;
+  int threads = 1;
+
+  /// Charge a section where `items` independent work items are distributed
+  /// round-robin over the block's threads; each item costs the given flops
+  /// and bytes. The block's simulated time grows by
+  /// ceil(items / threads) * per-item time (the SIMT serialization the
+  /// paper's thread sweep in Fig. 3 exercises).
+  void charge(std::size_t items, double flops_per_item, double bytes_per_item);
+
+  double seconds = 0.0;  ///< accumulated simulated block time
+
+ private:
+  friend class Device;
+  double flop_time_s_ = 0.0;
+  double byte_time_s_ = 0.0;
+};
+
+/// Accumulated simulated time, by category and kernel name.
+struct TimeLedger {
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  std::map<std::string, double> by_kernel;
+
+  double total() const { return kernel_seconds + transfer_seconds; }
+  void clear() {
+    kernel_seconds = transfer_seconds = 0.0;
+    by_kernel.clear();
+  }
+};
+
+/// A simulated GPU. Launch kernels on it and read the ledger.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = {});
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Execute `body(ctx)` once per block (serially, bit-exact), then charge
+  /// the grid's makespan under the occupancy model:
+  ///   time = launch_overhead + max(sum(block times)/concurrent_blocks,
+  ///                                max block time).
+  void launch(const std::string& kernel_name, int num_blocks,
+              int threads_per_block,
+              const std::function<void(BlockContext&)>& body);
+
+  /// Charge a host->device or device->host copy of `bytes`.
+  void record_transfer(std::size_t bytes);
+
+  const TimeLedger& ledger() const { return ledger_; }
+  TimeLedger& ledger() { return ledger_; }
+
+  /// Concurrent blocks the device sustains for a given block size.
+  int concurrent_blocks(int threads_per_block) const;
+
+  /// Per-thread cost coefficients (exposed for pure cost estimation).
+  double flop_seconds() const { return flop_time_s_; }
+  double byte_seconds() const { return byte_time_s_; }
+
+ private:
+  DeviceSpec spec_;
+  TimeLedger ledger_;
+  double flop_time_s_;
+  double byte_time_s_;
+};
+
+}  // namespace dopf::simt

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "opf/decompose.hpp"
+#include "simt/device.hpp"
+
+namespace dopf::simt {
+
+/// Flattened, "device-resident" image of the distributed problem — the
+/// arrays a CUDA implementation would upload once before the ADMM loop
+/// (Sec. IV-C/IV-D): concatenated Abar_s / bbar_s blocks, the consensus map,
+/// and the per-variable gather lists that make the diagonal global update
+/// (18) a one-thread-per-entry kernel.
+struct DeviceProblem {
+  // Per component s:
+  std::vector<std::int64_t> comp_offset;   ///< start of x_s within z
+  std::vector<std::int64_t> abar_offset;   ///< start of Abar_s (row-major)
+  std::vector<int> comp_nvars;             ///< n_s
+  // Concatenated payloads:
+  std::vector<double> abar;      ///< all Abar_s, row-major per component
+  std::vector<double> bbar;      ///< all bbar_s
+  std::vector<int> global_idx;   ///< z position -> global variable
+  // Per global variable i (CSR over z positions holding copies of i):
+  std::vector<std::int64_t> gather_ptr;
+  std::vector<std::int64_t> gather_pos;
+  std::vector<double> c, lb, ub;
+
+  std::size_t num_components() const { return comp_nvars.size(); }
+  std::size_t num_global() const { return c.size(); }
+  std::size_t total_local() const { return global_idx.size(); }
+  /// Device-resident footprint in bytes (diagnostics).
+  std::size_t bytes() const;
+
+  static DeviceProblem build(const dopf::opf::DistributedProblem& problem,
+                             const dopf::core::LocalSolvers& solvers);
+};
+
+struct GpuAdmmOptions {
+  /// Note: the simulated GPU paths execute the paper's Algorithm 1 exactly;
+  /// the CPU-side extension fields of AdmmOptions (adaptive_rho, relaxation,
+  /// quantize_bits) are ignored here so GPU runs stay bit-comparable to the
+  /// plain CPU path.
+  dopf::core::AdmmOptions admm;
+  /// Threads per block T for the local-update kernel (paper sweeps 1..64).
+  int threads_per_block = 32;
+  /// Threads per block for the elementwise global/dual kernels.
+  int elementwise_block = 256;
+};
+
+/// GPU-simulated execution of Algorithm 1.
+///
+/// Produces iterates *bit-identical* to core::SolverFreeAdmm (the update
+/// expressions and floating-point summation orders match), which is the
+/// property the paper's Fig. 2 demonstrates for CPU vs GPU; the simulated
+/// ledger provides the per-kernel timing for Figs. 3-4.
+class GpuSolverFreeAdmm {
+ public:
+  GpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
+                    GpuAdmmOptions options, Device device = Device());
+
+  dopf::core::AdmmResult solve();
+
+  // Step API, mirroring the CPU solver.
+  void upload();  ///< charge the one-time h2d transfer of the problem image
+  void global_update();
+  void local_update();
+  void dual_update();
+  dopf::core::IterationRecord compute_residuals(int iteration) const;
+  bool termination_satisfied(const dopf::core::IterationRecord& rec) const;
+
+  std::span<const double> x() const { return x_; }
+  std::span<const double> z() const { return z_; }
+  const Device& device() const { return device_; }
+  Device& device() { return device_; }
+  const DeviceProblem& image() const { return image_; }
+
+  /// Simulated seconds per update kind, averaged over iterations run.
+  struct KernelAverages {
+    double global_update = 0.0;
+    double local_update = 0.0;
+    double dual_update = 0.0;
+    double total() const { return global_update + local_update + dual_update; }
+  };
+  KernelAverages kernel_averages() const;
+
+ private:
+  const dopf::opf::DistributedProblem* problem_;
+  GpuAdmmOptions options_;
+  Device device_;
+  DeviceProblem image_;
+  double rho_;
+  int iterations_run_ = 0;
+
+  std::vector<double> x_, z_, z_prev_, lambda_, y_scratch_;
+};
+
+/// Pure cost helper: simulated seconds of one local-update kernel launch for
+/// the given subset of components with T threads per block. Used by the
+/// virtual cluster to price multi-GPU partitions without re-executing.
+double local_update_kernel_seconds(const Device& device,
+                                   const DeviceProblem& image,
+                                   std::span<const std::size_t> components,
+                                   int threads_per_block);
+
+}  // namespace dopf::simt

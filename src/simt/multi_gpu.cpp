@@ -1,0 +1,226 @@
+#include "simt/multi_gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dopf::simt {
+
+using dopf::core::AdmmResult;
+using dopf::core::IterationRecord;
+using dopf::core::LocalSolvers;
+using dopf::opf::DistributedProblem;
+
+MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
+    const DistributedProblem& problem, MultiGpuOptions options)
+    : problem_(&problem),
+      options_(options),
+      rho_(options.gpu.admm.rho) {
+  const LocalSolvers solvers = LocalSolvers::precompute(problem);
+  image_ = DeviceProblem::build(problem, solvers);
+  devices_.assign(std::max<std::size_t>(1, options.num_devices),
+                  Device(options.device_spec));
+  partition_ = dopf::runtime::block_partition(problem.components.size(),
+                                              devices_.size());
+  payload_vars_.assign(devices_.size(), 0);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    for (std::size_t s : partition_[d]) {
+      payload_vars_[d] += problem.components[s].num_vars();
+    }
+  }
+
+  x_ = problem.x0;
+  z_.assign(image_.total_local(), 0.0);
+  lambda_.assign(image_.total_local(), 0.0);
+  y_scratch_.assign(image_.total_local(), 0.0);
+  for (std::size_t pos = 0; pos < z_.size(); ++pos) {
+    z_[pos] = problem.x0[image_.global_idx[pos]];
+  }
+  z_prev_ = z_;
+  // Each device uploads its slice of the problem image once.
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    devices_[d].record_transfer(image_.bytes() / devices_.size());
+  }
+}
+
+void MultiGpuSolverFreeAdmm::global_update() {
+  // Aggregator (device 0) runs the diagonal global update over all entries.
+  const std::size_t n = image_.num_global();
+  const int T = options_.gpu.elementwise_block;
+  const int blocks = static_cast<int>((n + T - 1) / T);
+  const double before = devices_[0].ledger().kernel_seconds;
+  devices_[0].launch("global_update", blocks, T, [&](BlockContext& ctx) {
+    const std::size_t begin = static_cast<std::size_t>(ctx.block_index) * T;
+    const std::size_t end = std::min(n, begin + T);
+    double max_flops = 0.0, max_bytes = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int64_t p0 = image_.gather_ptr[i];
+      const std::int64_t p1 = image_.gather_ptr[i + 1];
+      double acc = 0.0;
+      for (std::int64_t k = p0; k < p1; ++k) {
+        const std::int64_t pos = image_.gather_pos[k];
+        acc += rho_ * z_[pos] - lambda_[pos];
+      }
+      const double deg = static_cast<double>(p1 - p0);
+      const double xhat = (acc - image_.c[i]) / (rho_ * deg);
+      x_[i] = std::min(std::max(xhat, image_.lb[i]), image_.ub[i]);
+      max_flops = std::max(max_flops, 3.0 * deg + 5.0);
+      max_bytes = std::max(max_bytes, 24.0 * deg + 40.0);
+    }
+    ctx.charge(end - begin, max_flops, max_bytes);
+  });
+  sim_global_ += devices_[0].ledger().kernel_seconds - before;
+}
+
+double MultiGpuSolverFreeAdmm::launch_local_on(std::size_t d) {
+  const int T = options_.gpu.threads_per_block;
+  const double before = devices_[d].ledger().kernel_seconds;
+  const auto& part = partition_[d];
+  devices_[d].launch(
+      "local_update", static_cast<int>(part.size()), T,
+      [&](BlockContext& ctx) {
+        const std::size_t s = part[ctx.block_index];
+        const std::size_t ns = image_.comp_nvars[s];
+        const std::int64_t off = image_.comp_offset[s];
+        const std::int64_t aoff = image_.abar_offset[s];
+        double* y = y_scratch_.data() + off;
+        for (std::size_t j = 0; j < ns; ++j) {
+          y[j] = x_[image_.global_idx[off + static_cast<std::int64_t>(j)]] +
+                 lambda_[off + static_cast<std::int64_t>(j)] / rho_;
+        }
+        ctx.charge(ns, 3.0, 28.0);
+        for (std::size_t i = 0; i < ns; ++i) {
+          const double* row = image_.abar.data() + aoff +
+                              static_cast<std::int64_t>(i * ns);
+          double sum = 0.0;
+          for (std::size_t j = 0; j < ns; ++j) sum += row[j] * y[j];
+          z_[off + static_cast<std::int64_t>(i)] =
+              image_.bbar[off + static_cast<std::int64_t>(i)] - sum;
+        }
+        ctx.charge(ns, 2.0 * static_cast<double>(ns) + 1.0,
+                   8.0 * static_cast<double>(ns) + 24.0);
+      });
+  return devices_[d].ledger().kernel_seconds - before;
+}
+
+void MultiGpuSolverFreeAdmm::local_update() {
+  z_prev_.swap(z_);
+  // Devices run concurrently: the phase time is the slowest kernel plus the
+  // consensus traffic (PCIe staging per device, MPI to the aggregator; the
+  // aggregator handles peers serially).
+  double span = 0.0;
+  double comm = 0.0;
+  double staging = 0.0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    span = std::max(span, launch_local_on(d));
+    const std::size_t down = payload_vars_[d] * sizeof(double);
+    const std::size_t up = 2 * payload_vars_[d] * sizeof(double);
+    if (devices_.size() > 1) {
+      staging = std::max(staging, options_.staging.transfer_seconds(down) +
+                                      options_.staging.transfer_seconds(up));
+      devices_[d].record_transfer(down + up);
+      if (d != 0) {
+        comm += options_.comm.message_seconds(down) +
+                options_.comm.message_seconds(up);
+      }
+    }
+  }
+  sim_local_ += span + comm + staging;
+}
+
+double MultiGpuSolverFreeAdmm::launch_dual_on(std::size_t d) {
+  const int T = options_.gpu.elementwise_block;
+  const double before = devices_[d].ledger().kernel_seconds;
+  const auto& part = partition_[d];
+  devices_[d].launch("dual_update", static_cast<int>(part.size()), T,
+                     [&](BlockContext& ctx) {
+                       const std::size_t s = part[ctx.block_index];
+                       const std::size_t ns = image_.comp_nvars[s];
+                       const std::int64_t off = image_.comp_offset[s];
+                       for (std::size_t j = 0; j < ns; ++j) {
+                         const std::int64_t pos =
+                             off + static_cast<std::int64_t>(j);
+                         lambda_[pos] +=
+                             rho_ * (x_[image_.global_idx[pos]] - z_[pos]);
+                       }
+                       ctx.charge(ns, 3.0, 44.0);
+                     });
+  return devices_[d].ledger().kernel_seconds - before;
+}
+
+void MultiGpuSolverFreeAdmm::dual_update() {
+  double span = 0.0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    span = std::max(span, launch_dual_on(d));
+  }
+  sim_dual_ += span;
+}
+
+IterationRecord MultiGpuSolverFreeAdmm::compute_residuals(
+    int iteration) const {
+  IterationRecord rec;
+  rec.iteration = iteration;
+  rec.rho = rho_;
+  double pres2 = 0.0, bx2 = 0.0, z2 = 0.0, dz2 = 0.0, l2 = 0.0;
+  for (std::size_t pos = 0; pos < z_.size(); ++pos) {
+    const double bx = x_[image_.global_idx[pos]];
+    const double d = bx - z_[pos];
+    pres2 += d * d;
+    bx2 += bx * bx;
+    z2 += z_[pos] * z_[pos];
+    const double dz = z_[pos] - z_prev_[pos];
+    dz2 += dz * dz;
+    l2 += lambda_[pos] * lambda_[pos];
+  }
+  rec.primal_residual = std::sqrt(pres2);
+  rec.dual_residual = rho_ * std::sqrt(dz2);
+  rec.eps_primal = options_.gpu.admm.eps_rel * std::sqrt(std::max(bx2, z2));
+  rec.eps_dual = options_.gpu.admm.eps_rel * std::sqrt(l2);
+  return rec;
+}
+
+AdmmResult MultiGpuSolverFreeAdmm::solve() {
+  AdmmResult result;
+  const auto& opt = options_.gpu.admm;
+  int recorded = 0;
+  for (int t = 1; t <= opt.max_iterations; ++t) {
+    global_update();
+    local_update();
+    dual_update();
+    ++iterations_run_;
+    result.iterations = t;
+    if (t % opt.check_every == 0) {
+      const IterationRecord rec = compute_residuals(t);
+      if (++recorded % opt.record_every == 0) result.history.push_back(rec);
+      result.primal_residual = rec.primal_residual;
+      result.dual_residual = rec.dual_residual;
+      if (rec.primal_residual <= rec.eps_primal &&
+          rec.dual_residual <= rec.eps_dual) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.x.assign(x_.begin(), x_.end());
+  result.objective = dopf::linalg::dot(problem_->c, x_);
+  result.final_rho = rho_;
+  result.timing.global_update = sim_global_;
+  result.timing.local_update = sim_local_;
+  result.timing.dual_update = sim_dual_;
+  result.timing.iterations = iterations_run_;
+  return result;
+}
+
+MultiGpuSolverFreeAdmm::IterationAverages
+MultiGpuSolverFreeAdmm::iteration_averages() const {
+  IterationAverages avg;
+  if (iterations_run_ == 0) return avg;
+  const double n = static_cast<double>(iterations_run_);
+  avg.global_update = sim_global_ / n;
+  avg.local_update = sim_local_ / n;
+  avg.dual_update = sim_dual_ / n;
+  return avg;
+}
+
+}  // namespace dopf::simt

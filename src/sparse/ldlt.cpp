@@ -1,0 +1,174 @@
+#include "sparse/ldlt.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "linalg/cholesky.hpp"  // for SingularMatrixError
+#include "sparse/ordering.hpp"
+
+namespace dopf::sparse {
+
+SparseLdlt::SparseLdlt(const CsrMatrix& a, Ordering ordering) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("SparseLdlt: matrix must be square");
+  }
+  n_ = a.rows();
+
+  if (ordering == Ordering::kRcm) {
+    perm_ = reverse_cuthill_mckee(a);
+  } else {
+    perm_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) perm_[i] = static_cast<int>(i);
+  }
+  iperm_ = invert_permutation(perm_);
+
+  // Build the permuted upper-triangular pattern in CSC form. Entry (i, j) of
+  // the original lower triangle (j <= i) maps to permuted coordinates
+  // (pi, pj) = (iperm[i], iperm[j]); we store it in the column max(pi, pj)
+  // with row index min(pi, pj), which is the upper-CSC convention.
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  struct Entry {
+    int row;
+    std::int64_t src;
+  };
+  std::vector<std::vector<Entry>> cols(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t j = static_cast<std::size_t>(ci[k]);
+      if (j > i) continue;  // read lower triangle (and diagonal) only
+      const int pi = iperm_[i];
+      const int pj = iperm_[j];
+      const int col = pi > pj ? pi : pj;
+      const int row = pi > pj ? pj : pi;
+      cols[col].push_back({row, k});
+    }
+  }
+  ap_.assign(n_ + 1, 0);
+  for (std::size_t c = 0; c < n_; ++c) {
+    ap_[c + 1] = ap_[c] + static_cast<std::int64_t>(cols[c].size());
+  }
+  ai_.resize(static_cast<std::size_t>(ap_[n_]));
+  asrc_.resize(ai_.size());
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::int64_t pos = ap_[c];
+    for (const Entry& e : cols[c]) {
+      ai_[pos] = e.row;
+      asrc_[pos] = e.src;
+      ++pos;
+    }
+  }
+
+  // Symbolic phase (LDL-package style): elimination tree + column counts.
+  parent_.assign(n_, -1);
+  std::vector<int> flag(n_);
+  std::vector<std::int64_t> lnz(n_, 0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    flag[k] = static_cast<int>(k);
+    for (std::int64_t p = ap_[k]; p < ap_[k + 1]; ++p) {
+      int i = ai_[p];
+      if (i >= static_cast<int>(k)) continue;
+      for (; flag[i] != static_cast<int>(k); i = parent_[i]) {
+        if (parent_[i] == -1) parent_[i] = static_cast<int>(k);
+        ++lnz[i];
+        flag[i] = static_cast<int>(k);
+      }
+    }
+  }
+  lp_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < n_; ++k) lp_[k + 1] = lp_[k] + lnz[k];
+  li_.resize(static_cast<std::size_t>(lp_[n_]));
+  lx_.resize(li_.size());
+  d_.resize(n_);
+}
+
+void SparseLdlt::factorize(const CsrMatrix& a, double diag_shift) {
+  if (a.rows() != n_ || a.cols() != n_) {
+    throw std::invalid_argument("SparseLdlt::factorize: dimension mismatch");
+  }
+  const auto ax = a.values();
+
+  std::vector<double> y(n_, 0.0);
+  std::vector<int> pattern(n_);
+  std::vector<int> flag(n_, -1);
+  std::vector<std::int64_t> lnz_count(n_, 0);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    std::size_t top = n_;
+    flag[k] = static_cast<int>(k);
+    y[k] = 0.0;
+    for (std::int64_t p = ap_[k]; p < ap_[k + 1]; ++p) {
+      int i = ai_[p];
+      if (i > static_cast<int>(k)) continue;
+      y[i] += ax[asrc_[p]];
+      int len = 0;
+      // Reuse the tail of `pattern` as a temporary stack for the path to the
+      // root, then commit it in reverse so the row pattern stays topological.
+      static thread_local std::vector<int> stack;
+      stack.clear();
+      for (; flag[i] != static_cast<int>(k); i = parent_[i]) {
+        stack.push_back(i);
+        flag[i] = static_cast<int>(k);
+        ++len;
+      }
+      while (len > 0) pattern[--top] = stack[--len];
+    }
+
+    double dk = y[k] + diag_shift;
+    y[k] = 0.0;
+    for (; top < n_; ++top) {
+      const int i = pattern[top];
+      const double yi = y[i];
+      y[i] = 0.0;
+      const std::int64_t p2 = lp_[i] + lnz_count[i];
+      for (std::int64_t p = lp_[i]; p < p2; ++p) {
+        y[li_[p]] -= lx_[p] * yi;
+      }
+      const double lki = yi / d_[i];
+      dk -= lki * yi;
+      li_[p2] = static_cast<int>(k);
+      lx_[p2] = lki;
+      ++lnz_count[i];
+    }
+    if (dk <= 0.0) {
+      throw dopf::linalg::SingularMatrixError(
+          "SparseLdlt: non-positive pivot " + std::to_string(dk) +
+          " at column " + std::to_string(k) +
+          " (matrix not positive definite; increase diag_shift)");
+    }
+    d_[k] = dk;
+  }
+  factorized_ = true;
+}
+
+std::vector<double> SparseLdlt::solve(std::span<const double> b) const {
+  if (!factorized_) {
+    throw std::logic_error("SparseLdlt::solve: factorize() first");
+  }
+  if (b.size() != n_) {
+    throw std::invalid_argument("SparseLdlt::solve: size mismatch");
+  }
+  // Permute, L y = Pb, D z = y, L^T w = z, un-permute.
+  std::vector<double> x(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[k] = b[perm_[k]];
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::int64_t p = lp_[j]; p < lp_[j + 1]; ++p) {
+      x[li_[p]] -= lx_[p] * xj;
+    }
+  }
+  for (std::size_t j = 0; j < n_; ++j) x[j] /= d_[j];
+  for (std::size_t jj = n_; jj-- > 0;) {
+    double sum = x[jj];
+    for (std::int64_t p = lp_[jj]; p < lp_[jj + 1]; ++p) {
+      sum -= lx_[p] * x[li_[p]];
+    }
+    x[jj] = sum;
+  }
+  std::vector<double> out(n_);
+  for (std::size_t k = 0; k < n_; ++k) out[perm_[k]] = x[k];
+  return out;
+}
+
+}  // namespace dopf::sparse

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dopf::sparse {
+
+/// Ordering applied before factorization.
+enum class Ordering {
+  kNatural,  ///< factor A as given
+  kRcm,      ///< reverse Cuthill-McKee (good for near-tree feeder systems)
+};
+
+/// Simplicial sparse LDL^T factorization (up-looking, elimination-tree
+/// based, in the style of the LDL package of Davis).
+///
+/// Splits into a one-time symbolic analysis of the pattern and a numeric
+/// phase that can be repeated with new values on the same pattern — the use
+/// case of the reference interior-point solver, whose normal-equations
+/// matrix A D A^T changes values (not pattern) every iteration.
+///
+/// The input is a square symmetric matrix in CSR form; only the lower
+/// triangle (column indices <= row) is read, so callers may pass either the
+/// full symmetric matrix or just its lower triangle.
+class SparseLdlt {
+ public:
+  /// Symbolic analysis (and ordering) of the pattern of `a`.
+  explicit SparseLdlt(const CsrMatrix& a, Ordering ordering = Ordering::kRcm);
+
+  /// Numeric factorization of a matrix with the *same pattern* as the one
+  /// analyzed. `diag_shift` is added to every diagonal entry (primal-dual
+  /// regularization); a zero or negative pivot after shifting throws.
+  void factorize(const CsrMatrix& a, double diag_shift = 0.0);
+
+  /// Solve A x = b using the current factors.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  std::size_t dim() const noexcept { return n_; }
+  std::size_t nnz_l() const noexcept { return li_.size(); }
+  bool factorized() const noexcept { return factorized_; }
+  std::span<const int> permutation() const noexcept { return perm_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> perm_;   // perm_[new] = old
+  std::vector<int> iperm_;  // iperm_[old] = new
+
+  // Permuted upper-triangular pattern in CSC form; ai_ holds row indices,
+  // asrc_ maps each entry back into the analyzed matrix's CSR value array.
+  std::vector<std::int64_t> ap_;
+  std::vector<int> ai_;
+  std::vector<std::int64_t> asrc_;
+
+  // Elimination tree and column counts from the symbolic phase.
+  std::vector<int> parent_;
+  std::vector<std::int64_t> lp_;  // column pointers of L (size n+1)
+
+  // Numeric factors: L (unit lower triangular, CSC) and diagonal D.
+  std::vector<int> li_;
+  std::vector<double> lx_;
+  std::vector<double> d_;
+  bool factorized_ = false;
+};
+
+}  // namespace dopf::sparse

@@ -1,0 +1,82 @@
+#include "sparse/normal_equations.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dopf::sparse {
+
+NormalEquations::NormalEquations(const CsrMatrix& a)
+    : m_(a.rows()), n_(a.cols()) {
+  // Per-column adjacency of A: (row, value-index) pairs.
+  std::vector<std::vector<std::pair<int, std::int64_t>>> col_entries(n_);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      col_entries[ci[k]].push_back({static_cast<int>(i), k});
+    }
+  }
+
+  // Pattern: every pair of rows sharing a column produces a lower-triangle
+  // entry. Collect as triplets first (duplicates merged by from_triplets).
+  std::vector<Triplet> pattern;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const auto& col = col_entries[k];
+    for (std::size_t p = 0; p < col.size(); ++p) {
+      for (std::size_t q = 0; q <= p; ++q) {
+        const int i = std::max(col[p].first, col[q].first);
+        const int j = std::min(col[p].first, col[q].first);
+        pattern.push_back({i, j, 1.0});
+      }
+    }
+  }
+  // Make sure the full diagonal exists even for empty rows of A, so the
+  // factorization's regularization shift has somewhere to land.
+  for (std::size_t i = 0; i < m_; ++i) {
+    pattern.push_back({static_cast<int>(i), static_cast<int>(i), 1.0});
+  }
+  c_ = CsrMatrix::from_triplets(m_, m_, pattern);
+
+  // Map each (column, pair) contribution to its entry in c_.
+  contributions_.reserve(pattern.size());
+  const auto crp = c_.row_ptr();
+  const auto cci = c_.col_idx();
+  auto locate = [&](int i, int j) -> std::int64_t {
+    const auto begin = cci.begin() + crp[i];
+    const auto end = cci.begin() + crp[i + 1];
+    const auto it = std::lower_bound(begin, end, static_cast<std::int64_t>(j));
+    return it - cci.begin();
+  };
+  for (std::size_t k = 0; k < n_; ++k) {
+    const auto& col = col_entries[k];
+    for (std::size_t p = 0; p < col.size(); ++p) {
+      for (std::size_t q = 0; q <= p; ++q) {
+        const int i = std::max(col[p].first, col[q].first);
+        const int j = std::min(col[p].first, col[q].first);
+        const std::int64_t vi =
+            col[p].first >= col[q].first ? col[p].second : col[q].second;
+        const std::int64_t vj =
+            col[p].first >= col[q].first ? col[q].second : col[p].second;
+        contributions_.push_back(
+            {vi, vj, locate(i, j), static_cast<std::int64_t>(k)});
+      }
+    }
+  }
+}
+
+const CsrMatrix& NormalEquations::compute(const CsrMatrix& a,
+                                          std::span<const double> d) {
+  if (a.rows() != m_ || a.cols() != n_ || d.size() != n_) {
+    throw std::invalid_argument("NormalEquations::compute: shape mismatch");
+  }
+  const auto ax = a.values();
+  auto cx = c_.values_mutable();
+  std::fill(cx.begin(), cx.end(), 0.0);
+  for (const Contribution& t : contributions_) {
+    cx[t.c_entry] += d[t.column] * ax[t.a_entry_i] * ax[t.a_entry_j];
+  }
+  return c_;
+}
+
+}  // namespace dopf::sparse

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace dopf::sparse {
+
+/// Incrementally re-evaluated normal-equations matrix  C = A diag(d) A^T.
+///
+/// The reference interior-point LP solver refactorizes C every iteration
+/// with new scaling d but a fixed sparsity pattern. This class computes the
+/// pattern once (lower triangle of C in CSR form, suitable for SparseLdlt)
+/// and precomputes, for every column k of A, the list of entry pairs it
+/// contributes to, so the numeric update is a single linear sweep.
+class NormalEquations {
+ public:
+  explicit NormalEquations(const CsrMatrix& a);
+
+  /// Recompute values for scaling `d` (size = cols(A)); the diagonal shift
+  /// is applied by the factorization, not here. Returns the lower-triangular
+  /// CSR matrix (pattern is identical across calls).
+  const CsrMatrix& compute(const CsrMatrix& a, std::span<const double> d);
+
+  const CsrMatrix& matrix() const noexcept { return c_; }
+
+ private:
+  std::size_t m_ = 0;  // rows of A
+  std::size_t n_ = 0;  // cols of A
+
+  struct Contribution {
+    std::int64_t a_entry_i;  // index into A.values()
+    std::int64_t a_entry_j;  // index into A.values()
+    std::int64_t c_entry;    // index into c_.values()
+    std::int64_t column;     // shared column k (selects d[k])
+  };
+  std::vector<Contribution> contributions_;
+  CsrMatrix c_;
+};
+
+}  // namespace dopf::sparse

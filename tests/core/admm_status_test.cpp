@@ -1,0 +1,233 @@
+/// Tests for solver robustness: status reporting, time limits, and
+/// divergence detection on ill-posed inputs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baseline/benchmark_admm.hpp"
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::core {
+namespace {
+
+const dopf::opf::DistributedProblem& problem() {
+  static const auto net = dopf::feeders::ieee13();
+  static const auto p = dopf::opf::decompose(net);
+  return p;
+}
+
+TEST(AdmmStatusTest, ConvergedStatusReported) {
+  AdmmOptions opt;
+  SolverFreeAdmm admm(problem(), opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kConverged);
+}
+
+TEST(AdmmStatusTest, IterationLimitStatusReported) {
+  AdmmOptions opt;
+  opt.max_iterations = 5;
+  SolverFreeAdmm admm(problem(), opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kIterationLimit);
+  EXPECT_EQ(res.iterations, 5);
+}
+
+TEST(AdmmStatusTest, TimeLimitStops) {
+  AdmmOptions opt;
+  opt.max_iterations = 100000000;
+  opt.time_limit_seconds = 0.05;
+  SolverFreeAdmm admm(problem(), opt);
+  const AdmmResult res = admm.solve();
+  if (!res.converged) {  // on a slow machine it may legitimately converge
+    EXPECT_EQ(res.status, AdmmStatus::kTimeLimit);
+    EXPECT_LT(res.iterations, 100000000);
+  }
+}
+
+TEST(AdmmStatusTest, BenchmarkTimeLimitStops) {
+  AdmmOptions opt;
+  opt.max_iterations = 100000000;
+  opt.time_limit_seconds = 0.05;
+  dopf::baseline::BenchmarkAdmm admm(problem(), opt);
+  const AdmmResult res = admm.solve();
+  if (!res.converged) {
+    EXPECT_EQ(res.status, AdmmStatus::kTimeLimit);
+  }
+}
+
+dopf::opf::DistributedProblem tiny_problem(double rhs) {
+  // One component: x1 + x2 = rhs, with global bounds x in [0, 1]^2.
+  dopf::opf::DistributedProblem p;
+  p.num_vars = 2;
+  p.c = {1.0, 1.0};
+  p.lb = {0.0, 0.0};
+  p.ub = {1.0, 1.0};
+  p.x0 = {0.5, 0.5};
+  dopf::opf::Component comp;
+  comp.name = "eq";
+  comp.a = dopf::linalg::Matrix{{1.0, 1.0}};
+  comp.b = {rhs};
+  comp.global = {0, 1};
+  p.components.push_back(std::move(comp));
+  p.copy_count = {1, 1};
+  return p;
+}
+
+TEST(AdmmStatusTest, InfeasibleProblemDoesNotClaimConvergence) {
+  // x1 + x2 = 4 conflicts with the box [0,1]^2: the primal residual is
+  // bounded away from zero forever; the solver must stop at the iteration
+  // limit without claiming success.
+  const auto p = tiny_problem(4.0);
+  AdmmOptions opt;
+  opt.max_iterations = 2000;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kIterationLimit);
+  EXPECT_GT(res.primal_residual, 0.1);
+}
+
+TEST(AdmmStatusTest, NonFiniteDataDetectedAsDiverged) {
+  const auto p = tiny_problem(std::numeric_limits<double>::quiet_NaN());
+  AdmmOptions opt;
+  opt.max_iterations = 1000;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kDiverged);
+  EXPECT_LT(res.iterations, 1000);
+}
+
+TEST(AdmmStatusTest, FeasibleTinyProblemConverges) {
+  // Control for the two cases above: rhs = 1 is consistent with the box.
+  const auto p = tiny_problem(1.0);
+  AdmmOptions opt;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0] + res.x[1], 1.0, 1e-2);
+}
+
+TEST(AdmmWarmStartTest, WarmStartCutsResolveIterations) {
+  // Solve, perturb every load by +5% (same layout), re-solve cold vs warm.
+  auto net = dopf::feeders::ieee13();
+  auto model = dopf::opf::build_model(net);
+  auto p1 = dopf::opf::decompose(net, model);
+  AdmmOptions opt;
+  SolverFreeAdmm first(p1, opt);
+  const AdmmResult base = first.solve();
+  ASSERT_TRUE(base.converged);
+  const std::vector<double> lambda(first.lambda().begin(),
+                                   first.lambda().end());
+
+  for (std::size_t l = 0; l < net.num_loads(); ++l) {
+    auto& load = net.load_mutable(static_cast<int>(l));
+    for (auto ph : load.phases.phases()) {
+      load.p_ref[ph] *= 1.05;
+      load.q_ref[ph] *= 1.05;
+    }
+  }
+  auto model2 = dopf::opf::build_model(net);
+  auto p2 = dopf::opf::decompose(net, model2);
+
+  SolverFreeAdmm cold(p2, opt);
+  const AdmmResult rc = cold.solve();
+  SolverFreeAdmm warm(p2, opt);
+  warm.warm_start(base.x, lambda);
+  const AdmmResult rw = warm.solve();
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rw.converged);
+  EXPECT_LT(rw.iterations, rc.iterations / 2);
+  EXPECT_NEAR(rw.objective, rc.objective,
+              0.02 * (1.0 + std::abs(rc.objective)));
+}
+
+TEST(AdmmWarmStartTest, SizeMismatchThrows) {
+  AdmmOptions opt;
+  SolverFreeAdmm admm(problem(), opt);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(admm.warm_start(wrong), std::invalid_argument);
+  std::vector<double> x(problem().num_vars, 0.0);
+  std::vector<double> bad_lambda(5, 0.0);
+  EXPECT_THROW(admm.warm_start(x, bad_lambda), std::invalid_argument);
+}
+
+TEST(AdmmAsyncTest, PartialParticipationStillConverges) {
+  // With 70% of agents responding per round, consensus still forms — it
+  // just takes more rounds than the synchronous algorithm.
+  AdmmOptions sync;
+  SolverFreeAdmm s(problem(), sync);
+  const AdmmResult rs = s.solve();
+
+  AdmmOptions async = sync;
+  async.async_fraction = 0.7;
+  async.max_iterations = 400000;
+  SolverFreeAdmm a(problem(), async);
+  const AdmmResult ra = a.solve();
+
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(ra.converged);
+  EXPECT_GT(ra.iterations, rs.iterations);
+  EXPECT_NEAR(ra.objective, rs.objective,
+              0.05 * (1.0 + std::abs(rs.objective)));
+}
+
+TEST(AdmmAsyncTest, DeterministicForFixedSeed) {
+  AdmmOptions opt;
+  opt.async_fraction = 0.5;
+  opt.max_iterations = 200;
+  opt.check_every = 1000;
+  SolverFreeAdmm a(problem(), opt);
+  SolverFreeAdmm b(problem(), opt);
+  const AdmmResult ra = a.solve();
+  const AdmmResult rb = b.solve();
+  for (std::size_t i = 0; i < ra.x.size(); ++i) {
+    ASSERT_EQ(ra.x[i], rb.x[i]);
+  }
+}
+
+TEST(AdmmAsyncTest, DifferentSeedsDiffer) {
+  AdmmOptions opt;
+  opt.async_fraction = 0.5;
+  opt.max_iterations = 200;
+  opt.check_every = 1000;
+  SolverFreeAdmm a(problem(), opt);
+  opt.async_seed = 2;
+  SolverFreeAdmm b(problem(), opt);
+  const AdmmResult ra = a.solve();
+  const AdmmResult rb = b.solve();
+  bool differs = false;
+  for (std::size_t i = 0; i < ra.x.size() && !differs; ++i) {
+    differs = ra.x[i] != rb.x[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AdmmAsyncTest, FullParticipationMatchesSynchronousExactly) {
+  AdmmOptions opt;
+  opt.max_iterations = 100;
+  opt.check_every = 1000;
+  SolverFreeAdmm sync(problem(), opt);
+  opt.async_fraction = 1.0;  // boundary: must take the synchronous path
+  SolverFreeAdmm async(problem(), opt);
+  const AdmmResult rs = sync.solve();
+  const AdmmResult ra = async.solve();
+  for (std::size_t i = 0; i < rs.x.size(); ++i) {
+    ASSERT_EQ(rs.x[i], ra.x[i]);
+  }
+}
+
+TEST(AdmmStatusTest, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(AdmmStatus::kConverged), "converged");
+  EXPECT_STREQ(to_string(AdmmStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(AdmmStatus::kTimeLimit), "time-limit");
+  EXPECT_STREQ(to_string(AdmmStatus::kDiverged), "diverged");
+}
+
+}  // namespace
+}  // namespace dopf::core

@@ -1,0 +1,167 @@
+#include "feeders/feeder_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "feeders/ieee13.hpp"
+#include "feeders/synthetic.hpp"
+
+namespace dopf::feeders {
+namespace {
+
+using network::Network;
+
+void expect_networks_equal(const Network& a, const Network& b) {
+  ASSERT_EQ(a.num_buses(), b.num_buses());
+  ASSERT_EQ(a.num_generators(), b.num_generators());
+  ASSERT_EQ(a.num_loads(), b.num_loads());
+  ASSERT_EQ(a.num_lines(), b.num_lines());
+  for (std::size_t i = 0; i < a.num_buses(); ++i) {
+    EXPECT_EQ(a.bus(i).name, b.bus(i).name);
+    EXPECT_EQ(a.bus(i).phases, b.bus(i).phases);
+    for (auto p : a.bus(i).phases.phases()) {
+      EXPECT_EQ(a.bus(i).w_min[p], b.bus(i).w_min[p]);
+      EXPECT_EQ(a.bus(i).w_max[p], b.bus(i).w_max[p]);
+      EXPECT_EQ(a.bus(i).b_shunt[p], b.bus(i).b_shunt[p]);
+    }
+  }
+  for (std::size_t i = 0; i < a.num_generators(); ++i) {
+    EXPECT_EQ(a.generator(i).bus, b.generator(i).bus);
+    EXPECT_EQ(a.generator(i).cost, b.generator(i).cost);
+    for (auto p : a.generator(i).phases.phases()) {
+      EXPECT_EQ(a.generator(i).p_max[p], b.generator(i).p_max[p]);
+      EXPECT_EQ(a.generator(i).q_min[p], b.generator(i).q_min[p]);
+    }
+  }
+  for (std::size_t i = 0; i < a.num_loads(); ++i) {
+    EXPECT_EQ(a.load(i).bus, b.load(i).bus);
+    EXPECT_EQ(a.load(i).connection, b.load(i).connection);
+    for (auto p : a.load(i).phases.phases()) {
+      EXPECT_EQ(a.load(i).p_ref[p], b.load(i).p_ref[p]);
+      EXPECT_EQ(a.load(i).alpha[p], b.load(i).alpha[p]);
+    }
+  }
+  for (std::size_t i = 0; i < a.num_lines(); ++i) {
+    EXPECT_EQ(a.line(i).from_bus, b.line(i).from_bus);
+    EXPECT_EQ(a.line(i).to_bus, b.line(i).to_bus);
+    EXPECT_EQ(a.line(i).is_transformer, b.line(i).is_transformer);
+    for (auto p : a.line(i).phases.phases()) {
+      EXPECT_EQ(a.line(i).tap_ratio[p], b.line(i).tap_ratio[p]);
+      for (auto q : a.line(i).phases.phases()) {
+        EXPECT_EQ(a.line(i).r(p, q), b.line(i).r(p, q));
+        EXPECT_EQ(a.line(i).x(p, q), b.line(i).x(p, q));
+      }
+    }
+  }
+}
+
+TEST(FeederIoTest, Ieee13RoundTripsLosslessly) {
+  const Network original = ieee13();
+  std::stringstream buffer;
+  write_feeder(original, buffer);
+  const Network parsed = read_feeder(buffer);
+  expect_networks_equal(original, parsed);
+}
+
+TEST(FeederIoTest, SyntheticRoundTripsLosslessly) {
+  SyntheticSpec spec;
+  spec.num_buses = 40;
+  spec.num_leaves = 10;
+  spec.num_extra_lines = 3;
+  spec.seed = 99;
+  const Network original = synthetic_feeder(spec);
+  std::stringstream buffer;
+  write_feeder(original, buffer);
+  const Network parsed = read_feeder(buffer);
+  expect_networks_equal(original, parsed);
+}
+
+TEST(FeederIoTest, InfinityBoundsSurviveRoundTrip) {
+  const Network original = ieee13();
+  std::stringstream buffer;
+  write_feeder(original, buffer);
+  const Network parsed = read_feeder(buffer);
+  // The substation generator has infinite bounds.
+  EXPECT_GE(parsed.generator(0).p_max[network::Phase::kA],
+            network::kInfinity / 2);
+  EXPECT_LE(parsed.generator(0).q_min[network::Phase::kA],
+            -network::kInfinity / 2);
+}
+
+TEST(FeederIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "feeder v1\n"
+      "# a comment line\n"
+      "\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0   # trailing comment\n"
+      "bus b abc 0.9 0.9 0.9 1.1 1.1 1.1 0 0 0 0 0 0\n"
+      "gen g a abc 0 0 0 inf inf inf -inf -inf -inf inf inf inf 1\n"
+      "line l a b abc 0 1 1 1 inf inf inf "
+      "0.01 0 0 0 0.01 0 0 0 0.01 0.02 0 0 0 0.02 0 0 0 0.02 "
+      "0 0 0 0 0 0 0 0 0 0 0 0\n");
+  const Network net = read_feeder(in);
+  EXPECT_EQ(net.num_buses(), 2u);
+  EXPECT_EQ(net.num_lines(), 1u);
+}
+
+TEST(FeederIoTest, MissingHeaderThrows) {
+  std::stringstream in("bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, EmptyFileThrows) {
+  std::stringstream in("");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, UnknownBusReferenceThrows) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n"
+      "gen g nosuchbus abc 0 0 0 1 1 1 -1 -1 -1 1 1 1 1\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, DuplicateBusNameThrows) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, BadNumberReportsLine) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 oops 1 1 0 0 0 0 0 0\n");
+  try {
+    read_feeder(in);
+    FAIL() << "expected FeederFormatError";
+  } catch (const FeederFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FeederIoTest, BadConnectionKeywordThrows) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n"
+      "load l a abc star 0 0 0 0 0 0 1 1 1 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, SaveAndLoadFile) {
+  const Network original = ieee13();
+  const std::string path = ::testing::TempDir() + "/ieee13_roundtrip.feeder";
+  save_feeder(original, path);
+  const Network parsed = load_feeder(path);
+  expect_networks_equal(original, parsed);
+}
+
+TEST(FeederIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_feeder("/nonexistent/path/feeder.txt"), FeederFormatError);
+}
+
+}  // namespace
+}  // namespace dopf::feeders

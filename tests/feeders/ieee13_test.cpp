@@ -1,0 +1,113 @@
+#include "feeders/ieee13.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dopf::feeders {
+namespace {
+
+using network::Connection;
+using network::Network;
+using network::PhaseSet;
+
+TEST(Ieee13Test, MatchesPaperComponentGraphCounts) {
+  const Network net = ieee13();
+  // Table III of the paper: 29 nodes, 28 lines, 7 leaf nodes (the feeder
+  // head is degree-1 too but is never merged, so it is not a "leaf").
+  EXPECT_EQ(net.num_buses(), 29u);
+  EXPECT_EQ(net.num_lines(), 28u);
+  std::size_t merged_leaves = 0;
+  for (int leaf : net.leaf_buses()) {
+    if (leaf != 0) ++merged_leaves;
+  }
+  EXPECT_EQ(merged_leaves, 7u);
+}
+
+TEST(Ieee13Test, IsValidRadialFeeder) {
+  const Network net = ieee13();
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_TRUE(net.is_radial());
+}
+
+TEST(Ieee13Test, HasMultiPhaseStructure) {
+  const Network net = ieee13();
+  std::size_t one = 0, two = 0, three = 0;
+  for (const auto& b : net.buses()) {
+    switch (b.phases.count()) {
+      case 1: ++one; break;
+      case 2: ++two; break;
+      default: ++three; break;
+    }
+  }
+  EXPECT_GT(one, 0u);
+  EXPECT_GT(two, 0u);
+  EXPECT_GT(three, 0u);
+}
+
+TEST(Ieee13Test, HasWyeAndDeltaAndZipMix) {
+  const Network net = ieee13();
+  std::size_t delta = 0, wye = 0;
+  bool has_const_power = false, has_const_current = false,
+       has_const_impedance = false;
+  for (const auto& l : net.loads()) {
+    (l.connection == Connection::kDelta ? delta : wye) += 1;
+    for (auto p : l.phases.phases()) {
+      if (l.alpha[p] == 0.0) has_const_power = true;
+      if (l.alpha[p] == 1.0) has_const_current = true;
+      if (l.alpha[p] == 2.0) has_const_impedance = true;
+    }
+  }
+  EXPECT_GE(delta, 2u);
+  EXPECT_GE(wye, 5u);
+  EXPECT_TRUE(has_const_power);
+  EXPECT_TRUE(has_const_current);
+  EXPECT_TRUE(has_const_impedance);
+}
+
+TEST(Ieee13Test, SubstationIsPinnedAtBusZero) {
+  const Network net = ieee13();
+  const auto& root = net.bus(0);
+  for (auto p : root.phases.phases()) {
+    EXPECT_EQ(root.w_min[p], 1.0);
+    EXPECT_EQ(root.w_max[p], 1.0);
+  }
+  ASSERT_GE(net.num_generators(), 1u);
+  EXPECT_EQ(net.generator(0).bus, 0);
+}
+
+TEST(Ieee13Test, HasTransformersWithOffNominalTap) {
+  const Network net = ieee13();
+  std::size_t xfmr = 0;
+  bool off_nominal = false;
+  for (const auto& l : net.lines()) {
+    if (!l.is_transformer) continue;
+    ++xfmr;
+    for (auto p : l.phases.phases()) {
+      if (l.tap_ratio[p] != 1.0) off_nominal = true;
+    }
+  }
+  EXPECT_GE(xfmr, 5u);
+  EXPECT_TRUE(off_nominal);  // the substation regulator
+}
+
+TEST(Ieee13Test, DeterministicConstruction) {
+  const Network a = ieee13();
+  const Network b = ieee13();
+  ASSERT_EQ(a.num_lines(), b.num_lines());
+  for (std::size_t e = 0; e < a.num_lines(); ++e) {
+    EXPECT_EQ(a.line(e).r(0, 0), b.line(e).r(0, 0));
+  }
+}
+
+TEST(Ieee13Test, TotalLoadIsRealistic) {
+  const Network net = ieee13();
+  double total = 0.0;
+  for (const auto& l : net.loads()) {
+    for (auto p : l.phases.phases()) total += l.p_ref[p];
+  }
+  // ~0.5-1.5 pu on the 5 MVA base (the real feeder peaks around 3.5 MW).
+  EXPECT_GT(total, 0.3);
+  EXPECT_LT(total, 2.0);
+}
+
+}  // namespace
+}  // namespace dopf::feeders

@@ -1,0 +1,93 @@
+/// Robustness of the feeder parser against malformed input: every corrupted
+/// variant must raise FeederFormatError (never crash, never silently accept).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "feeders/feeder_io.hpp"
+#include "feeders/ieee13.hpp"
+
+namespace dopf::feeders {
+namespace {
+
+std::string valid_text() {
+  std::stringstream out;
+  write_feeder(ieee13(), out);
+  return out.str();
+}
+
+TEST(ParserRobustnessTest, TruncatedFileThrows) {
+  const std::string text = valid_text();
+  // Cut the file in the middle of a record.
+  for (double frac : {0.31, 0.53, 0.77, 0.95}) {
+    const std::string cut =
+        text.substr(0, static_cast<std::size_t>(text.size() * frac));
+    std::stringstream in(cut);
+    EXPECT_THROW(read_feeder(in), FeederFormatError) << "fraction " << frac;
+  }
+}
+
+TEST(ParserRobustnessTest, TokenDeletionThrows) {
+  // Remove one token from a line: the record becomes short and must fail.
+  const std::string text = valid_text();
+  std::stringstream lines(text);
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> corrupted = all;
+    std::size_t victim = 1 + rng() % (corrupted.size() - 1);
+    // Drop the last whitespace-separated token.
+    const std::size_t pos = corrupted[victim].find_last_of(' ');
+    if (pos == std::string::npos) continue;
+    corrupted[victim].resize(pos);
+    std::string joined;
+    for (const auto& l : corrupted) joined += l + "\n";
+    std::stringstream in(joined);
+    EXPECT_THROW(read_feeder(in), FeederFormatError) << "line " << victim;
+  }
+}
+
+TEST(ParserRobustnessTest, RandomBinaryGarbageThrows) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string garbage(200 + rng() % 300, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() % 256);
+    std::stringstream in(garbage);
+    EXPECT_THROW(read_feeder(in), std::exception) << "trial " << trial;
+  }
+}
+
+TEST(ParserRobustnessTest, WrongVersionRejected) {
+  std::stringstream in("feeder v2\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(ParserRobustnessTest, NumberOverflowHandled) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1e999 1 1 1 1 1 0 0 0 0 0 0\n");
+  // 1e999 overflows to out-of-range; the parser must reject, not UB.
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(ParserRobustnessTest, PhaseGarbageRejected) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a xyz 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), std::exception);
+}
+
+TEST(ParserRobustnessTest, SemanticallyInvalidNetworkRejected) {
+  // Parses fine, but fails network validation (no generator).
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), std::exception);
+}
+
+}  // namespace
+}  // namespace dopf::feeders

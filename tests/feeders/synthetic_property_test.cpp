@@ -1,0 +1,65 @@
+/// Property sweep over the synthetic-feeder parameter space: for any
+/// consistent spec, the generator must hit its structural targets exactly
+/// and produce a model that decomposes cleanly.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "feeders/synthetic.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::feeders {
+namespace {
+
+using Params = std::tuple<int /*buses*/, int /*leaves*/, int /*extra*/,
+                          double /*keep_phases*/, unsigned /*seed*/>;
+
+class SyntheticSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SyntheticSweep, StructuralInvariantsHold) {
+  const auto [buses, leaves, extra, keep, seed] = GetParam();
+  SyntheticSpec spec;
+  spec.num_buses = buses;
+  spec.num_leaves = leaves;
+  spec.num_extra_lines = extra;
+  spec.keep_phases_prob = keep;
+  spec.seed = seed;
+
+  const auto net = synthetic_feeder(spec);
+  // Exact structural targets.
+  EXPECT_EQ(net.num_buses(), static_cast<std::size_t>(buses));
+  EXPECT_EQ(net.num_lines(), static_cast<std::size_t>(buses - 1 + extra));
+  std::size_t non_root_leaves = 0;
+  for (int leaf : net.leaf_buses()) {
+    if (leaf != 0) ++non_root_leaves;
+  }
+  EXPECT_EQ(non_root_leaves, static_cast<std::size_t>(leaves));
+  EXPECT_TRUE(net.is_connected());
+  EXPECT_NO_THROW(net.validate());
+
+  // The whole decomposition pipeline must go through:
+  const auto problem = dopf::opf::decompose(net);
+  // S = nodes + lines - merged leaves (Table III identity).
+  EXPECT_EQ(problem.num_components(),
+            net.num_buses() + net.num_lines() - non_root_leaves);
+  for (int c : problem.copy_count) EXPECT_GE(c, 1);
+  for (const auto& comp : problem.components) {
+    EXPECT_GT(comp.num_rows(), 0u);
+    EXPECT_LE(comp.num_rows(), comp.num_vars());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, SyntheticSweep,
+    ::testing::Values(Params{10, 3, 0, 0.5, 1}, Params{25, 8, 0, 0.9, 2},
+                      Params{25, 8, 5, 0.1, 3}, Params{60, 20, 0, 0.5, 4},
+                      Params{60, 58, 0, 0.5, 5},   // max leaves
+                      Params{60, 1, 0, 0.5, 6},    // pure chain
+                      Params{120, 30, 12, 0.3, 7},
+                      Params{120, 30, 12, 0.3, 8},  // same spec, other seed
+                      Params{200, 70, 20, 0.15, 9},
+                      Params{3, 1, 0, 0.5, 10}));   // minimum size
+
+}  // namespace
+}  // namespace dopf::feeders

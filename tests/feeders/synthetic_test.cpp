@@ -1,0 +1,145 @@
+#include "feeders/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dopf::feeders {
+namespace {
+
+using network::Connection;
+using network::Network;
+
+std::size_t non_root_leaves(const Network& net) {
+  std::size_t count = 0;
+  for (int leaf : net.leaf_buses()) {
+    if (leaf != 0) ++count;
+  }
+  return count;
+}
+
+TEST(SyntheticTest, HitsExactCountsSmall) {
+  SyntheticSpec spec;
+  spec.num_buses = 50;
+  spec.num_leaves = 12;
+  spec.num_extra_lines = 5;
+  spec.seed = 7;
+  const Network net = synthetic_feeder(spec);
+  EXPECT_EQ(net.num_buses(), 50u);
+  EXPECT_EQ(net.num_lines(), 49u + 5u);
+  EXPECT_EQ(non_root_leaves(net), 12u);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(SyntheticTest, Ieee123SpecMatchesTable3) {
+  const Network net = synthetic_feeder(ieee123_spec());
+  EXPECT_EQ(net.num_buses(), 147u);   // nodes
+  EXPECT_EQ(net.num_lines(), 146u);   // lines
+  EXPECT_EQ(non_root_leaves(net), 43u);
+  EXPECT_TRUE(net.is_radial());
+}
+
+TEST(SyntheticTest, Ieee8500MiniSpecCounts) {
+  const Network net = synthetic_feeder(ieee8500_mini_spec());
+  EXPECT_EQ(net.num_buses(), 1194u);
+  EXPECT_EQ(net.num_lines(), 1193u + 236u);
+  EXPECT_EQ(non_root_leaves(net), 123u);
+  EXPECT_FALSE(net.is_radial());  // ties make it meshed
+  EXPECT_TRUE(net.is_connected());
+}
+
+TEST(SyntheticTest, DeterministicForFixedSeed) {
+  const Network a = synthetic_feeder(ieee123_spec());
+  const Network b = synthetic_feeder(ieee123_spec());
+  ASSERT_EQ(a.num_loads(), b.num_loads());
+  for (std::size_t i = 0; i < a.num_loads(); ++i) {
+    EXPECT_EQ(a.load(i).bus, b.load(i).bus);
+    for (auto p : a.load(i).phases.phases()) {
+      EXPECT_EQ(a.load(i).p_ref[p], b.load(i).p_ref[p]);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = ieee123_spec();
+  SyntheticSpec s2 = ieee123_spec();
+  s2.seed += 1;
+  const Network a = synthetic_feeder(s1);
+  const Network b = synthetic_feeder(s2);
+  // Same exact counts by construction...
+  EXPECT_EQ(a.num_buses(), b.num_buses());
+  // ...but different structure.
+  bool differs = a.num_loads() != b.num_loads();
+  for (std::size_t e = 0; !differs && e < a.num_lines(); ++e) {
+    differs = a.line(e).to_bus != b.line(e).to_bus;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, GuaranteesMinimumDeltaLoads) {
+  SyntheticSpec spec = ieee123_spec();
+  spec.delta_prob = 0.0;  // no random deltas...
+  spec.min_delta_loads = 3;
+  const Network net = synthetic_feeder(spec);
+  std::size_t delta = 0;
+  for (const auto& l : net.loads()) {
+    if (l.connection == Connection::kDelta) ++delta;
+  }
+  EXPECT_GE(delta, 3u);  // ...but the floor is enforced
+}
+
+TEST(SyntheticTest, RootIsPinnedThreePhaseSubstation) {
+  const Network net = synthetic_feeder(ieee123_spec());
+  EXPECT_EQ(net.bus(0).phases.count(), 3u);
+  for (auto p : net.bus(0).phases.phases()) {
+    EXPECT_EQ(net.bus(0).w_min[p], 1.0);
+    EXPECT_EQ(net.bus(0).w_max[p], 1.0);
+  }
+  EXPECT_EQ(net.generator(0).bus, 0);
+}
+
+TEST(SyntheticTest, PhaseConsistencyHoldsEverywhere) {
+  const Network net = synthetic_feeder(ieee8500_mini_spec());
+  for (const auto& l : net.lines()) {
+    EXPECT_TRUE(l.phases.subset_of(net.bus(l.from_bus).phases));
+    EXPECT_TRUE(l.phases.subset_of(net.bus(l.to_bus).phases));
+  }
+}
+
+TEST(SyntheticTest, PredominantlySinglePhaseFor8500Class) {
+  const Network net = synthetic_feeder(ieee8500_mini_spec());
+  std::size_t single = 0;
+  for (const auto& b : net.buses()) {
+    if (b.phases.count() == 1) ++single;
+  }
+  EXPECT_GT(single, net.num_buses() / 2);
+}
+
+TEST(SyntheticTest, RejectsInconsistentCounts) {
+  SyntheticSpec spec;
+  spec.num_buses = 10;
+  spec.num_leaves = 9;  // > num_buses - 2
+  EXPECT_THROW(synthetic_feeder(spec), std::invalid_argument);
+  spec.num_leaves = 0;
+  EXPECT_THROW(synthetic_feeder(spec), std::invalid_argument);
+  spec.num_buses = 2;
+  spec.num_leaves = 1;
+  EXPECT_THROW(synthetic_feeder(spec), std::invalid_argument);
+}
+
+TEST(SyntheticTest, ConductorSizingKeepsTrunkResistanceLow) {
+  // Lines closer to the root carry more load and must have lower
+  // resistance than typical leaf laterals.
+  const Network net = synthetic_feeder(ieee123_spec());
+  const auto& trunk = net.line(0);  // sub -> n1 carries everything
+  double trunk_r = 0.0;
+  for (auto p : trunk.phases.phases()) {
+    trunk_r = std::max(trunk_r, trunk.r(p, p));
+  }
+  double max_r = 0.0;
+  for (const auto& l : net.lines()) {
+    for (auto p : l.phases.phases()) max_r = std::max(max_r, l.r(p, p));
+  }
+  EXPECT_LT(trunk_r, max_r / 5.0);
+}
+
+}  // namespace
+}  // namespace dopf::feeders

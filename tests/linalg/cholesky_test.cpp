@@ -1,0 +1,88 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dopf::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+  }
+  // A A^T + n I is SPD.
+  Matrix spd = gram_aat(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, FactorsDiagonalMatrix) {
+  Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  const Cholesky chol(a);
+  EXPECT_DOUBLE_EQ(chol.lower()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(chol.lower()(1, 1), 3.0);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  const Matrix a = random_spd(8, 42);
+  std::vector<double> x_true(8);
+  for (std::size_t i = 0; i < 8; ++i) x_true[i] = static_cast<double>(i) - 3.0;
+  const std::vector<double> b = multiply(a, x_true);
+  const std::vector<double> x = Cholesky(a).solve(b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(CholeskyTest, LLtReconstructsInput) {
+  const Matrix a = random_spd(6, 7);
+  const Cholesky chol(a);
+  const Matrix rebuilt = multiply_abt(chol.lower(), chol.lower());
+  EXPECT_TRUE(rebuilt.approx_equal(a, 1e-10));
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  const Matrix a = random_spd(5, 99);
+  const Matrix inv = Cholesky(a).inverse();
+  EXPECT_TRUE(multiply(a, inv).approx_equal(Matrix::identity(5), 1e-9));
+}
+
+TEST(CholeskyTest, IndefiniteMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, SingularMatrixError);
+}
+
+TEST(CholeskyTest, SingularMatrixThrows) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(Cholesky{a}, SingularMatrixError);
+}
+
+TEST(CholeskyTest, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(Cholesky{a}, std::invalid_argument);
+}
+
+TEST(CholeskyTest, SolveSizeMismatchThrows) {
+  const Cholesky chol(Matrix{{1.0}});
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(chol.solve(wrong), std::invalid_argument);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizeSweep, RandomSpdRoundTrip) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, static_cast<unsigned>(1000 + n));
+  std::vector<double> x_true(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::sin(double(i));
+  const std::vector<double> x = Cholesky(a).solve(multiply(a, x_true));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace dopf::linalg

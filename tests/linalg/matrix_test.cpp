@@ -1,0 +1,147 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dopf::linalg {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, SizedConstructorZeroInitializes) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(2, 0), 5.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityHasUnitDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(multiply(a, b), std::invalid_argument);
+}
+
+TEST(MatrixTest, MultiplyAbtEqualsExplicitTranspose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix b{{7.0, 8.0, 9.0}, {1.0, 0.0, -1.0}};
+  const Matrix expected = multiply(a, b.transposed());
+  EXPECT_TRUE(multiply_abt(a, b).approx_equal(expected, 1e-14));
+}
+
+TEST(MatrixTest, MultiplyAtbEqualsExplicitTranspose) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix b{{7.0}, {8.0}, {9.0}};
+  const Matrix expected = multiply(a.transposed(), b);
+  EXPECT_TRUE(multiply_atb(a, b).approx_equal(expected, 1e-14));
+}
+
+TEST(MatrixTest, GramAatIsSymmetricPsd) {
+  Matrix a{{1.0, 2.0, 0.5}, {-1.0, 0.0, 2.0}};
+  const Matrix g = gram_aat(a);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_GT(g(0, 0), 0.0);
+  EXPECT_GT(g(1, 1), 0.0);
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x = {1.0, -1.0};
+  const std::vector<double> y = multiply(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], -1.0);
+  EXPECT_EQ(y[1], -1.0);
+  EXPECT_EQ(y[2], -1.0);
+
+  const std::vector<double> z = {1.0, 1.0, 1.0};
+  const std::vector<double> aty = multiply_transpose(a, z);
+  ASSERT_EQ(aty.size(), 2u);
+  EXPECT_EQ(aty[0], 9.0);
+  EXPECT_EQ(aty[1], 12.0);
+}
+
+TEST(MatrixTest, MultiplyAddAccumulates) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {10.0, 10.0};
+  multiply_add(a, x, -1.0, y);
+  EXPECT_EQ(y[0], 8.0);
+  EXPECT_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, AdditionAndSubtraction) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  EXPECT_EQ(diff(0, 0), -3.0);
+  EXPECT_EQ(diff(1, 1), 3.0);
+}
+
+TEST(MatrixTest, ApproxEqualRespectsTolerance) {
+  Matrix a{{1.0}};
+  Matrix b{{1.0 + 1e-9}};
+  EXPECT_TRUE(a.approx_equal(b, 1e-8));
+  EXPECT_FALSE(a.approx_equal(b, 1e-10));
+  EXPECT_FALSE(a.approx_equal(Matrix(2, 1), 1.0));
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  row[0] = 30.0;
+  EXPECT_EQ(m(1, 0), 30.0);
+}
+
+}  // namespace
+}  // namespace dopf::linalg

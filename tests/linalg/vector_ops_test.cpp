@@ -1,0 +1,89 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dopf::linalg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const std::vector<double> x = {3.0, 4.0};
+  const std::vector<double> y = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), -1.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(y), 1.0);
+}
+
+TEST(VectorOpsTest, DotSizeMismatchThrows) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[1], 24.0);
+  scale(y, 0.5);
+  EXPECT_EQ(y[0], 6.0);
+  EXPECT_EQ(y[1], 12.0);
+}
+
+TEST(VectorOpsTest, ClipProjectsIntoBox) {
+  std::vector<double> x = {-2.0, 0.5, 7.0};
+  const std::vector<double> lo = {0.0, 0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0, 1.0};
+  clip(x, lo, hi);
+  EXPECT_EQ(x[0], 0.0);
+  EXPECT_EQ(x[1], 0.5);
+  EXPECT_EQ(x[2], 1.0);
+}
+
+TEST(VectorOpsTest, ClipWithInfiniteBoundsIsIdentity) {
+  std::vector<double> x = {-1e10, 1e10};
+  const std::vector<double> lo = {-kInfinity, -kInfinity};
+  const std::vector<double> hi = {kInfinity, kInfinity};
+  clip(x, lo, hi);
+  EXPECT_EQ(x[0], -1e10);
+  EXPECT_EQ(x[1], 1e10);
+}
+
+TEST(VectorOpsTest, Distance2) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(distance2(x, y), 5.0);
+}
+
+TEST(VectorOpsTest, AddSubtract) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {3.0, 5.0};
+  const auto s = add(x, y);
+  const auto d = subtract(x, y);
+  EXPECT_EQ(s[0], 4.0);
+  EXPECT_EQ(s[1], 7.0);
+  EXPECT_EQ(d[0], -2.0);
+  EXPECT_EQ(d[1], -3.0);
+}
+
+TEST(VectorOpsTest, IsUnboundedSentinels) {
+  EXPECT_TRUE(is_unbounded(kInfinity));
+  EXPECT_TRUE(is_unbounded(-kInfinity));
+  EXPECT_TRUE(is_unbounded(kInfinity * 2));
+  EXPECT_FALSE(is_unbounded(1e6));
+  EXPECT_FALSE(is_unbounded(0.0));
+  EXPECT_FALSE(is_unbounded(-1e6));
+}
+
+TEST(VectorOpsTest, FillSetsEveryElement) {
+  std::vector<double> x(5, 1.0);
+  fill(x, -3.5);
+  for (double v : x) EXPECT_EQ(v, -3.5);
+}
+
+}  // namespace
+}  // namespace dopf::linalg

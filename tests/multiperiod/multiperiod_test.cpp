@@ -1,0 +1,194 @@
+#include "multiperiod/multiperiod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+
+namespace dopf::multiperiod {
+namespace {
+
+using dopf::core::AdmmOptions;
+using dopf::core::SolverFreeAdmm;
+using dopf::network::Network;
+
+MultiPeriodSpec small_spec(int periods) {
+  MultiPeriodSpec spec;
+  spec.periods = periods;
+  spec.load_scale.assign(periods, 1.0);
+  spec.price.assign(periods, 1.0);
+  return spec;
+}
+
+Storage battery_at(int bus) {
+  Storage st;
+  st.name = "batt";
+  st.bus = bus;
+  st.phases = dopf::network::PhaseSet::abc();
+  st.charge_max = 0.05;
+  st.discharge_max = 0.05;
+  st.energy_max = 0.3;
+  st.energy_init = 0.15;
+  st.efficiency = 0.9;
+  return st;
+}
+
+TEST(MultiPeriodTest, StackedSizesScaleWithPeriods) {
+  const Network net = dopf::feeders::ieee13();
+  const auto one = build_multiperiod(net, small_spec(1));
+  const auto four = build_multiperiod(net, small_spec(4));
+  EXPECT_EQ(four.problem.num_vars, 4 * one.problem.num_vars);
+  EXPECT_EQ(four.problem.num_components(), 4 * one.problem.num_components());
+  EXPECT_EQ(four.period_offset.size(), 4u);
+  EXPECT_EQ(four.period_offset[1], one.problem.num_vars);
+}
+
+TEST(MultiPeriodTest, StorageAddsSocVarsAndOneComponent) {
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(6);
+  spec.storages.push_back(battery_at(4));  // bus 671
+  const auto plain = build_multiperiod(net, small_spec(6));
+  const auto with = build_multiperiod(net, spec);
+  EXPECT_EQ(with.problem.num_components(),
+            plain.problem.num_components() + 1);
+  // 6 SOC variables + 6 periods x 3 phases x 2 (chg/dis) power + q vars.
+  EXPECT_GT(with.problem.num_vars, plain.problem.num_vars + 6);
+  const auto& sv = with.storage_vars[0];
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_GE(sv.soc[t], 0);
+    EXPECT_GE(sv.charge[t][0], 0);
+    EXPECT_GE(sv.discharge[t][0], 0);
+  }
+}
+
+TEST(MultiPeriodTest, FlatPricesLeaveStorageIdle) {
+  // With a flat price and lossy conversion, cycling the battery can only
+  // waste energy; the optimum keeps it (nearly) idle.
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(4);
+  spec.storages.push_back(battery_at(4));
+  const auto mp = build_multiperiod(net, spec);
+
+  AdmmOptions opt;
+  opt.eps_rel = 1e-5;
+  opt.max_iterations = 300000;
+  opt.relaxation = 1.6;
+  SolverFreeAdmm admm(mp.problem, opt);
+  const auto res = admm.solve();
+  ASSERT_TRUE(res.converged);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NEAR(mp.net_injection(res.x, 0, t), 0.0, 5e-3);
+  }
+}
+
+TEST(MultiPeriodTest, PriceSpreadTriggersArbitrage) {
+  // Cheap nights, expensive evenings: the battery must charge when cheap
+  // and discharge when expensive.
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(4);
+  spec.price = {0.2, 0.2, 3.0, 3.0};
+  spec.storages.push_back(battery_at(4));
+  spec.storages[0].energy_init = 0.0;
+  spec.storages[0].sustain = false;
+  const auto mp = build_multiperiod(net, spec);
+
+  AdmmOptions opt;
+  opt.eps_rel = 1e-5;
+  opt.max_iterations = 300000;
+  opt.relaxation = 1.6;
+  SolverFreeAdmm admm(mp.problem, opt);
+  const auto res = admm.solve();
+  ASSERT_TRUE(res.converged);
+
+  const double early = mp.net_injection(res.x, 0, 0) +
+                       mp.net_injection(res.x, 0, 1);
+  const double late = mp.net_injection(res.x, 0, 2) +
+                      mp.net_injection(res.x, 0, 3);
+  EXPECT_LT(early, -0.05);  // net charging while cheap
+  EXPECT_GT(late, 0.05);    // net discharging while expensive
+}
+
+TEST(MultiPeriodTest, SocObeysDynamicsAndBounds) {
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(5);
+  spec.price = {0.5, 2.0, 0.5, 2.0, 1.0};
+  spec.storages.push_back(battery_at(4));
+  const auto mp = build_multiperiod(net, spec);
+
+  AdmmOptions opt;
+  opt.eps_rel = 1e-5;
+  opt.max_iterations = 300000;
+  opt.relaxation = 1.6;
+  SolverFreeAdmm admm(mp.problem, opt);
+  const auto res = admm.solve();
+  ASSERT_TRUE(res.converged);
+
+  const Storage& st = spec.storages[0];
+  double prev = st.energy_init;
+  for (int t = 0; t < spec.periods; ++t) {
+    const double soc = mp.soc(res.x, 0, t);
+    EXPECT_GE(soc, -1e-6);
+    EXPECT_LE(soc, st.energy_max + 1e-6);
+    // e_t = e_{t-1} - h*(dis + eta*chg); recompute from the power vars.
+    double dis = 0.0, chg = 0.0;
+    for (int idx : mp.storage_vars[0].discharge[t]) {
+      if (idx >= 0) dis += res.x[idx];
+    }
+    for (int idx : mp.storage_vars[0].charge[t]) {
+      if (idx >= 0) chg += res.x[idx];
+    }
+    EXPECT_NEAR(soc, prev - mp.period_hours * (dis + st.efficiency * chg),
+                2e-3);
+    prev = soc;
+  }
+  // Sustainability bound honoured.
+  EXPECT_GE(mp.soc(res.x, 0, spec.periods - 1), st.energy_init - 1e-6);
+}
+
+TEST(MultiPeriodTest, LoadScaleShiftsPerPeriodDemand) {
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(2);
+  spec.load_scale = {0.5, 1.5};
+  const auto mp = build_multiperiod(net, spec);
+  double p0 = 0.0, p1 = 0.0;
+  for (const auto& l : mp.period_nets[0].loads()) {
+    for (auto p : l.phases.phases()) p0 += l.p_ref[p];
+  }
+  for (const auto& l : mp.period_nets[1].loads()) {
+    for (auto p : l.phases.phases()) p1 += l.p_ref[p];
+  }
+  EXPECT_NEAR(p1, 3.0 * p0, 1e-12);
+}
+
+TEST(MultiPeriodTest, InvalidSpecsThrow) {
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec bad = small_spec(0);
+  EXPECT_THROW(build_multiperiod(net, bad), std::invalid_argument);
+
+  bad = small_spec(3);
+  bad.load_scale = {1.0};  // wrong length
+  EXPECT_THROW(build_multiperiod(net, bad), std::invalid_argument);
+
+  bad = small_spec(2);
+  bad.storages.push_back(battery_at(999));
+  EXPECT_THROW(build_multiperiod(net, bad), std::invalid_argument);
+
+  bad = small_spec(2);
+  bad.storages.push_back(battery_at(4));
+  bad.storages[0].energy_init = 99.0;  // > energy_max
+  EXPECT_THROW(build_multiperiod(net, bad), std::invalid_argument);
+}
+
+TEST(MultiPeriodTest, EveryVariableCovered) {
+  const Network net = dopf::feeders::ieee13();
+  MultiPeriodSpec spec = small_spec(3);
+  spec.storages.push_back(battery_at(4));
+  const auto mp = build_multiperiod(net, spec);
+  for (int c : mp.problem.copy_count) EXPECT_GE(c, 1);
+}
+
+}  // namespace
+}  // namespace dopf::multiperiod

@@ -1,0 +1,186 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dopf::network {
+namespace {
+
+Network two_bus() {
+  Network net;
+  Bus b;
+  b.name = "a";
+  net.add_bus(b);
+  b.name = "b";
+  net.add_bus(b);
+  Line l;
+  l.name = "ab";
+  l.from_bus = 0;
+  l.to_bus = 1;
+  net.add_line(l);
+  Generator g;
+  g.name = "sub";
+  g.bus = 0;
+  net.add_generator(g);
+  return net;
+}
+
+TEST(NetworkTest, AddAssignsSequentialIds) {
+  Network net = two_bus();
+  EXPECT_EQ(net.bus(0).name, "a");
+  EXPECT_EQ(net.bus(1).name, "b");
+  EXPECT_EQ(net.line(0).name, "ab");
+  EXPECT_EQ(net.generator(0).bus, 0);
+}
+
+TEST(NetworkTest, AdjacencyAndOrientation) {
+  Network net = two_bus();
+  const auto at0 = net.lines_at(0);
+  const auto at1 = net.lines_at(1);
+  ASSERT_EQ(at0.size(), 1u);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_TRUE(at0[0].from_side);
+  EXPECT_FALSE(at1[0].from_side);
+  EXPECT_EQ(net.degree(0), 1u);
+}
+
+TEST(NetworkTest, LeafBusesAreDegreeOne) {
+  Network net = two_bus();
+  Bus b;
+  b.name = "c";
+  net.add_bus(b);
+  Line l;
+  l.from_bus = 1;
+  l.to_bus = 2;
+  net.add_line(l);
+  const auto leaves = net.leaf_buses();
+  ASSERT_EQ(leaves.size(), 2u);  // buses 0 and 2
+  EXPECT_EQ(leaves[0], 0);
+  EXPECT_EQ(leaves[1], 2);
+}
+
+TEST(NetworkTest, RadialAndConnectedChecks) {
+  Network net = two_bus();
+  EXPECT_TRUE(net.is_connected());
+  EXPECT_TRUE(net.is_radial());
+  // Add a parallel line: still connected, no longer radial.
+  Line l;
+  l.from_bus = 0;
+  l.to_bus = 1;
+  net.add_line(l);
+  EXPECT_TRUE(net.is_connected());
+  EXPECT_FALSE(net.is_radial());
+}
+
+TEST(NetworkTest, DisconnectedGraphDetected) {
+  Network net = two_bus();
+  Bus b;
+  b.name = "island";
+  net.add_bus(b);
+  EXPECT_FALSE(net.is_connected());
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, UnknownBusReferencesThrow) {
+  Network net;
+  Bus b;
+  net.add_bus(b);
+  Generator g;
+  g.bus = 7;
+  EXPECT_THROW(net.add_generator(g), NetworkError);
+  Load ld;
+  ld.bus = -1;
+  EXPECT_THROW(net.add_load(ld), NetworkError);
+  Line l;
+  l.from_bus = 0;
+  l.to_bus = 9;
+  EXPECT_THROW(net.add_line(l), NetworkError);
+}
+
+TEST(NetworkTest, SelfLoopRejected) {
+  Network net;
+  net.add_bus(Bus{});
+  Line l;
+  l.from_bus = 0;
+  l.to_bus = 0;
+  EXPECT_THROW(net.add_line(l), NetworkError);
+}
+
+TEST(NetworkTest, PhaseMismatchFailsValidation) {
+  Network net;
+  Bus b;
+  b.phases = PhaseSet::ab();
+  net.add_bus(b);
+  b.phases = PhaseSet::abc();
+  net.add_bus(b);
+  Line l;
+  l.from_bus = 0;
+  l.to_bus = 1;
+  l.phases = PhaseSet::abc();  // not a subset of bus 0's "ab"
+  net.add_line(l);
+  Generator g;
+  g.bus = 1;
+  net.add_generator(g);
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, TwoPhaseDeltaLoadRejected) {
+  Network net = two_bus();
+  Load ld;
+  ld.bus = 1;
+  ld.phases = PhaseSet::ab();
+  ld.connection = Connection::kDelta;
+  net.add_load(ld);
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, InvertedGeneratorBoundsRejected) {
+  Network net = two_bus();
+  Generator g;
+  g.bus = 1;
+  g.p_min = PerPhase<double>::uniform(2.0);
+  g.p_max = PerPhase<double>::uniform(1.0);
+  net.add_generator(g);
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, MissingGeneratorRejected) {
+  Network net;
+  net.add_bus(Bus{});
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, NegativeZipExponentRejected) {
+  Network net = two_bus();
+  Load ld;
+  ld.bus = 1;
+  ld.alpha = PerPhase<double>::uniform(-1.0);
+  net.add_load(ld);
+  EXPECT_THROW(net.validate(), NetworkError);
+}
+
+TEST(NetworkTest, ValidNetworkPassesValidation) {
+  Network net = two_bus();
+  Load ld;
+  ld.bus = 1;
+  ld.p_ref = PerPhase<double>::uniform(0.1);
+  net.add_load(ld);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(NetworkTest, SummaryMentionsCounts) {
+  Network net = two_bus();
+  const std::string s = net.summary();
+  EXPECT_NE(s.find("2 buses"), std::string::npos);
+  EXPECT_NE(s.find("1 lines"), std::string::npos);
+  EXPECT_NE(s.find("radial"), std::string::npos);
+}
+
+TEST(NetworkTest, BusWithoutPhasesRejected) {
+  Network net;
+  Bus b;
+  b.phases = PhaseSet::none();
+  EXPECT_THROW(net.add_bus(b), NetworkError);
+}
+
+}  // namespace
+}  // namespace dopf::network

@@ -1,0 +1,81 @@
+#include "network/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace dopf::network {
+namespace {
+
+TEST(PhaseSetTest, CountAndHas) {
+  EXPECT_EQ(PhaseSet::abc().count(), 3u);
+  EXPECT_EQ(PhaseSet::ab().count(), 2u);
+  EXPECT_EQ(PhaseSet::c().count(), 1u);
+  EXPECT_EQ(PhaseSet::none().count(), 0u);
+  EXPECT_TRUE(PhaseSet::ac().has(Phase::kA));
+  EXPECT_FALSE(PhaseSet::ac().has(Phase::kB));
+  EXPECT_TRUE(PhaseSet::ac().has(Phase::kC));
+}
+
+TEST(PhaseSetTest, SubsetAndIntersect) {
+  EXPECT_TRUE(PhaseSet::a().subset_of(PhaseSet::ab()));
+  EXPECT_FALSE(PhaseSet::ab().subset_of(PhaseSet::a()));
+  EXPECT_TRUE(PhaseSet::none().subset_of(PhaseSet::a()));
+  EXPECT_EQ(PhaseSet::ab().intersect(PhaseSet::bc()), PhaseSet::b());
+  EXPECT_EQ(PhaseSet::a().intersect(PhaseSet::bc()), PhaseSet::none());
+}
+
+TEST(PhaseSetTest, IterationVisitsExactlyPresentPhases) {
+  std::vector<Phase> seen;
+  for (Phase p : PhaseSet::ac().phases()) seen.push_back(p);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Phase::kA);
+  EXPECT_EQ(seen[1], Phase::kC);
+
+  seen.clear();
+  for (Phase p : PhaseSet::none().phases()) seen.push_back(p);
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(PhaseSetTest, WithAddsPhase) {
+  const PhaseSet s = PhaseSet::a().with(Phase::kC);
+  EXPECT_EQ(s, PhaseSet::ac());
+  EXPECT_EQ(s.with(Phase::kC), s);  // idempotent
+}
+
+TEST(PhaseSetTest, SingleFactory) {
+  EXPECT_EQ(PhaseSet::single(Phase::kB), PhaseSet::b());
+}
+
+TEST(PhaseSetTest, ToStringAndParseRoundTrip) {
+  for (const PhaseSet s : {PhaseSet::a(), PhaseSet::bc(), PhaseSet::abc(),
+                           PhaseSet::ac(), PhaseSet::none()}) {
+    EXPECT_EQ(PhaseSet::parse(s.to_string()), s) << s.to_string();
+  }
+  EXPECT_EQ(PhaseSet::parse("ABC"), PhaseSet::abc());
+}
+
+TEST(PhaseSetTest, ParseRejectsGarbage) {
+  EXPECT_THROW(PhaseSet::parse("ax"), std::invalid_argument);
+  EXPECT_THROW(PhaseSet::parse("1"), std::invalid_argument);
+}
+
+TEST(PerPhaseTest, IndexingByPhase) {
+  PerPhase<double> v = PerPhase<double>::uniform(2.0);
+  EXPECT_EQ(v[Phase::kB], 2.0);
+  v[Phase::kC] = 5.0;
+  EXPECT_EQ(v[Phase::kC], 5.0);
+  EXPECT_EQ(v[Phase::kA], 2.0);
+}
+
+TEST(PhaseMatrixTest, DiagonalFactoryAndIndexing) {
+  PhaseMatrix m = PhaseMatrix::diagonal(3.0);
+  EXPECT_EQ(m(Phase::kA, Phase::kA), 3.0);
+  EXPECT_EQ(m(Phase::kA, Phase::kB), 0.0);
+  m(Phase::kB, Phase::kC) = -1.0;
+  EXPECT_EQ(m(1, 2), -1.0);
+}
+
+}  // namespace
+}  // namespace dopf::network

@@ -1,0 +1,121 @@
+#include "opf/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::opf {
+namespace {
+
+using network::Phase;
+
+struct Fixture {
+  dopf::network::Network net = dopf::feeders::ieee13();
+  OpfModel model = build_model(net);
+  DistributedProblem problem = decompose(net, model);
+  std::vector<double> x;
+
+  Fixture() {
+    dopf::core::AdmmOptions opt;
+    opt.eps_rel = 1e-5;
+    opt.max_iterations = 100000;
+    dopf::core::SolverFreeAdmm admm(problem, opt);
+    x = admm.solve().x;
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(SolutionViewTest, GenerationBalancesLoadLosslessly) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  // The linearized flow model (5a) with zero shunt conductance is lossless,
+  // so total generation tracks total bus withdrawals.
+  EXPECT_NEAR(view.total_generation(), view.total_load(),
+              0.02 * (1.0 + view.total_load()));
+}
+
+TEST(SolutionViewTest, ObjectiveMatchesModel) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  EXPECT_DOUBLE_EQ(view.objective(), fixture().model.objective(fixture().x));
+}
+
+TEST(SolutionViewTest, VoltagesWithinBand) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  EXPECT_GE(view.min_voltage(), 0.94);
+  EXPECT_LE(view.max_voltage(), 1.06);
+  EXPECT_LE(view.min_voltage(), view.max_voltage());
+}
+
+TEST(SolutionViewTest, PerPhaseAccessorsConsistentWithTotals) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  double sum = 0.0;
+  for (const auto& g : fixture().net.generators()) {
+    for (Phase p : g.phases.phases()) sum += view.gen_p(g.id, p);
+  }
+  EXPECT_NEAR(sum, view.total_generation(), 1e-12);
+}
+
+TEST(SolutionViewTest, FlowDirectionsAntiSymmetricWithoutShunts) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  // (5a) with g-shunts = 0 (true for the ieee13 builder): p_f = -p_t.
+  for (const auto& l : fixture().net.lines()) {
+    for (Phase p : l.phases.phases()) {
+      EXPECT_NEAR(view.flow_p_from(l.id, p), -view.flow_p_to(l.id, p), 1e-4);
+    }
+  }
+}
+
+TEST(SolutionViewTest, VoltageIsSqrtOfW) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  const double w = view.bus_w(2, Phase::kA);
+  EXPECT_NEAR(view.bus_v(2, Phase::kA), std::sqrt(w), 1e-15);
+}
+
+TEST(SolutionViewTest, MissingPhaseThrows) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  // Bus "611" chain is phase-c only; find a c-only bus.
+  int c_only = -1;
+  for (const auto& b : fixture().net.buses()) {
+    if (b.phases == dopf::network::PhaseSet::c()) c_only = b.id;
+  }
+  ASSERT_GE(c_only, 0);
+  EXPECT_THROW(view.bus_w(c_only, Phase::kA), std::out_of_range);
+}
+
+TEST(SolutionViewTest, WrongSizeRejected) {
+  std::vector<double> tiny(3, 0.0);
+  EXPECT_THROW(SolutionView(fixture().net, fixture().model, tiny),
+               std::invalid_argument);
+}
+
+TEST(SolutionViewTest, ReportMentionsKeySections) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  const std::string report = view.report();
+  EXPECT_NE(report.find("objective:"), std::string::npos);
+  EXPECT_NE(report.find("dispatch:"), std::string::npos);
+  EXPECT_NE(report.find("substation"), std::string::npos);
+  EXPECT_NE(report.find("most loaded lines:"), std::string::npos);
+}
+
+TEST(SolutionViewTest, MaxLoadingIsHighestNearSubstation) {
+  const SolutionView view(fixture().net, fixture().model, fixture().x);
+  // Line 0 is the regulator carrying the whole feeder.
+  double best = 0.0;
+  for (const auto& l : fixture().net.lines()) {
+    best = std::max(best, view.max_loading(l.id));
+  }
+  // Within ADMM tolerance of the global maximum (line 1, the trunk, carries
+  // essentially the same power as the regulator).
+  EXPECT_NEAR(view.max_loading(0), best, 1e-4);
+}
+
+}  // namespace
+}  // namespace dopf::opf

@@ -1,0 +1,119 @@
+#include "opf/variables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "feeders/ieee13.hpp"
+
+namespace dopf::opf {
+namespace {
+
+using network::Bus;
+using network::Generator;
+using network::Line;
+using network::Load;
+using network::Network;
+using network::Phase;
+using network::PhaseSet;
+
+Network small_net() {
+  Network net;
+  Bus b;
+  b.name = "a";
+  b.phases = PhaseSet::abc();
+  net.add_bus(b);
+  b.name = "b";
+  b.phases = PhaseSet::ac();
+  net.add_bus(b);
+  Line l;
+  l.from_bus = 0;
+  l.to_bus = 1;
+  l.phases = PhaseSet::ac();
+  net.add_line(l);
+  Generator g;
+  g.bus = 0;
+  g.phases = PhaseSet::abc();
+  net.add_generator(g);
+  Load ld;
+  ld.bus = 1;
+  ld.phases = PhaseSet::a();
+  net.add_load(ld);
+  return net;
+}
+
+TEST(VariableIndexTest, CountsMatchStructure) {
+  const Network net = small_net();
+  const VariableIndex vars(net);
+  // gens: 3 phases * 2; buses: (3 + 2) w; loads: 1 phase * 4;
+  // lines: 2 phases * 4.
+  EXPECT_EQ(vars.size(), 6u + 5u + 4u + 8u);
+}
+
+TEST(VariableIndexTest, AbsentPhaseGivesMinusOne) {
+  const Network net = small_net();
+  const VariableIndex vars(net);
+  EXPECT_EQ(vars.bus_w(1, Phase::kB), -1);
+  EXPECT_GE(vars.bus_w(1, Phase::kA), 0);
+  EXPECT_EQ(vars.load_pd(0, Phase::kC), -1);
+  EXPECT_EQ(vars.flow_pf(0, Phase::kB), -1);
+}
+
+TEST(VariableIndexTest, IndicesAreDenseAndUnique) {
+  const Network net = small_net();
+  const VariableIndex vars(net);
+  std::vector<bool> seen(vars.size(), false);
+  auto mark = [&](int idx) {
+    if (idx < 0) return;
+    ASSERT_LT(static_cast<std::size_t>(idx), seen.size());
+    EXPECT_FALSE(seen[idx]) << "index " << idx << " duplicated";
+    seen[idx] = true;
+  };
+  for (auto p : {Phase::kA, Phase::kB, Phase::kC}) {
+    mark(vars.gen_p(0, p));
+    mark(vars.gen_q(0, p));
+    mark(vars.bus_w(0, p));
+    mark(vars.bus_w(1, p));
+    mark(vars.load_pb(0, p));
+    mark(vars.load_qb(0, p));
+    mark(vars.load_pd(0, p));
+    mark(vars.load_qd(0, p));
+    mark(vars.flow_pf(0, p));
+    mark(vars.flow_qf(0, p));
+    mark(vars.flow_pt(0, p));
+    mark(vars.flow_qt(0, p));
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(VariableIndexTest, KindAndComponentRoundTrip) {
+  const Network net = small_net();
+  const VariableIndex vars(net);
+  const int w1a = vars.bus_w(1, Phase::kA);
+  EXPECT_EQ(vars.kind(w1a), VarKind::kBusW);
+  EXPECT_EQ(vars.component(w1a), 1);
+  EXPECT_EQ(vars.phase(w1a), Phase::kA);
+
+  const int qf = vars.flow_qf(0, Phase::kC);
+  EXPECT_EQ(vars.kind(qf), VarKind::kFlowQf);
+  EXPECT_EQ(vars.component(qf), 0);
+}
+
+TEST(VariableIndexTest, NamesAreHumanReadable) {
+  const Network net = dopf::feeders::ieee13();
+  const VariableIndex vars(net);
+  const int w = vars.bus_w(2, Phase::kA);  // bus "632"
+  EXPECT_EQ(vars.name(net, w), "w[632,a]");
+  const int pg = vars.gen_p(0, Phase::kB);
+  EXPECT_EQ(vars.name(net, pg), "pg[substation,b]");
+}
+
+TEST(VariableIndexTest, PaperBlockOrdering) {
+  // Generators first, then buses, then loads, then lines.
+  const Network net = small_net();
+  const VariableIndex vars(net);
+  EXPECT_LT(vars.gen_p(0, Phase::kA), vars.bus_w(0, Phase::kA));
+  EXPECT_LT(vars.bus_w(1, Phase::kC), vars.load_pb(0, Phase::kA));
+  EXPECT_LT(vars.load_qd(0, Phase::kA), vars.flow_pf(0, Phase::kA));
+}
+
+}  // namespace
+}  // namespace dopf::opf

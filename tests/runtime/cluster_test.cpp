@@ -1,0 +1,116 @@
+#include "runtime/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dopf::runtime {
+namespace {
+
+struct TestData {
+  std::vector<double> seconds;
+  std::vector<std::size_t> vars;
+  TestData(std::size_t s, double per_comp, std::size_t per_vars) {
+    seconds.assign(s, per_comp);
+    vars.assign(s, per_vars);
+  }
+};
+
+TEST(CommModelTest, MessageSecondsIsAffine) {
+  CommModel comm;
+  comm.latency_s = 1e-6;
+  comm.bandwidth_gb_s = 1.0;
+  EXPECT_NEAR(comm.message_seconds(0), 1e-6, 1e-15);
+  EXPECT_NEAR(comm.message_seconds(1'000'000'000), 1e-6 + 1.0, 1e-12);
+}
+
+TEST(VirtualClusterTest, ComputeDecreasesWithRanks) {
+  // Fig. 1(b): more CPUs -> faster subproblem phase.
+  const TestData data(1000, 1e-5, 10);
+  double prev = 1e9;
+  for (std::size_t ranks : {1u, 4u, 16u, 64u}) {
+    const VirtualCluster cluster(ranks, CommModel{});
+    const auto phase = cluster.price_local_update(data.seconds, data.vars);
+    EXPECT_LT(phase.compute_seconds, prev);
+    prev = phase.compute_seconds;
+  }
+}
+
+TEST(VirtualClusterTest, CommunicationGrowsWithRanks) {
+  // Fig. 1(c): more CPUs -> more aggregator traffic (per-rank latencies).
+  const TestData data(1000, 1e-5, 10);
+  double prev = 0.0;
+  for (std::size_t ranks : {1u, 4u, 16u, 64u}) {
+    const VirtualCluster cluster(ranks, CommModel{});
+    const auto phase = cluster.price_local_update(data.seconds, data.vars);
+    EXPECT_GT(phase.communication_seconds, prev);
+    prev = phase.communication_seconds;
+  }
+}
+
+TEST(VirtualClusterTest, OneRankComputeEqualsSerialSum) {
+  const TestData data(100, 2e-5, 8);
+  const VirtualCluster cluster(1, CommModel{});
+  const auto phase = cluster.price_local_update(data.seconds, data.vars);
+  EXPECT_NEAR(phase.compute_seconds, 100 * 2e-5, 1e-12);
+}
+
+TEST(VirtualClusterTest, TotalHasSweetSpot) {
+  // With compute ~ 1/N and comm ~ N, some interior N minimizes the total —
+  // the crossover structure of Fig. 1(a).
+  const TestData data(20000, 5e-6, 10);
+  CommModel comm;
+  comm.latency_s = 1e-4;
+  std::vector<double> totals;
+  for (std::size_t ranks : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const VirtualCluster cluster(ranks, comm);
+    totals.push_back(
+        cluster.price_local_update(data.seconds, data.vars).total());
+  }
+  const auto best = std::min_element(totals.begin(), totals.end());
+  EXPECT_NE(best, totals.begin());
+  EXPECT_NE(best, totals.end() - 1);
+}
+
+TEST(VirtualClusterTest, GpuRanksAddStagingCost) {
+  const TestData data(500, 1e-5, 12);
+  const VirtualCluster plain(8, CommModel{});
+  const VirtualCluster gpu(8, CommModel{}, /*gpu_ranks=*/true);
+  const auto p = plain.price_local_update(data.seconds, data.vars);
+  const auto g = gpu.price_local_update(data.seconds, data.vars);
+  EXPECT_EQ(p.staging_seconds, 0.0);
+  EXPECT_GT(g.staging_seconds, 0.0);
+  EXPECT_GT(g.total(), p.total());
+  EXPECT_EQ(g.compute_seconds, p.compute_seconds);
+}
+
+TEST(VirtualClusterTest, ExplicitPartitionIsRespected) {
+  std::vector<double> seconds = {1.0, 1.0, 10.0};
+  std::vector<std::size_t> vars = {1, 1, 1};
+  const VirtualCluster cluster(2, CommModel{});
+  // Heavy component isolated: makespan 2.0.
+  Partition balanced = {{0, 1}, {2}};
+  EXPECT_NEAR(cluster.price_local_update(balanced, seconds, vars)
+                  .compute_seconds,
+              10.0, 1e-12);
+  // Heavy component with a light one: makespan 11.
+  Partition skewed = {{0}, {1, 2}};
+  EXPECT_NEAR(
+      cluster.price_local_update(skewed, seconds, vars).compute_seconds,
+      11.0, 1e-12);
+}
+
+TEST(VirtualClusterTest, SizeMismatchThrows) {
+  const VirtualCluster cluster(2, CommModel{});
+  std::vector<double> seconds(3, 1.0);
+  std::vector<std::size_t> vars(2, 1);
+  EXPECT_THROW(cluster.price_local_update(seconds, vars),
+               std::invalid_argument);
+}
+
+TEST(VirtualClusterTest, ZeroRanksThrows) {
+  EXPECT_THROW(VirtualCluster(0, CommModel{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dopf::runtime

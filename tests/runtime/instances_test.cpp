@@ -1,0 +1,90 @@
+#include "runtime/instances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opf/stats.hpp"
+#include "runtime/measure.hpp"
+
+namespace dopf::runtime {
+namespace {
+
+TEST(InstancesTest, Ieee13MatchesPaperTable3) {
+  const Instance inst = make_instance("ieee13");
+  const auto counts = dopf::opf::component_counts(inst.net, inst.problem);
+  EXPECT_EQ(counts.nodes, 29u);
+  EXPECT_EQ(counts.lines, 28u);
+  EXPECT_EQ(counts.leaves, 7u);
+  EXPECT_EQ(counts.S, 50u);
+}
+
+TEST(InstancesTest, Ieee123MatchesPaperTable3) {
+  const Instance inst = make_instance("ieee123");
+  const auto counts = dopf::opf::component_counts(inst.net, inst.problem);
+  EXPECT_EQ(counts.nodes, 147u);
+  EXPECT_EQ(counts.lines, 146u);
+  EXPECT_EQ(counts.leaves, 43u);
+  EXPECT_EQ(counts.S, 250u);
+}
+
+TEST(InstancesTest, UnknownNameThrows) {
+  EXPECT_THROW(make_instance("ieee999"), std::invalid_argument);
+}
+
+TEST(InstancesTest, PaperListHasThreeInstances) {
+  const auto names = paper_instance_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "ieee13");
+  EXPECT_EQ(names[2], "ieee8500");
+}
+
+TEST(InstancesTest, DecomposeOptionsArePassedThrough) {
+  dopf::opf::DecomposeOptions opts;
+  opts.merge_leaves = false;
+  const Instance inst = make_instance("ieee13", opts);
+  EXPECT_EQ(inst.problem.num_components(), 29u + 28u);
+}
+
+TEST(MeasureTest, SolverFreeCostsArePopulated) {
+  const Instance inst = make_instance("ieee13");
+  const IterationCosts costs =
+      measure_solver_free(inst.problem, dopf::core::AdmmOptions{}, 20);
+  EXPECT_EQ(costs.measured_iterations, 20);
+  EXPECT_EQ(costs.component_seconds.size(), inst.problem.num_components());
+  EXPECT_EQ(costs.payload_vars.size(), inst.problem.num_components());
+  EXPECT_GT(costs.local_update_seconds, 0.0);
+  EXPECT_GT(costs.global_update_seconds, 0.0);
+  double sum = 0.0;
+  for (double s : costs.component_seconds) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, costs.local_update_seconds, 1e-12);
+  for (std::size_t s = 0; s < costs.payload_vars.size(); ++s) {
+    EXPECT_EQ(costs.payload_vars[s],
+              inst.problem.components[s].num_vars());
+  }
+}
+
+TEST(MeasureTest, NonPositiveIterationCountRejected) {
+  const Instance inst = make_instance("ieee13");
+  EXPECT_THROW(
+      measure_solver_free(inst.problem, dopf::core::AdmmOptions{}, 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      measure_benchmark(inst.problem, dopf::core::AdmmOptions{}, -3),
+      std::invalid_argument);
+}
+
+TEST(MeasureTest, BenchmarkLocalUpdateCostsDominateSolverFree) {
+  // The core performance claim at per-iteration granularity.
+  const Instance inst = make_instance("ieee13");
+  const auto ours =
+      measure_solver_free(inst.problem, dopf::core::AdmmOptions{}, 20);
+  const auto baseline =
+      measure_benchmark(inst.problem, dopf::core::AdmmOptions{}, 20);
+  EXPECT_GT(baseline.local_update_seconds,
+            2.0 * ours.local_update_seconds);
+}
+
+}  // namespace
+}  // namespace dopf::runtime

@@ -1,0 +1,77 @@
+#include "runtime/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dopf::runtime {
+namespace {
+
+TEST(PartitionTest, BlockPartitionCoversEverythingOnce) {
+  const Partition p = block_partition(10, 3);
+  ASSERT_EQ(p.size(), 3u);
+  std::vector<int> seen(10, 0);
+  for (const auto& part : p) {
+    for (std::size_t s : part) ++seen[s];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  // Near-even: sizes 4, 3, 3.
+  EXPECT_EQ(p[0].size(), 4u);
+  EXPECT_EQ(p[1].size(), 3u);
+  EXPECT_EQ(p[2].size(), 3u);
+}
+
+TEST(PartitionTest, BlockPartitionMoreRanksThanItems) {
+  const Partition p = block_partition(2, 5);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p[0].size(), 1u);
+  EXPECT_EQ(p[1].size(), 1u);
+  EXPECT_TRUE(p[2].empty());
+}
+
+TEST(PartitionTest, ZeroRanksThrows) {
+  EXPECT_THROW(block_partition(5, 0), std::invalid_argument);
+  std::vector<double> w(3, 1.0);
+  EXPECT_THROW(lpt_partition(w, 0), std::invalid_argument);
+}
+
+TEST(PartitionTest, LptBalancesSkewedWeights) {
+  // One heavy item + many light ones: LPT puts the heavy one alone.
+  std::vector<double> w = {10.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                           1.0, 1.0, 1.0, 1.0, 1.0};
+  const Partition p = lpt_partition(w, 2);
+  const double span = makespan(p, w);
+  EXPECT_NEAR(span, 10.0, 1e-12);
+
+  // Block partition on the same weights is worse.
+  const Partition blocks = block_partition(w.size(), 2);
+  EXPECT_GT(makespan(blocks, w), span - 1e-12);
+}
+
+TEST(PartitionTest, MakespanIsMaxRankLoad) {
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  Partition p = {{0, 3}, {1, 2}};  // loads 5 and 5
+  EXPECT_DOUBLE_EQ(makespan(p, w), 5.0);
+  p = {{0, 1, 2}, {3}};  // loads 6 and 4
+  EXPECT_DOUBLE_EQ(makespan(p, w), 6.0);
+}
+
+TEST(PartitionTest, LptCoversEverythingOnce) {
+  std::vector<double> w(23);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0 + static_cast<double>(i % 5);
+  }
+  const Partition p = lpt_partition(w, 4);
+  std::vector<int> seen(w.size(), 0);
+  for (const auto& part : p) {
+    for (std::size_t s : part) ++seen[s];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  // LPT guarantee: makespan <= (4/3 - 1/3m) * OPT <= 4/3 * average bound.
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const double lower = std::max(total / 4.0, 5.0);
+  EXPECT_LE(makespan(p, w), lower * 4.0 / 3.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace dopf::runtime

@@ -1,0 +1,128 @@
+#include "simt/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dopf::simt {
+namespace {
+
+TEST(DeviceTest, LaunchExecutesEveryBlockExactlyOnce) {
+  Device dev;
+  std::vector<int> hits(10, 0);
+  dev.launch("k", 10, 32, [&](BlockContext& ctx) {
+    ++hits[ctx.block_index];
+    EXPECT_EQ(ctx.threads, 32);
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(DeviceTest, LaunchChargesAtLeastOverhead) {
+  Device dev;
+  dev.launch("k", 1, 1, [](BlockContext&) {});
+  EXPECT_GE(dev.ledger().kernel_seconds,
+            dev.spec().kernel_launch_us * 1e-6);
+  EXPECT_EQ(dev.ledger().by_kernel.at("k"), dev.ledger().kernel_seconds);
+}
+
+TEST(DeviceTest, ChargeScalesWithRounds) {
+  // ceil(items / threads) rounds: 64 items on 16 threads = 4 rounds, on 64
+  // threads = 1 round -> 4x the per-block time.
+  Device dev;
+  BlockContext c16;
+  c16.threads = 16;
+  BlockContext c64;
+  c64.threads = 64;
+  // Need the device's coefficients: route through launch.
+  double t16 = 0.0, t64 = 0.0;
+  dev.launch("a", 1, 16, [&](BlockContext& ctx) {
+    ctx.charge(64, 10.0, 100.0);
+    t16 = ctx.seconds;
+  });
+  dev.launch("b", 1, 64, [&](BlockContext& ctx) {
+    ctx.charge(64, 10.0, 100.0);
+    t64 = ctx.seconds;
+  });
+  EXPECT_NEAR(t16, 4.0 * t64, 1e-15);
+}
+
+TEST(DeviceTest, ZeroItemsChargeNothing) {
+  Device dev;
+  dev.launch("k", 1, 32, [&](BlockContext& ctx) {
+    ctx.charge(0, 100.0, 100.0);
+    EXPECT_EQ(ctx.seconds, 0.0);
+  });
+}
+
+TEST(DeviceTest, MakespanUsesWorkSpanModel) {
+  // Many equal blocks: total/concurrency dominates; one huge block: span
+  // dominates.
+  DeviceSpec spec;
+  spec.kernel_launch_us = 0.0;
+  Device dev(spec);
+  const int conc = dev.concurrent_blocks(32);
+  // 2*conc identical blocks -> time ~ 2 * block_time.
+  dev.launch("flat", 2 * conc, 32, [](BlockContext& ctx) {
+    ctx.charge(32, 100.0, 0.0);
+  });
+  const double flat = dev.ledger().by_kernel.at("flat");
+  // Same total work in one block -> time = that block's time (span).
+  dev.launch("spike", 1, 32, [&](BlockContext& ctx) {
+    ctx.charge(32, 100.0 * 2 * conc, 0.0);
+  });
+  const double spike = dev.ledger().by_kernel.at("spike");
+  EXPECT_GT(spike, flat * (conc / 2.0));
+}
+
+TEST(DeviceTest, ConcurrencyDecreasesWithBlockSize) {
+  Device dev;
+  EXPECT_GE(dev.concurrent_blocks(32), dev.concurrent_blocks(1024));
+  EXPECT_GE(dev.concurrent_blocks(1), 1);
+}
+
+TEST(DeviceTest, TransferCostsLatencyPlusBandwidth) {
+  Device dev;
+  dev.record_transfer(0);
+  const double lat = dev.ledger().transfer_seconds;
+  EXPECT_NEAR(lat, dev.spec().pcie_latency_us * 1e-6, 1e-12);
+  dev.record_transfer(1'000'000'000);  // 1 GB
+  EXPECT_NEAR(dev.ledger().transfer_seconds - lat,
+              lat + 1.0 / dev.spec().pcie_bandwidth_gb_s, 1e-9);
+}
+
+TEST(DeviceTest, InvalidLaunchParametersThrow) {
+  Device dev;
+  EXPECT_THROW(dev.launch("k", 1, 0, [](BlockContext&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(dev.launch("k", 1, 5000, [](BlockContext&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(dev.launch("k", -1, 32, [](BlockContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(DeviceTest, LedgerClearResets) {
+  Device dev;
+  dev.launch("k", 4, 32, [](BlockContext& ctx) { ctx.charge(8, 1.0, 8.0); });
+  dev.record_transfer(100);
+  EXPECT_GT(dev.ledger().total(), 0.0);
+  dev.ledger().clear();
+  EXPECT_EQ(dev.ledger().total(), 0.0);
+  EXPECT_TRUE(dev.ledger().by_kernel.empty());
+}
+
+TEST(DeviceTest, FasterClockMeansLessTime) {
+  DeviceSpec slow;
+  slow.clock_ghz = 0.5;
+  slow.kernel_launch_us = 0.0;
+  DeviceSpec fast = slow;
+  fast.clock_ghz = 2.0;
+  Device dslow(slow), dfast(fast);
+  auto body = [](BlockContext& ctx) { ctx.charge(100, 50.0, 0.0); };
+  dslow.launch("k", 10, 32, body);
+  dfast.launch("k", 10, 32, body);
+  EXPECT_GT(dslow.ledger().kernel_seconds,
+            dfast.ledger().kernel_seconds * 3.0);
+}
+
+}  // namespace
+}  // namespace dopf::simt

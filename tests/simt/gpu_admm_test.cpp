@@ -1,0 +1,168 @@
+#include "simt/gpu_admm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::simt {
+namespace {
+
+using dopf::core::AdmmOptions;
+using dopf::core::AdmmResult;
+using dopf::core::SolverFreeAdmm;
+using dopf::opf::DistributedProblem;
+
+struct Fixture {
+  dopf::network::Network net = dopf::feeders::ieee13();
+  DistributedProblem problem = dopf::opf::decompose(net);
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(DeviceProblemTest, ImageShapesMatchProblem) {
+  const auto& p = fixture().problem;
+  const auto solvers = dopf::core::LocalSolvers::precompute(p);
+  const DeviceProblem img = DeviceProblem::build(p, solvers);
+  EXPECT_EQ(img.num_components(), p.num_components());
+  EXPECT_EQ(img.num_global(), p.num_vars);
+  EXPECT_EQ(img.total_local(), p.total_local_vars());
+  EXPECT_GT(img.bytes(), 0u);
+  // Gather lists cover every z position exactly once.
+  std::vector<int> seen(img.total_local(), 0);
+  for (std::int64_t pos : img.gather_pos) ++seen[pos];
+  for (int s : seen) EXPECT_EQ(s, 1);
+  // Per-variable gather degree equals the copy count.
+  for (std::size_t i = 0; i < img.num_global(); ++i) {
+    EXPECT_EQ(img.gather_ptr[i + 1] - img.gather_ptr[i],
+              p.copy_count[i]);
+  }
+}
+
+TEST(GpuAdmmTest, TrajectoriesBitIdenticalToCpu) {
+  // The paper's Fig. 2 claim: CPU and GPU runs have the same convergence
+  // behaviour. Our SIMT simulation preserves summation order, so iterates
+  // are bit-identical, not just close.
+  AdmmOptions opt;
+  opt.max_iterations = 200;
+  opt.check_every = 1000;  // no early exit
+  SolverFreeAdmm cpu(fixture().problem, opt);
+  GpuAdmmOptions gopt;
+  gopt.admm = opt;
+  GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+  const AdmmResult rc = cpu.solve();
+  const AdmmResult rg = gpu.solve();
+  ASSERT_EQ(rc.x.size(), rg.x.size());
+  for (std::size_t i = 0; i < rc.x.size(); ++i) {
+    EXPECT_EQ(rc.x[i], rg.x[i]) << "global entry " << i;
+  }
+}
+
+TEST(GpuAdmmTest, ResidualTrajectoriesMatchCpu) {
+  AdmmOptions opt;
+  opt.eps_rel = 1e-3;
+  opt.max_iterations = 5000;
+  SolverFreeAdmm cpu(fixture().problem, opt);
+  GpuAdmmOptions gopt;
+  gopt.admm = opt;
+  GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+  const AdmmResult rc = cpu.solve();
+  const AdmmResult rg = gpu.solve();
+  EXPECT_EQ(rc.iterations, rg.iterations);
+  ASSERT_EQ(rc.history.size(), rg.history.size());
+  for (std::size_t k = 0; k < rc.history.size(); ++k) {
+    EXPECT_EQ(rc.history[k].primal_residual, rg.history[k].primal_residual);
+    EXPECT_EQ(rc.history[k].dual_residual, rg.history[k].dual_residual);
+  }
+}
+
+TEST(GpuAdmmTest, ThreadCountDoesNotChangeResults) {
+  AdmmOptions opt;
+  opt.max_iterations = 100;
+  opt.check_every = 1000;
+  std::vector<double> reference;
+  for (int threads : {1, 4, 32, 64}) {
+    GpuAdmmOptions gopt;
+    gopt.admm = opt;
+    gopt.threads_per_block = threads;
+    GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+    const AdmmResult r = gpu.solve();
+    if (reference.empty()) {
+      reference = r.x;
+    } else {
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i], r.x[i]) << "threads = " << threads;
+      }
+    }
+  }
+}
+
+TEST(GpuAdmmTest, MoreThreadsReduceSimulatedLocalTime) {
+  // Fig. 3 bottom row: the thread sweep accelerates the local update.
+  AdmmOptions opt;
+  opt.max_iterations = 50;
+  opt.check_every = 1000;
+  double prev = -1.0;
+  for (int threads : {1, 8, 64}) {
+    GpuAdmmOptions gopt;
+    gopt.admm = opt;
+    gopt.threads_per_block = threads;
+    GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+    gpu.solve();
+    const double t = gpu.kernel_averages().local_update;
+    if (prev > 0.0) EXPECT_LT(t, prev) << "threads = " << threads;
+    prev = t;
+  }
+}
+
+TEST(GpuAdmmTest, LedgerAccumulatesAllKernels) {
+  AdmmOptions opt;
+  opt.max_iterations = 10;
+  GpuAdmmOptions gopt;
+  gopt.admm = opt;
+  GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+  gpu.solve();
+  const auto& by = gpu.device().ledger().by_kernel;
+  EXPECT_GT(by.at("global_update"), 0.0);
+  EXPECT_GT(by.at("local_update"), 0.0);
+  EXPECT_GT(by.at("dual_update"), 0.0);
+  EXPECT_GT(gpu.device().ledger().transfer_seconds, 0.0);  // upload
+}
+
+TEST(GpuAdmmTest, KernelAveragesDivideByIterations) {
+  AdmmOptions opt;
+  opt.max_iterations = 10;
+  opt.check_every = 1000;
+  GpuAdmmOptions gopt;
+  gopt.admm = opt;
+  GpuSolverFreeAdmm gpu(fixture().problem, gopt);
+  gpu.solve();
+  const auto avg = gpu.kernel_averages();
+  const auto& by = gpu.device().ledger().by_kernel;
+  EXPECT_NEAR(avg.local_update, by.at("local_update") / 10.0, 1e-15);
+  EXPECT_GT(avg.total(), 0.0);
+}
+
+TEST(LocalKernelCostTest, SubsetCostsAreMonotone) {
+  const auto& p = fixture().problem;
+  const auto solvers = dopf::core::LocalSolvers::precompute(p);
+  const DeviceProblem img = DeviceProblem::build(p, solvers);
+  const Device dev;
+  std::vector<std::size_t> all(p.num_components());
+  for (std::size_t s = 0; s < all.size(); ++s) all[s] = s;
+  const std::vector<std::size_t> half(all.begin(),
+                                      all.begin() + all.size() / 2);
+  const double t_all = local_update_kernel_seconds(dev, img, all, 16);
+  const double t_half = local_update_kernel_seconds(dev, img, half, 16);
+  EXPECT_GE(t_all, t_half);
+  // More threads never slow the kernel down.
+  EXPECT_LE(local_update_kernel_seconds(dev, img, all, 64),
+            local_update_kernel_seconds(dev, img, all, 1));
+}
+
+}  // namespace
+}  // namespace dopf::simt

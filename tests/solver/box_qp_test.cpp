@@ -1,0 +1,180 @@
+#include "solver/box_qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/rref.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dopf::solver {
+namespace {
+
+using dopf::linalg::kInfinity;
+using dopf::linalg::Matrix;
+
+TEST(BoxQpTest, UnconstrainedBoxReducesToAffineProjection) {
+  Matrix a{{1.0, 1.0}};
+  BoxQp qp(a, {2.0}, {-kInfinity, -kInfinity}, {kInfinity, kInfinity});
+  const auto res = qp.project(std::vector<double>{0.0, 0.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-9);
+}
+
+TEST(BoxQpTest, ActiveBoundShiftsSolution) {
+  // Project (0,0) onto {x + y = 2, x <= 0.5}: solution (0.5, 1.5).
+  Matrix a{{1.0, 1.0}};
+  BoxQp qp(a, {2.0}, {-kInfinity, -kInfinity}, {0.5, kInfinity});
+  const auto res = qp.project(std::vector<double>{0.0, 0.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 0.5, 1e-8);
+  EXPECT_NEAR(res.x[1], 1.5, 1e-8);
+}
+
+TEST(BoxQpTest, InteriorPointIsFixed) {
+  Matrix a{{1.0, -1.0}};
+  BoxQp qp(a, {0.0}, {-1.0, -1.0}, {1.0, 1.0});
+  const auto res = qp.project(std::vector<double>{0.3, 0.3});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 0.3, 1e-10);
+  EXPECT_NEAR(res.x[1], 0.3, 1e-10);
+}
+
+TEST(BoxQpTest, FullyClampedBox) {
+  // Degenerate box pinning both variables; A x = b must still hold.
+  Matrix a{{1.0, 1.0}};
+  BoxQp qp(a, {2.0}, {1.0, 1.0}, {1.0, 1.0});
+  const auto res = qp.project(std::vector<double>{5.0, -7.0});
+  EXPECT_NEAR(res.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-8);
+}
+
+TEST(BoxQpTest, WarmStartSpeedsSecondSolve) {
+  Matrix a{{1.0, 2.0, -1.0}, {0.0, 1.0, 1.0}};
+  BoxQp qp(a, {1.0, 0.5}, {-1.0, -1.0, -1.0}, {1.0, 1.0, 1.0});
+  std::vector<double> mu(2, 0.0);
+  const std::vector<double> y = {0.2, 0.8, -0.4};
+  const auto first = qp.project(y, {}, &mu);
+  ASSERT_TRUE(first.converged);
+  const auto second = qp.project(y, {}, &mu);
+  ASSERT_TRUE(second.converged);
+  EXPECT_LE(second.newton_iterations, first.newton_iterations);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(second.x[j], first.x[j], 1e-8);
+  }
+}
+
+/// KKT check: x is optimal iff x = clip(y - A' mu, lb, ub) and A x = b for
+/// some mu — which is exactly the structure the solver returns. Verify
+/// optimality indirectly: the returned point cannot be improved by feasible
+/// perturbations toward y.
+void expect_projection_optimal(const Matrix& a, std::span<const double> b,
+                               std::span<const double> lb,
+                               std::span<const double> ub,
+                               std::span<const double> y,
+                               std::span<const double> x, double tol) {
+  // Feasibility.
+  const std::vector<double> ax = multiply(a, x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], tol);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    EXPECT_GE(x[j], lb[j] - tol);
+    EXPECT_LE(x[j], ub[j] + tol);
+  }
+  // First-order optimality via random feasible directions: for directions d
+  // with A d = 0 respecting active bounds, (x - y)' d >= 0.
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const dopf::linalg::AffineProjector null_proj(
+      a, std::vector<double>(b.size(), 0.0));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> d(x.size());
+    for (double& v : d) v = dist(rng);
+    d = null_proj.project(d);  // A d = 0
+    // Zero out components that would leave the box.
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if ((x[j] <= lb[j] + tol && d[j] < 0.0) ||
+          (x[j] >= ub[j] - tol && d[j] > 0.0)) {
+        d.assign(x.size(), 0.0);  // direction infeasible; skip trial
+        break;
+      }
+    }
+    double directional = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      directional += (x[j] - y[j]) * d[j];
+    }
+    // Moving along a feasible direction cannot reduce ||x - y||^2 at first
+    // order more than tolerance allows.
+    const double norm_d = dopf::linalg::norm2(d);
+    if (norm_d > 1e-9) {
+      // Compare against a small actual step.
+      const double h = 1e-4;
+      double f0 = 0.0, f1 = 0.0;
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        f0 += (x[j] - y[j]) * (x[j] - y[j]);
+        const double xj = x[j] + h * d[j];
+        f1 += (xj - y[j]) * (xj - y[j]);
+      }
+      EXPECT_GE(f1, f0 - 1e-6) << "improving feasible direction found";
+    }
+  }
+}
+
+class BoxQpRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxQpRandomSweep, RandomProblemsAreSolvedToOptimality) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 4 + GetParam() % 6;
+  const std::size_t m = 1 + GetParam() % 3;
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+  }
+  // Feasible interior point x_feas to build b and bounds around.
+  std::vector<double> x_feas(n), b(m, 0.0), lb(n), ub(n);
+  for (std::size_t j = 0; j < n; ++j) x_feas[j] = dist(rng);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_feas[j];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    lb[j] = x_feas[j] - 0.2 - 0.5 * std::abs(dist(rng));
+    ub[j] = x_feas[j] + 0.2 + 0.5 * std::abs(dist(rng));
+  }
+  BoxQp qp(a, b, lb, ub);
+  std::vector<double> y(n);
+  for (double& v : y) v = 2.0 * dist(rng);
+  const auto res = qp.project(y);
+  EXPECT_TRUE(res.converged) << "residual " << res.residual;
+  expect_projection_optimal(a, b, lb, ub, y, res.x, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxQpRandomSweep, ::testing::Range(0, 25));
+
+TEST(BoxQpTest, DykstraFallbackAgreesWithNewton) {
+  Matrix a{{1.0, 1.0, 1.0}};
+  std::vector<double> b = {1.5};
+  std::vector<double> lb = {0.0, 0.0, 0.0};
+  std::vector<double> ub = {1.0, 1.0, 1.0};
+  BoxQp qp(a, b, lb, ub);
+  const std::vector<double> y = {2.0, 0.4, -1.0};
+  BoxQpOptions newton_only;
+  newton_only.max_dykstra = 0;
+  const auto rn = qp.project(y, newton_only);
+  BoxQpOptions dykstra_only;
+  dykstra_only.max_newton = 0;
+  const auto rd = qp.project(y, dykstra_only);
+  ASSERT_TRUE(rn.converged);
+  ASSERT_TRUE(rd.converged);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(rn.x[j], rd.x[j], 1e-6);
+}
+
+TEST(BoxQpTest, DimensionMismatchThrows) {
+  Matrix a(1, 2);
+  EXPECT_THROW(BoxQp(a, {1.0}, {0.0}, {1.0, 1.0}), std::invalid_argument);
+  BoxQp ok(Matrix{{1.0, 1.0}}, {1.0}, {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_THROW(ok.project(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dopf::solver

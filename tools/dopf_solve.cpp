@@ -1,0 +1,175 @@
+// dopf_solve — command-line distributed OPF solver.
+//
+// Usage:
+//   dopf_solve [options] <feeder-file | builtin:NAME>
+//
+//   builtin:NAME          one of ieee13, ieee123, ieee8500, ieee8500_mini
+//   --algorithm ALG       solver-free (default) | benchmark | reference
+//   --rho R               ADMM penalty (default 100)
+//   --eps E               relative tolerance (default 1e-3)
+//   --max-iters N         iteration cap (default 200000)
+//   --relaxation A        over-relaxation factor (default 1.0)
+//   --quantize-bits B     message quantization (default 0 = exact)
+//   --report              print the full dispatch/voltage report
+//   --residuals FILE      dump residual history as CSV
+//   --output FILE         dump the solution (per-variable CSV)
+//
+// Exit code 0 on convergence/optimality, 2 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "baseline/benchmark_admm.hpp"
+#include "core/admm.hpp"
+#include "feeders/feeder_io.hpp"
+#include "opf/solution.hpp"
+#include "runtime/instances.hpp"
+#include "solver/reference.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <feeder-file | builtin:NAME>\n"
+               "  --algorithm solver-free|benchmark|reference\n"
+               "  --rho R  --eps E  --max-iters N  --relaxation A\n"
+               "  --quantize-bits B  --report  --residuals FILE  --output FILE\n",
+               argv0);
+  std::exit(1);
+}
+
+double parse_double(const char* arg, const char* what) {
+  try {
+    return std::stod(arg);
+  } catch (...) {
+    std::fprintf(stderr, "bad value '%s' for %s\n", arg, what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, algorithm = "solver-free", residual_file, output_file;
+  bool report = false;
+  dopf::core::AdmmOptions opt;
+  opt.check_every = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--algorithm") {
+      algorithm = next();
+    } else if (arg == "--rho") {
+      opt.rho = parse_double(next(), "--rho");
+    } else if (arg == "--eps") {
+      opt.eps_rel = parse_double(next(), "--eps");
+    } else if (arg == "--max-iters") {
+      opt.max_iterations = static_cast<int>(parse_double(next(), "--max-iters"));
+    } else if (arg == "--relaxation") {
+      opt.relaxation = parse_double(next(), "--relaxation");
+    } else if (arg == "--quantize-bits") {
+      opt.quantize_bits = static_cast<int>(parse_double(next(), "--quantize-bits"));
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--residuals") {
+      residual_file = next();
+    } else if (arg == "--output") {
+      output_file = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) usage(argv[0]);
+
+  try {
+    dopf::network::Network net;
+    if (input.rfind("builtin:", 0) == 0) {
+      net = dopf::runtime::make_instance(input.substr(8)).net;
+    } else {
+      net = dopf::feeders::load_feeder(input);
+    }
+    std::printf("%s\n", net.summary().c_str());
+    const auto model = dopf::opf::build_model(net);
+    std::printf("model: %zu equations, %zu variables\n",
+                model.num_equations(), model.num_vars());
+
+    std::vector<double> x;
+    bool ok = false;
+    std::vector<dopf::core::IterationRecord> history;
+
+    if (algorithm == "reference") {
+      const auto sol = dopf::solver::reference_solve(model);
+      std::printf("reference IPM: %s, objective %.8f, %d iterations\n",
+                  dopf::solver::to_string(sol.status), sol.objective,
+                  sol.iterations);
+      x = sol.x;
+      ok = sol.status == dopf::solver::LpStatus::kOptimal;
+    } else {
+      const auto problem = dopf::opf::decompose(net, model);
+      std::printf("decomposition: %zu components\n",
+                  problem.num_components());
+      dopf::core::AdmmResult res;
+      if (algorithm == "benchmark") {
+        dopf::baseline::BenchmarkAdmm admm(problem, opt);
+        res = admm.solve();
+      } else if (algorithm == "solver-free") {
+        dopf::core::SolverFreeAdmm admm(problem, opt);
+        res = admm.solve();
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+        return 1;
+      }
+      std::printf(
+          "%s ADMM: %s in %d iterations, objective %.8f\n"
+          "residuals: primal %.3e dual %.3e; wall %.2fs "
+          "(global %.2fs local %.2fs dual %.2fs)\n",
+          algorithm.c_str(), res.converged ? "converged" : "NOT converged",
+          res.iterations, res.objective, res.primal_residual,
+          res.dual_residual, res.timing.total(), res.timing.global_update,
+          res.timing.local_update, res.timing.dual_update);
+      x = res.x;
+      ok = res.converged;
+      history = res.history;
+    }
+
+    if (!residual_file.empty() && !history.empty()) {
+      std::ofstream out(residual_file);
+      out << "iteration,primal,dual,eps_primal,eps_dual,rho\n";
+      for (const auto& r : history) {
+        out << r.iteration << ',' << r.primal_residual << ','
+            << r.dual_residual << ',' << r.eps_primal << ',' << r.eps_dual
+            << ',' << r.rho << '\n';
+      }
+      std::printf("residual history written to %s\n", residual_file.c_str());
+    }
+
+    if (!output_file.empty() && !x.empty()) {
+      std::ofstream out(output_file);
+      out << "variable,value\n";
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        out << model.vars.name(net, static_cast<int>(i)) << ',' << x[i]
+            << '\n';
+      }
+      std::printf("solution written to %s\n", output_file.c_str());
+    }
+    if (report && !x.empty()) {
+      const dopf::opf::SolutionView view(net, model, x);
+      std::printf("\n%s", view.report().c_str());
+    }
+    return ok ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
