@@ -13,6 +13,7 @@
 #include "core/admm.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/measure.hpp"
+#include "runtime/threaded_backend.hpp"
 #include "simt/gpu_admm.hpp"
 #include "simt/multi_gpu.hpp"
 
@@ -34,6 +35,27 @@ void cpu_row(const dopf::runtime::Instance& inst,
                          costs.dual_update_seconds;
     std::printf("  %6zu %12.3e %12.3e %12.3e %12.3e\n", cpus,
                 costs.global_update_seconds, phase.total(),
+                costs.dual_update_seconds, total);
+  }
+}
+
+void threaded_cpu_row(const dopf::runtime::Instance& inst,
+                      const dopf::core::AdmmOptions& opt) {
+  // Measured (not modeled) shared-memory execution: the ThreadedBackend
+  // runs the same packed kernels on this host's cores. Complements the
+  // virtual-cluster projection above with real wall-clock makespans.
+  std::printf("  multi-thread CPU (measured on this host):\n");
+  std::printf("  %6s %12s %12s %12s %12s\n", "thr", "global", "local",
+              "dual", "total");
+  for (int threads : {1, 2, 4, 8}) {
+    const auto costs = dopf::runtime::measure_solver_free(
+        inst.problem, opt, 30,
+        dopf::runtime::make_threaded_backend(threads));
+    const double total = costs.global_update_seconds +
+                         costs.local_update_wall_seconds +
+                         costs.dual_update_seconds;
+    std::printf("  %6d %12.3e %12.3e %12.3e %12.3e\n", threads,
+                costs.global_update_seconds, costs.local_update_wall_seconds,
                 costs.dual_update_seconds, total);
   }
 }
@@ -93,6 +115,7 @@ int main() {
     std::printf("\n%s (S = %zu)\n", name.c_str(),
                 inst.problem.num_components());
     cpu_row(inst, opt);
+    threaded_cpu_row(inst, opt);
     gpu_row(inst, opt);
     thread_row(inst, opt);
   }

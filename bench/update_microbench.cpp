@@ -8,6 +8,7 @@
 #include "baseline/benchmark_admm.hpp"
 #include "core/admm.hpp"
 #include "runtime/instances.hpp"
+#include "runtime/threaded_backend.hpp"
 #include "simt/gpu_admm.hpp"
 
 namespace {
@@ -81,6 +82,66 @@ void BM_Residuals(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Residuals)->Arg(0)->Arg(1);
+
+const dopf::runtime::Instance& instance8500() {
+  // Full 8500-bus instance (S = 25001): the local update is milliseconds of
+  // work per call, so pool wakeup overhead is negligible and the threaded
+  // rows reflect genuine scaling.
+  static const auto inst = dopf::runtime::make_instance("ieee8500");
+  return inst;
+}
+
+// Backend comparison on the largest local-update workload: serial packed
+// backend (Arg = 0) vs the threaded backend with Arg worker threads. On a
+// multi-core host the 8-thread row should show the >= 2x makespan win; on a
+// 1-core host all rows collapse to serial speed (the iterates stay
+// bit-identical either way).
+void BM_BackendLocalUpdate(benchmark::State& state) {
+  const auto& inst = instance8500();
+  dopf::core::SolverFreeAdmm admm(inst.problem, {});
+  const int threads = static_cast<int>(state.range(0));
+  if (threads > 0) {
+    admm.set_backend(dopf::runtime::make_threaded_backend(threads));
+  }
+  admm.global_update();
+  for (auto _ : state) {
+    admm.local_update();
+  }
+  state.SetLabel(threads > 0 ? "threaded" : "serial-packed");
+  state.SetItemsProcessed(state.iterations() *
+                          inst.problem.num_components());
+}
+BENCHMARK(BM_BackendLocalUpdate)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Pre-refactor reference path: one AffineProjector object per component,
+// staging buffers allocated per call. The packed serial backend
+// (BM_BackendLocalUpdate/0) must be no slower than this.
+void BM_ProjectorObjectLocalUpdate(benchmark::State& state) {
+  const auto& inst = instance8500();
+  const auto& problem = inst.problem;
+  const auto solvers = dopf::core::LocalSolvers::precompute(problem);
+  const double rho = dopf::core::AdmmOptions{}.rho;
+  const std::vector<double>& x = problem.x0;
+  std::vector<double> lambda(problem.total_local_vars(), 0.0);
+  std::vector<double> z(problem.total_local_vars(), 0.0);
+  for (auto _ : state) {
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < problem.num_components(); ++s) {
+      const auto& comp = problem.components[s];
+      const std::size_t ns = comp.num_vars();
+      std::vector<double> y(ns);
+      for (std::size_t j = 0; j < ns; ++j) {
+        y[j] = x[comp.global[j]] + lambda[off + j] / rho;
+      }
+      solvers.projectors[s].project_into(
+          y, std::span<double>(z.data() + off, ns));
+      off += ns;
+    }
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(state.iterations() * problem.num_components());
+}
+BENCHMARK(BM_ProjectorObjectLocalUpdate);
 
 void BM_Precompute(benchmark::State& state) {
   const auto& inst = pick(static_cast<int>(state.range(0)));

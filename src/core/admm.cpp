@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <stdexcept>
 #include <cmath>
+#include <stdexcept>
 
+#include "core/packed_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dopf::core {
 
 using Clock = std::chrono::steady_clock;
-using dopf::opf::Component;
 using dopf::opf::DistributedProblem;
 
 namespace {
@@ -45,20 +45,15 @@ const char* to_string(AdmmStatus status) {
   return "?";
 }
 
-LocalSolvers LocalSolvers::precompute(const DistributedProblem& problem) {
-  LocalSolvers solvers;
-  solvers.projectors.reserve(problem.components.size());
-  for (const Component& comp : problem.components) {
-    solvers.projectors.emplace_back(comp.a, comp.b);
-  }
-  return solvers;
-}
-
 SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
                                AdmmOptions options)
-    : problem_(&problem), options_(options), rho_(options.rho) {
+    : problem_(&problem),
+      options_(options),
+      backend_(make_serial_backend()),
+      rho_(options.rho) {
   const auto start = Clock::now();
-  solvers_ = LocalSolvers::precompute(problem);
+  const LocalSolvers solvers = LocalSolvers::precompute(problem);
+  packed_ = PackedLocalSolvers::build(problem, solvers);
   timing_.precompute = seconds_since(start);
   init_storage();
 }
@@ -67,19 +62,18 @@ SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
                                AdmmOptions options, LocalSolvers solvers)
     : problem_(&problem),
       options_(options),
-      solvers_(std::move(solvers)),
+      packed_(PackedLocalSolvers::build(problem, solvers)),
+      backend_(make_serial_backend()),
       rho_(options.rho) {
   init_storage();
 }
 
+void SolverFreeAdmm::set_backend(std::unique_ptr<ExecutionBackend> backend) {
+  backend_ = backend ? std::move(backend) : make_serial_backend();
+}
+
 void SolverFreeAdmm::init_storage() {
-  offsets_.clear();
-  offsets_.reserve(problem_->components.size());
-  total_local_ = 0;
-  for (const Component& comp : problem_->components) {
-    offsets_.push_back(total_local_);
-    total_local_ += comp.num_vars();
-  }
+  total_local_ = packed_.total_local();
   x_.assign(problem_->num_vars, 0.0);
   z_.assign(total_local_, 0.0);
   z_prev_.assign(total_local_, 0.0);
@@ -88,22 +82,37 @@ void SolverFreeAdmm::init_storage() {
   reset();
 }
 
+PackedState SolverFreeAdmm::packed_state() {
+  PackedState st;
+  st.rho = rho_;
+  st.x = x_;
+  st.z = z_;
+  st.z_prev = z_prev_;
+  st.lambda = lambda_;
+  st.y = y_scratch_;
+  if (options_.record_component_times) {
+    st.component_seconds = component_seconds_;
+  }
+  return st;
+}
+
+bool SolverFreeAdmm::plain_path() const {
+  return options_.relaxation == 1.0 && options_.quantize_bits == 0 &&
+         options_.async_fraction >= 1.0;
+}
+
 void SolverFreeAdmm::reset() {
   rho_ = options_.rho;
-  active_.assign(problem_->components.size(), 1);
+  active_.assign(packed_.num_components(), 1);
   async_rng_.seed(options_.async_seed);
   x_ = problem_->x0;
   std::fill(lambda_.begin(), lambda_.end(), 0.0);
   // z_s = B_s x0 (the paper's per-element initial values are encoded in x0).
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
-    double* zs = z_.data() + offsets_[s];
-    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
-      zs[j] = problem_->x0[comp.global[j]];
-    }
+  for (std::size_t pos = 0; pos < total_local_; ++pos) {
+    z_[pos] = problem_->x0[packed_.global_idx[pos]];
   }
   z_prev_ = z_;
-  component_seconds_.assign(problem_->components.size(), 0.0);
+  component_seconds_.assign(packed_.num_components(), 0.0);
   timing_.global_update = timing_.local_update = timing_.dual_update =
       timing_.residuals = 0.0;
   timing_.iterations = 0;
@@ -118,12 +127,8 @@ void SolverFreeAdmm::warm_start(std::span<const double> x,
     throw std::invalid_argument("warm_start: lambda size mismatch");
   }
   std::copy(x.begin(), x.end(), x_.begin());
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
-    double* zs = z_.data() + offsets_[s];
-    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
-      zs[j] = x_[comp.global[j]];
-    }
+  for (std::size_t pos = 0; pos < total_local_; ++pos) {
+    z_[pos] = x_[packed_.global_idx[pos]];
   }
   z_prev_ = z_;
   if (lambda.empty()) {
@@ -134,36 +139,30 @@ void SolverFreeAdmm::warm_start(std::span<const double> x,
 }
 
 void SolverFreeAdmm::global_update() {
-  // (18): xhat_i = (rho * sum of copies - c_i - (B'lambda)_i) / (rho * deg_i)
-  // then clip to the bounds (the step that owns (9d)).
-  const std::size_t n = problem_->num_vars;
-  const double* c = problem_->c.data();
-  const int* deg = problem_->copy_count.data();
-
-  // accum = rho * B'z - B'lambda, scattered component by component.
-  std::vector<double>& accum = x_;  // overwrite in place
-  std::fill(accum.begin(), accum.end(), 0.0);
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
-    const double* zs = z_.data() + offsets_[s];
-    const double* ls = lambda_.data() + offsets_[s];
-    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
-      accum[comp.global[j]] += rho_ * zs[j] - ls[j];
-    }
-  }
-  const double* lb = problem_->lb.data();
-  const double* ub = problem_->ub.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double xhat = (accum[i] - c[i]) / (rho_ * deg[i]);
-    x_[i] = std::min(std::max(xhat, lb[i]), ub[i]);
-  }
+  // (18) runs on the backend unconditionally: the extensions only alter the
+  // local/dual messages, never the operator-side consensus step.
+  PackedState st = packed_state();
+  backend_->global_update(packed_, st);
 }
 
 void SolverFreeAdmm::local_update() {
-  // (15): x_s = proj_{A_s x = b_s}(B_s x + lambda_s / rho).
   z_prev_.swap(z_);
+  PackedState st = packed_state();
+  if (plain_path()) {
+    backend_->local_update(packed_, st);
+    return;
+  }
+  local_update_extension();
+}
+
+void SolverFreeAdmm::local_update_extension() {
+  // (15) with the CPU-side extensions (over-relaxation, quantized messages,
+  // asynchronous participation). Runs serially over the packed pool; the
+  // extensions model agent-side message mangling and are inherently
+  // sequential to keep their RNG draws reproducible.
   const bool timed = options_.record_component_times;
   const int qbits = options_.quantize_bits;
+  const double alpha = options_.relaxation;
   const bool async = options_.async_fraction < 1.0;
   if (async) {
     std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -171,31 +170,30 @@ void SolverFreeAdmm::local_update() {
       a = unit(async_rng_) < options_.async_fraction ? 1 : 0;
     }
   }
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
+  for (std::size_t s = 0; s < packed_.num_components(); ++s) {
+    const std::size_t ns = static_cast<std::size_t>(packed_.comp_nvars[s]);
+    const std::size_t off = static_cast<std::size_t>(packed_.comp_offset[s]);
     if (async && !active_[s]) {
       // Straggler: keep the stale local solution.
-      std::copy(z_prev_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]),
-                z_prev_.begin() +
-                    static_cast<std::ptrdiff_t>(offsets_[s] + comp.num_vars()),
-                z_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]));
+      std::copy(z_prev_.begin() + static_cast<std::ptrdiff_t>(off),
+                z_prev_.begin() + static_cast<std::ptrdiff_t>(off + ns),
+                z_.begin() + static_cast<std::ptrdiff_t>(off));
       continue;
     }
-    const std::size_t ns = comp.num_vars();
-    double* y = y_scratch_.data() + offsets_[s];
-    const double* ls = lambda_.data() + offsets_[s];
-    double* zs = z_.data() + offsets_[s];
+    double* y = y_scratch_.data() + off;
+    const double* ls = lambda_.data() + off;
+    double* zs = z_.data() + off;
+    const double* zp = z_prev_.data() + off;
 
     const auto start = timed ? Clock::now() : Clock::time_point{};
-    const double alpha = options_.relaxation;
-    const double* zp = z_prev_.data() + offsets_[s];
     if (alpha == 1.0) {
       for (std::size_t j = 0; j < ns; ++j) {
-        y[j] = x_[comp.global[j]];
+        y[j] = x_[packed_.global_idx[off + j]];
       }
     } else {
       for (std::size_t j = 0; j < ns; ++j) {
-        y[j] = alpha * x_[comp.global[j]] + (1.0 - alpha) * zp[j];
+        y[j] = alpha * x_[packed_.global_idx[off + j]] +
+               (1.0 - alpha) * zp[j];
       }
     }
     if (qbits > 0) {
@@ -206,7 +204,7 @@ void SolverFreeAdmm::local_update() {
     for (std::size_t j = 0; j < ns; ++j) {
       y[j] += ls[j] / rho_;
     }
-    solvers_.projectors[s].project_into({y, ns}, {zs, ns});
+    kernels::project_component(packed_, s, y_scratch_.data(), z_.data());
     if (qbits > 0) {
       // The agent -> operator reply (x_s) is compressed symmetrically.
       quantize_message({zs, ns}, qbits);
@@ -216,62 +214,57 @@ void SolverFreeAdmm::local_update() {
 }
 
 void SolverFreeAdmm::dual_update() {
-  // (12): lambda_s += rho * (B_s x - x_s); under over-relaxation B_s x is
-  // replaced by the same relaxed combination the local update saw.
+  if (plain_path()) {
+    PackedState st = packed_state();
+    backend_->dual_update(packed_, st);
+    return;
+  }
+  dual_update_extension();
+}
+
+void SolverFreeAdmm::dual_update_extension() {
+  // (12) with extensions: under over-relaxation B_s x is replaced by the
+  // same relaxed combination the local update saw.
   const double alpha = options_.relaxation;
   const bool async = options_.async_fraction < 1.0;
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
+  for (std::size_t s = 0; s < packed_.num_components(); ++s) {
     if (async && !active_[s]) continue;  // straggler keeps stale duals
-    double* ls = lambda_.data() + offsets_[s];
-    const double* zs = z_.data() + offsets_[s];
-    const double* zp = z_prev_.data() + offsets_[s];
+    const std::size_t ns = static_cast<std::size_t>(packed_.comp_nvars[s]);
+    const std::size_t off = static_cast<std::size_t>(packed_.comp_offset[s]);
+    double* ls = lambda_.data() + off;
+    const double* zs = z_.data() + off;
+    const double* zp = z_prev_.data() + off;
     if (alpha == 1.0) {
-      for (std::size_t j = 0; j < comp.num_vars(); ++j) {
-        ls[j] += rho_ * (x_[comp.global[j]] - zs[j]);
+      for (std::size_t j = 0; j < ns; ++j) {
+        ls[j] += rho_ * (x_[packed_.global_idx[off + j]] - zs[j]);
       }
     } else {
-      for (std::size_t j = 0; j < comp.num_vars(); ++j) {
+      for (std::size_t j = 0; j < ns; ++j) {
         const double relaxed =
-            alpha * x_[comp.global[j]] + (1.0 - alpha) * zp[j];
+            alpha * x_[packed_.global_idx[off + j]] + (1.0 - alpha) * zp[j];
         ls[j] += rho_ * (relaxed - zs[j]);
       }
     }
     if (options_.quantize_bits > 0) {
       // lambda_s rides along in the agent -> operator message.
-      quantize_message({ls, comp.num_vars()}, options_.quantize_bits);
+      quantize_message({ls, ns}, options_.quantize_bits);
     }
   }
 }
 
-IterationRecord SolverFreeAdmm::compute_residuals(int iteration) const {
+IterationRecord SolverFreeAdmm::compute_residuals(int iteration) {
   // With each row of B_s selecting one distinct global variable,
   //   pres  = ||Bx - z||, dres = rho ||z - z_prev||,
   //   eps_p = eps_rel * max(||Bx||, ||z||), eps_d = eps_rel * ||lambda||.
   IterationRecord rec;
   rec.iteration = iteration;
   rec.rho = rho_;
-  double pres2 = 0.0, bx2 = 0.0, z2 = 0.0, dz2 = 0.0, l2 = 0.0;
-  for (std::size_t s = 0; s < problem_->components.size(); ++s) {
-    const Component& comp = problem_->components[s];
-    const double* zs = z_.data() + offsets_[s];
-    const double* zp = z_prev_.data() + offsets_[s];
-    const double* ls = lambda_.data() + offsets_[s];
-    for (std::size_t j = 0; j < comp.num_vars(); ++j) {
-      const double bx = x_[comp.global[j]];
-      const double d = bx - zs[j];
-      pres2 += d * d;
-      bx2 += bx * bx;
-      z2 += zs[j] * zs[j];
-      const double dz = zs[j] - zp[j];
-      dz2 += dz * dz;
-      l2 += ls[j] * ls[j];
-    }
-  }
-  rec.primal_residual = std::sqrt(pres2);
-  rec.dual_residual = rho_ * std::sqrt(dz2);
-  rec.eps_primal = options_.eps_rel * std::sqrt(std::max(bx2, z2));
-  rec.eps_dual = options_.eps_rel * std::sqrt(l2);
+  const PackedState st = packed_state();
+  const ResidualSums sums = backend_->residual_sums(packed_, st);
+  rec.primal_residual = std::sqrt(sums.pres2);
+  rec.dual_residual = rho_ * std::sqrt(sums.dz2);
+  rec.eps_primal = options_.eps_rel * std::sqrt(std::max(sums.bx2, sums.z2));
+  rec.eps_dual = options_.eps_rel * std::sqrt(sums.l2);
   return rec;
 }
 

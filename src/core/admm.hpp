@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <random>
 #include <vector>
 
-#include "linalg/affine_projector.hpp"
+#include "core/backend.hpp"
+#include "core/packed_solvers.hpp"
 #include "opf/decompose.hpp"
 
 namespace dopf::core {
@@ -83,9 +84,16 @@ struct TimingBreakdown {
   double residuals = 0.0;
   int iterations = 0;
 
+  /// Per-iteration update time only: the one-time `precompute` (local-solver
+  /// factorization + packing) is deliberately EXCLUDED, because the paper's
+  /// per-iteration figures (Fig. 3/4) amortize it away. Use
+  /// total_with_precompute() for end-to-end wall time.
   double total() const {
     return global_update + local_update + dual_update + residuals;
   }
+
+  /// End-to-end: precompute plus every per-iteration phase.
+  double total_with_precompute() const { return precompute + total(); }
 };
 
 /// Why the iteration stopped.
@@ -114,16 +122,6 @@ struct AdmmResult {
   std::vector<double> component_seconds;
 };
 
-/// Precomputed closed-form local solvers: the Abar_s / bbar_s pairs of
-/// (15b)-(15c), one AffineProjector per component (lines 2-3 of
-/// Algorithm 1). Reusable across solver instances, rho values, and the
-/// serial / SIMT execution paths.
-struct LocalSolvers {
-  std::vector<dopf::linalg::AffineProjector> projectors;
-
-  static LocalSolvers precompute(const dopf::opf::DistributedProblem& problem);
-};
-
 /// The paper's contribution (Algorithm 1): solver-free consensus ADMM for
 /// the component-wise distributed model (9).
 ///
@@ -133,8 +131,15 @@ struct LocalSolvers {
 ///   dual update   (12):      lambda_s += rho*(B_s x - x_s)
 /// with termination by the relative primal/dual residuals (16).
 ///
+/// Execution is delegated to an ExecutionBackend over the packed SoA
+/// storage (serial by default; inject runtime::make_threaded_backend or a
+/// simt::SimtBackend via set_backend). All backends produce byte-identical
+/// iterates. The extension options (relaxation != 1, quantize_bits,
+/// async_fraction < 1) run on a built-in serial path regardless of the
+/// selected backend; the plain paper configuration always uses the backend.
+///
 /// The class also exposes the individual updates so the SIMT-simulated GPU
-/// backend and the virtual-cluster harness can drive one step at a time.
+/// solvers and the virtual-cluster harness can drive one step at a time.
 class SolverFreeAdmm {
  public:
   /// `problem` must outlive the solver. Precomputes the local solvers
@@ -144,6 +149,13 @@ class SolverFreeAdmm {
   SolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
                  AdmmOptions options, LocalSolvers solvers);
 
+  /// Replace the execution backend (nullptr restores the serial backend).
+  /// The iterate state is untouched, so backends may even be swapped
+  /// mid-solve without perturbing the trajectory.
+  void set_backend(std::unique_ptr<ExecutionBackend> backend);
+  ExecutionBackend& backend() { return *backend_; }
+  const ExecutionBackend& backend() const { return *backend_; }
+
   /// Run Algorithm 1 to termination.
   AdmmResult solve();
 
@@ -152,7 +164,7 @@ class SolverFreeAdmm {
   void local_update();
   void dual_update();
   /// Residuals of (16) for the current iterate.
-  IterationRecord compute_residuals(int iteration) const;
+  IterationRecord compute_residuals(int iteration);
   bool termination_satisfied(const IterationRecord& rec) const;
 
   std::span<const double> x() const { return x_; }
@@ -160,9 +172,12 @@ class SolverFreeAdmm {
   std::span<const double> z() const { return z_; }
   std::span<const double> lambda() const { return lambda_; }
   double rho() const { return rho_; }
-  const LocalSolvers& local_solvers() const { return solvers_; }
+  /// The packed per-iteration problem image shared by every backend.
+  const PackedLocalSolvers& packed() const { return packed_; }
   /// Start offset of component s within z / lambda.
-  std::size_t offset(std::size_t s) const { return offsets_[s]; }
+  std::size_t offset(std::size_t s) const {
+    return static_cast<std::size_t>(packed_.comp_offset[s]);
+  }
 
   /// Reset iterates to the paper's initial point (Sec. V-A).
   void reset();
@@ -189,14 +204,21 @@ class SolverFreeAdmm {
 
  private:
   void init_storage();
+  PackedState packed_state();
+  /// True when the configured options follow the plain paper algorithm for
+  /// the local/dual updates (no relaxation / quantization / async), i.e.
+  /// when those updates can be delegated to the backend.
+  bool plain_path() const;
+  void local_update_extension();
+  void dual_update_extension();
 
   const dopf::opf::DistributedProblem* problem_;
   AdmmOptions options_;
-  LocalSolvers solvers_;
+  PackedLocalSolvers packed_;
+  std::unique_ptr<ExecutionBackend> backend_;
   double rho_;
 
-  std::vector<std::size_t> offsets_;  // component start in z / lambda
-  std::size_t total_local_ = 0;       // sum n_s
+  std::size_t total_local_ = 0;  // sum n_s
 
   std::vector<double> x_;       // global iterate (n)
   std::vector<double> z_;       // local solutions, concatenated

@@ -1,0 +1,113 @@
+#include "core/backend.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "core/packed_kernels.hpp"
+
+namespace dopf::core {
+
+void residual_chunk(const PackedLocalSolvers& pack, const PackedState& state,
+                    std::size_t chunk, ResidualSums* out) {
+  const std::size_t total = pack.total_local();
+  const std::size_t begin = chunk * kResidualChunk;
+  const std::size_t end = std::min(total, begin + kResidualChunk);
+  ResidualSums acc;
+  for (std::size_t pos = begin; pos < end; ++pos) {
+    const double bx = state.x[pack.global_idx[pos]];
+    const double d = bx - state.z[pos];
+    acc.pres2 += d * d;
+    acc.bx2 += bx * bx;
+    acc.z2 += state.z[pos] * state.z[pos];
+    const double dz = state.z[pos] - state.z_prev[pos];
+    acc.dz2 += dz * dz;
+    acc.l2 += state.lambda[pos] * state.lambda[pos];
+  }
+  *out = acc;
+}
+
+ResidualSums combine_residual_chunks(std::span<ResidualSums> partials) {
+  std::size_t n = partials.size();
+  if (n == 0) return {};
+  // Pairwise rounds: partial i' = partial 2i + partial 2i+1, odd tail kept.
+  // The tree depends only on the chunk count, never on thread count.
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const ResidualSums& a = partials[2 * i];
+      const ResidualSums& b = partials[2 * i + 1];
+      partials[i] = ResidualSums{a.pres2 + b.pres2, a.bx2 + b.bx2,
+                                 a.z2 + b.z2, a.dz2 + b.dz2, a.l2 + b.l2};
+    }
+    if (n % 2 != 0) {
+      partials[half] = partials[n - 1];
+      n = half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return partials[0];
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class SerialBackend final : public ExecutionBackend {
+ public:
+  const char* name() const override { return "serial"; }
+
+  void global_update(const PackedLocalSolvers& pack,
+                     PackedState& state) override {
+    const std::size_t n = pack.num_global();
+    for (std::size_t i = 0; i < n; ++i) {
+      kernels::global_entry(pack, state.z.data(), state.lambda.data(),
+                            state.rho, i, state.x.data());
+    }
+  }
+
+  void local_update(const PackedLocalSolvers& pack,
+                    PackedState& state) override {
+    const std::size_t S = pack.num_components();
+    const bool timed = !state.component_seconds.empty();
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto start = timed ? Clock::now() : Clock::time_point{};
+      kernels::stage_component(pack, state.x.data(), state.lambda.data(),
+                               state.rho, s, state.y.data());
+      kernels::project_component(pack, s, state.y.data(), state.z.data());
+      if (timed) {
+        state.component_seconds[s] +=
+            std::chrono::duration<double>(Clock::now() - start).count();
+      }
+    }
+  }
+
+  void dual_update(const PackedLocalSolvers& pack,
+                   PackedState& state) override {
+    const std::size_t total = pack.total_local();
+    for (std::size_t pos = 0; pos < total; ++pos) {
+      kernels::dual_entry(pack, state.x.data(), state.z.data(), state.rho,
+                          pos, state.lambda.data());
+    }
+  }
+
+  ResidualSums residual_sums(const PackedLocalSolvers& pack,
+                             const PackedState& state) override {
+    partials_.assign(residual_num_chunks(pack.total_local()), ResidualSums{});
+    for (std::size_t k = 0; k < partials_.size(); ++k) {
+      residual_chunk(pack, state, k, &partials_[k]);
+    }
+    return combine_residual_chunks(partials_);
+  }
+
+ private:
+  std::vector<ResidualSums> partials_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_serial_backend() {
+  return std::make_unique<SerialBackend>();
+}
+
+}  // namespace dopf::core

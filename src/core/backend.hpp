@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/packed_solvers.hpp"
+
+namespace dopf::core {
+
+/// The mutable per-iteration state Algorithm 1 runs over, as spans into
+/// solver-owned storage. Backends read/write through these spans only.
+struct PackedState {
+  double rho = 0.0;
+  std::span<double> x;             ///< global iterate (n)
+  std::span<double> z;             ///< local solutions, concatenated
+  std::span<const double> z_prev;  ///< previous local solutions
+  std::span<double> lambda;        ///< duals, concatenated
+  std::span<double> y;             ///< staging scratch (total_local)
+  /// Optional per-component cumulative local-update seconds (size S, or
+  /// empty to disable the timers). Adds per-component timer overhead.
+  std::span<double> component_seconds;
+};
+
+/// The five partial sums behind the residual criterion (16).
+struct ResidualSums {
+  double pres2 = 0.0;  ///< ||Bx - z||^2
+  double bx2 = 0.0;    ///< ||Bx||^2
+  double z2 = 0.0;     ///< ||z||^2
+  double dz2 = 0.0;    ///< ||z - z_prev||^2
+  double l2 = 0.0;     ///< ||lambda||^2
+};
+
+/// Deterministic-reduction contract: every backend computes residual sums by
+/// (1) accumulating each fixed-size chunk of kResidualChunk consecutive z
+/// positions linearly, then (2) combining the chunk partials with the fixed
+/// pairwise tree of combine_residual_chunks. Chunk layout depends only on
+/// total_local, never on thread/block count, so residual histories are
+/// byte-identical across backends and across any threaded configuration.
+inline constexpr std::size_t kResidualChunk = 1024;
+
+inline std::size_t residual_num_chunks(std::size_t total_local) {
+  return (total_local + kResidualChunk - 1) / kResidualChunk;
+}
+
+/// Linear accumulation of chunk `chunk` ([chunk*kResidualChunk, ...)) of the
+/// residual sums; the single shared definition of the per-entry expressions.
+void residual_chunk(const PackedLocalSolvers& pack, const PackedState& state,
+                    std::size_t chunk, ResidualSums* out);
+
+/// Fixed pairwise-tree combination of chunk partials (destroys `partials`).
+ResidualSums combine_residual_chunks(std::span<ResidualSums> partials);
+
+/// One execution strategy for the per-iteration updates of Algorithm 1 over
+/// the packed storage. Implementations:
+///   - serial   (core, make_serial_backend): plain loops, kernel-shaped;
+///   - threaded (runtime::make_threaded_backend): persistent thread pool,
+///     static chunking;
+///   - simt     (simt::SimtBackend): bit-exact host execution plus a
+///     simulated-GPU cost ledger.
+/// All three produce byte-identical iterates and residual histories; the
+/// caller owns the state vectors and the update sequencing (including the
+/// z/z_prev swap before local_update).
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Global update (13)/(18): x = clip((rho B'z - c - B'lambda)/(rho deg)).
+  virtual void global_update(const PackedLocalSolvers& pack,
+                             PackedState& state) = 0;
+  /// Local update (15): z = proj_{A_s x = b_s}(B_s x + lambda_s/rho).
+  virtual void local_update(const PackedLocalSolvers& pack,
+                            PackedState& state) = 0;
+  /// Dual update (12): lambda += rho (B x - z).
+  virtual void dual_update(const PackedLocalSolvers& pack,
+                           PackedState& state) = 0;
+  /// Residual partial sums of (16) under the deterministic-reduction
+  /// contract above.
+  virtual ResidualSums residual_sums(const PackedLocalSolvers& pack,
+                                     const PackedState& state) = 0;
+};
+
+/// The serial reference backend (the paper's single-CPU path).
+std::unique_ptr<ExecutionBackend> make_serial_backend();
+
+}  // namespace dopf::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/packed_solvers.hpp"
+
+/// The per-entry update expressions of Algorithm 1 over the packed SoA
+/// storage. Every execution backend (serial, threaded, SIMT single- and
+/// multi-device) calls these same inline kernels, so the floating-point
+/// expression and summation order of each update exist in exactly one
+/// place — which is what makes cross-backend bit-identity a structural
+/// property instead of a test-enforced coincidence.
+namespace dopf::core::kernels {
+
+/// Global update (18), one global variable i:
+///   x_i = clip((sum_{copies} (rho z - lambda) - c_i) / (rho deg_i)).
+/// The CSR gather visits z positions in ascending order (see
+/// PackedLocalSolvers::build), fixing the summation order.
+inline void global_entry(const PackedLocalSolvers& p, const double* z,
+                         const double* lambda, double rho, std::size_t i,
+                         double* x) {
+  const std::int64_t p0 = p.gather_ptr[i];
+  const std::int64_t p1 = p.gather_ptr[i + 1];
+  double acc = 0.0;
+  for (std::int64_t k = p0; k < p1; ++k) {
+    const std::int64_t pos = p.gather_pos[k];
+    acc += rho * z[pos] - lambda[pos];
+  }
+  const double deg = static_cast<double>(p1 - p0);
+  const double xhat = (acc - p.c[i]) / (rho * deg);
+  x[i] = std::min(std::max(xhat, p.lb[i]), p.ub[i]);
+}
+
+/// Local update (15), staging half for component s:
+///   y_s = B_s x + lambda_s / rho, written into the scratch pool.
+inline void stage_component(const PackedLocalSolvers& p, const double* x,
+                            const double* lambda, double rho, std::size_t s,
+                            double* y_pool) {
+  const std::size_t ns = static_cast<std::size_t>(p.comp_nvars[s]);
+  const std::int64_t off = p.comp_offset[s];
+  double* y = y_pool + off;
+  for (std::size_t j = 0; j < ns; ++j) {
+    const std::int64_t pos = off + static_cast<std::int64_t>(j);
+    y[j] = x[p.global_idx[pos]] + lambda[pos] / rho;
+  }
+}
+
+/// Local update (15), projection half for component s:
+///   x_s = bbar_s - Abar_s y_s   (the projection form; dense matvec over the
+/// packed row-major Abar_s block).
+inline void project_component(const PackedLocalSolvers& p, std::size_t s,
+                              const double* y_pool, double* z) {
+  const std::size_t ns = static_cast<std::size_t>(p.comp_nvars[s]);
+  const std::int64_t off = p.comp_offset[s];
+  const std::int64_t aoff = p.abar_offset[s];
+  const double* y = y_pool + off;
+  for (std::size_t i = 0; i < ns; ++i) {
+    const double* row = p.abar.data() + aoff + static_cast<std::int64_t>(i * ns);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < ns; ++j) sum += row[j] * y[j];
+    z[off + static_cast<std::int64_t>(i)] =
+        p.bbar[off + static_cast<std::int64_t>(i)] - sum;
+  }
+}
+
+/// Dual update (12), one z position: lambda += rho (B x - x_s).
+inline void dual_entry(const PackedLocalSolvers& p, const double* x,
+                       const double* z, double rho, std::size_t pos,
+                       double* lambda) {
+  lambda[pos] += rho * (x[p.global_idx[pos]] - z[pos]);
+}
+
+}  // namespace dopf::core::kernels

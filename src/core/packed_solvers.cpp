@@ -1,0 +1,81 @@
+#include "core/packed_solvers.hpp"
+
+namespace dopf::core {
+
+using dopf::opf::Component;
+using dopf::opf::DistributedProblem;
+
+LocalSolvers LocalSolvers::precompute(const DistributedProblem& problem) {
+  LocalSolvers solvers;
+  solvers.projectors.reserve(problem.components.size());
+  for (const Component& comp : problem.components) {
+    solvers.projectors.emplace_back(comp.a, comp.b);
+  }
+  return solvers;
+}
+
+std::size_t PackedLocalSolvers::bytes() const {
+  return sizeof(std::int64_t) * (comp_offset.size() + abar_offset.size() +
+                                 gather_ptr.size() + gather_pos.size()) +
+         sizeof(int) * (comp_nvars.size() + global_idx.size()) +
+         sizeof(double) *
+             (abar.size() + bbar.size() + c.size() + lb.size() + ub.size());
+}
+
+PackedLocalSolvers PackedLocalSolvers::build(const DistributedProblem& problem,
+                                             const LocalSolvers& solvers) {
+  PackedLocalSolvers pack;
+  const std::size_t S = problem.components.size();
+  pack.comp_offset.reserve(S);
+  pack.abar_offset.reserve(S);
+  pack.comp_nvars.reserve(S);
+
+  std::size_t abar_total = 0, local_total = 0;
+  for (const Component& comp : problem.components) {
+    local_total += comp.num_vars();
+    abar_total += comp.num_vars() * comp.num_vars();
+  }
+  pack.abar.reserve(abar_total);
+  pack.bbar.reserve(local_total);
+  pack.global_idx.reserve(local_total);
+
+  std::int64_t zoff = 0, aoff = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const Component& comp = problem.components[s];
+    const auto& proj = solvers.projectors[s];
+    const std::size_t ns = comp.num_vars();
+    pack.comp_offset.push_back(zoff);
+    pack.abar_offset.push_back(aoff);
+    pack.comp_nvars.push_back(static_cast<int>(ns));
+
+    const auto& abar = proj.abar();
+    pack.abar.insert(pack.abar.end(), abar.data().begin(), abar.data().end());
+    pack.bbar.insert(pack.bbar.end(), proj.bbar().begin(), proj.bbar().end());
+    pack.global_idx.insert(pack.global_idx.end(), comp.global.begin(),
+                           comp.global.end());
+    zoff += static_cast<std::int64_t>(ns);
+    aoff += static_cast<std::int64_t>(ns * ns);
+  }
+
+  const std::size_t n = problem.num_vars;
+  pack.c = problem.c;
+  pack.lb = problem.lb;
+  pack.ub = problem.ub;
+  // Gather lists: z positions per global variable, in ascending z order so
+  // per-variable summation matches the component-order scatter bit-for-bit.
+  pack.gather_ptr.assign(n + 1, 0);
+  for (int g : pack.global_idx) ++pack.gather_ptr[g + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    pack.gather_ptr[i + 1] += pack.gather_ptr[i];
+  }
+  pack.gather_pos.resize(pack.global_idx.size());
+  std::vector<std::int64_t> cursor(pack.gather_ptr.begin(),
+                                   pack.gather_ptr.end() - 1);
+  for (std::size_t pos = 0; pos < pack.global_idx.size(); ++pos) {
+    pack.gather_pos[cursor[pack.global_idx[pos]]++] =
+        static_cast<std::int64_t>(pos);
+  }
+  return pack;
+}
+
+}  // namespace dopf::core

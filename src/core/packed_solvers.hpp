@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/affine_projector.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::core {
+
+/// Precomputed closed-form local solvers: the Abar_s / bbar_s pairs of
+/// (15b)-(15c), one AffineProjector per component (lines 2-3 of
+/// Algorithm 1). Reusable across solver instances and rho values; the
+/// per-iteration machinery consumes the packed form below.
+struct LocalSolvers {
+  std::vector<dopf::linalg::AffineProjector> projectors;
+
+  static LocalSolvers precompute(const dopf::opf::DistributedProblem& problem);
+};
+
+/// Packed structure-of-arrays image of everything the per-iteration updates
+/// touch — the flat device-array layout of the paper's Sec. IV-C/IV-D,
+/// shared by every execution backend (serial / threaded / SIMT):
+///
+///   - all Abar_s matrices row-major in one contiguous pool, addressed by
+///     per-component {abar_offset, comp_nvars} descriptors;
+///   - all bbar_s concatenated (same {comp_offset, comp_nvars} layout as z);
+///   - each B_s lowered to the flat gather array `global_idx`
+///     (z position -> global variable), plus the transposed CSR
+///     `gather_ptr`/`gather_pos` that turns the B' scatter of the global
+///     update (18) into independent per-variable gathers;
+///   - the global objective/bounds (c, lb, ub).
+///
+/// Gather lists store z positions in ascending order, so per-variable sums
+/// accumulate in exactly the order the component-by-component scatter would
+/// produce — this is what keeps all backends bit-identical.
+struct PackedLocalSolvers {
+  // Per component s:
+  std::vector<std::int64_t> comp_offset;  ///< start of x_s within z
+  std::vector<std::int64_t> abar_offset;  ///< start of Abar_s (row-major)
+  std::vector<int> comp_nvars;            ///< n_s
+  // Concatenated payloads:
+  std::vector<double> abar;     ///< all Abar_s, row-major per component
+  std::vector<double> bbar;     ///< all bbar_s
+  std::vector<int> global_idx;  ///< z position -> global variable (B_s)
+  // Per global variable i (CSR over z positions holding copies of i):
+  std::vector<std::int64_t> gather_ptr;
+  std::vector<std::int64_t> gather_pos;
+  std::vector<double> c, lb, ub;
+
+  std::size_t num_components() const { return comp_nvars.size(); }
+  std::size_t num_global() const { return c.size(); }
+  std::size_t total_local() const { return global_idx.size(); }
+  /// Packed footprint in bytes (diagnostics; the SIMT upload charge).
+  std::size_t bytes() const;
+
+  /// Pack the precomputed projectors once; the projector objects are not
+  /// needed afterwards.
+  static PackedLocalSolvers build(const dopf::opf::DistributedProblem& problem,
+                                  const LocalSolvers& solvers);
+};
+
+}  // namespace dopf::core

@@ -24,6 +24,7 @@ IterationCosts finalize(const dopf::opf::DistributedProblem& problem,
   }
   costs.global_update_seconds = timing.global_update * scale;
   costs.dual_update_seconds = timing.dual_update * scale;
+  costs.local_update_wall_seconds = timing.local_update * scale;
   return costs;
 }
 
@@ -39,12 +40,14 @@ void check_iterations(int iterations) {
 
 IterationCosts measure_solver_free(
     const dopf::opf::DistributedProblem& problem,
-    dopf::core::AdmmOptions options, int iterations) {
+    dopf::core::AdmmOptions options, int iterations,
+    std::unique_ptr<dopf::core::ExecutionBackend> backend) {
   check_iterations(iterations);
   options.record_component_times = true;
   options.max_iterations = iterations;
   options.check_every = iterations + 1;  // never terminate early
   dopf::core::SolverFreeAdmm admm(problem, options);
+  if (backend) admm.set_backend(std::move(backend));
   const auto result = admm.solve();
   return finalize(problem, result.component_seconds, result.timing,
                   result.iterations);

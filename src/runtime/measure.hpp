@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "baseline/benchmark_admm.hpp"
 #include "core/admm.hpp"
+#include "core/backend.hpp"
 #include "opf/decompose.hpp"
 
 namespace dopf::runtime {
@@ -18,13 +20,21 @@ struct IterationCosts {
   double global_update_seconds = 0.0;
   double dual_update_seconds = 0.0;
   double local_update_seconds = 0.0;  ///< serial sum (1-rank makespan)
+  /// Measured wall seconds of the local-update phase per iteration. Equals
+  /// `local_update_seconds` under the serial backend; under a parallel
+  /// backend it is the makespan actually achieved on this host.
+  double local_update_wall_seconds = 0.0;
   int measured_iterations = 0;
 };
 
 /// Run `iterations` solver-free ADMM iterations with per-component timers.
-IterationCosts measure_solver_free(const dopf::opf::DistributedProblem& problem,
-                                   dopf::core::AdmmOptions options,
-                                   int iterations);
+/// When `backend` is non-null the solver-free updates execute on it (e.g. a
+/// ThreadedBackend), so `local_update_wall_seconds` reflects that backend;
+/// per-component timers keep their serial-sum meaning either way.
+IterationCosts measure_solver_free(
+    const dopf::opf::DistributedProblem& problem,
+    dopf::core::AdmmOptions options, int iterations,
+    std::unique_ptr<dopf::core::ExecutionBackend> backend = nullptr);
 
 /// Run `iterations` benchmark-ADMM iterations with per-component timers.
 IterationCosts measure_benchmark(const dopf::opf::DistributedProblem& problem,

@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dopf::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  errors_.resize(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int lane = 1; lane < threads; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_lane(int lane) {
+  const std::size_t T = static_cast<std::size_t>(size());
+  const std::size_t lo = static_cast<std::size_t>(lane);
+  const std::size_t begin = job_n_ * lo / T;
+  const std::size_t end = job_n_ * (lo + 1) / T;
+  if (begin >= end) return;
+  try {
+    (*job_)(lane, begin, end);
+  } catch (...) {
+    errors_[static_cast<std::size_t>(lane)] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_lane(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+  job_ = &fn;
+  job_n_ = n;
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  }
+  run_lane(0);
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  job_ = nullptr;
+  for (std::exception_ptr& e : errors_) {
+    if (e) {
+      std::exception_ptr first = e;
+      std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dopf::runtime {
+
+/// A persistent pool of worker threads for static-chunked data parallelism.
+///
+/// A pool of size T runs parallel_for bodies on T lanes: lane 0 executes on
+/// the calling thread, lanes 1..T-1 on persistent workers (so a 1-lane pool
+/// is plain serial execution with zero synchronization). Workers park on a
+/// condition variable between jobs; the pool is reusable across any number
+/// of parallel_for calls and joins its workers on destruction.
+///
+/// parallel_for is not reentrant and the pool must be driven from one thread
+/// at a time.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of lanes (calling thread included).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Partition [0, n) statically into size() contiguous chunks (lane i gets
+  /// [i*n/T, (i+1)*n/T)) and invoke fn(lane, begin, end) for every non-empty
+  /// chunk. Blocks until all lanes finish; if any lane throws, the first
+  /// exception (in lane order) is rethrown here and the pool stays usable.
+  void parallel_for(std::size_t n,
+                    const std::function<void(int lane, std::size_t begin,
+                                             std::size_t end)>& fn);
+
+ private:
+  void worker_loop(int lane);
+  void run_lane(int lane);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::vector<std::exception_ptr> errors_;  // one slot per lane
+};
+
+}  // namespace dopf::runtime

@@ -10,69 +10,17 @@ namespace dopf::simt {
 using dopf::core::AdmmResult;
 using dopf::core::IterationRecord;
 using dopf::core::LocalSolvers;
-using dopf::opf::Component;
+using dopf::core::PackedState;
+using dopf::core::ResidualSums;
 using dopf::opf::DistributedProblem;
-
-std::size_t DeviceProblem::bytes() const {
-  return sizeof(std::int64_t) * (comp_offset.size() + abar_offset.size() +
-                                 gather_ptr.size() + gather_pos.size()) +
-         sizeof(int) * (comp_nvars.size() + global_idx.size()) +
-         sizeof(double) *
-             (abar.size() + bbar.size() + c.size() + lb.size() + ub.size());
-}
-
-DeviceProblem DeviceProblem::build(const DistributedProblem& problem,
-                                   const LocalSolvers& solvers) {
-  DeviceProblem img;
-  const std::size_t S = problem.components.size();
-  img.comp_offset.reserve(S);
-  img.abar_offset.reserve(S);
-  img.comp_nvars.reserve(S);
-
-  std::int64_t zoff = 0, aoff = 0;
-  for (std::size_t s = 0; s < S; ++s) {
-    const Component& comp = problem.components[s];
-    const auto& proj = solvers.projectors[s];
-    const std::size_t ns = comp.num_vars();
-    img.comp_offset.push_back(zoff);
-    img.abar_offset.push_back(aoff);
-    img.comp_nvars.push_back(static_cast<int>(ns));
-
-    const auto& abar = proj.abar();
-    img.abar.insert(img.abar.end(), abar.data().begin(), abar.data().end());
-    img.bbar.insert(img.bbar.end(), proj.bbar().begin(), proj.bbar().end());
-    img.global_idx.insert(img.global_idx.end(), comp.global.begin(),
-                          comp.global.end());
-    zoff += static_cast<std::int64_t>(ns);
-    aoff += static_cast<std::int64_t>(ns * ns);
-  }
-
-  const std::size_t n = problem.num_vars;
-  img.c = problem.c;
-  img.lb = problem.lb;
-  img.ub = problem.ub;
-  // Gather lists: z positions per global variable, in ascending z order so
-  // GPU-path summation matches the CPU scatter order bit-for-bit.
-  img.gather_ptr.assign(n + 1, 0);
-  for (int g : img.global_idx) ++img.gather_ptr[g + 1];
-  for (std::size_t i = 0; i < n; ++i) {
-    img.gather_ptr[i + 1] += img.gather_ptr[i];
-  }
-  img.gather_pos.resize(img.global_idx.size());
-  std::vector<std::int64_t> cursor(img.gather_ptr.begin(),
-                                   img.gather_ptr.end() - 1);
-  for (std::size_t pos = 0; pos < img.global_idx.size(); ++pos) {
-    img.gather_pos[cursor[img.global_idx[pos]]++] =
-        static_cast<std::int64_t>(pos);
-  }
-  return img;
-}
 
 GpuSolverFreeAdmm::GpuSolverFreeAdmm(const DistributedProblem& problem,
                                      GpuAdmmOptions options, Device device)
     : problem_(&problem),
       options_(options),
-      device_(std::move(device)),
+      backend_(std::move(device),
+               SimtBackend::Config{options.threads_per_block,
+                                   options.elementwise_block}),
       rho_(options.admm.rho) {
   const LocalSolvers solvers = LocalSolvers::precompute(problem);
   image_ = DeviceProblem::build(problem, solvers);
@@ -89,113 +37,50 @@ GpuSolverFreeAdmm::GpuSolverFreeAdmm(const DistributedProblem& problem,
   upload();
 }
 
+PackedState GpuSolverFreeAdmm::packed_state() {
+  PackedState st;
+  st.rho = rho_;
+  st.x = x_;
+  st.z = z_;
+  st.z_prev = z_prev_;
+  st.lambda = lambda_;
+  st.y = y_scratch_;
+  return st;
+}
+
 void GpuSolverFreeAdmm::upload() {
-  device_.record_transfer(image_.bytes() +
-                          sizeof(double) * (x_.size() + z_.size() +
-                                            lambda_.size()));
+  backend_.device().record_transfer(
+      image_.bytes() +
+      sizeof(double) * (x_.size() + z_.size() + lambda_.size()));
 }
 
 void GpuSolverFreeAdmm::global_update() {
-  // One thread per global variable (Sec. IV-C): the Gram matrix B'B is
-  // diagonal, so each entry is an independent gather + clip.
-  const std::size_t n = image_.num_global();
-  const int T = options_.elementwise_block;
-  const int blocks = static_cast<int>((n + T - 1) / T);
-  device_.launch("global_update", blocks, T, [&](BlockContext& ctx) {
-    const std::size_t begin = static_cast<std::size_t>(ctx.block_index) * T;
-    const std::size_t end = std::min(n, begin + T);
-    double max_flops = 0.0, max_bytes = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::int64_t p0 = image_.gather_ptr[i];
-      const std::int64_t p1 = image_.gather_ptr[i + 1];
-      double acc = 0.0;
-      for (std::int64_t k = p0; k < p1; ++k) {
-        const std::int64_t pos = image_.gather_pos[k];
-        acc += rho_ * z_[pos] - lambda_[pos];
-      }
-      const double deg = static_cast<double>(p1 - p0);
-      const double xhat = (acc - image_.c[i]) / (rho_ * deg);
-      x_[i] = std::min(std::max(xhat, image_.lb[i]), image_.ub[i]);
-      max_flops = std::max(max_flops, 3.0 * deg + 5.0);
-      max_bytes = std::max(max_bytes, 24.0 * deg + 40.0);
-    }
-    ctx.charge(end - begin, max_flops, max_bytes);
-  });
+  PackedState st = packed_state();
+  backend_.global_update(image_, st);
 }
 
 void GpuSolverFreeAdmm::local_update() {
-  // One block per component, T threads per block (Sec. IV-D): the block
-  // first stages y_s = B_s x + lambda_s / rho cooperatively, then thread t
-  // computes entries t, t+T, ... of x_s = bbar_s - Abar'... (the projection
-  // form of (15), matching the CPU path exactly).
   z_prev_.swap(z_);
-  const int T = options_.threads_per_block;
-  device_.launch(
-      "local_update", static_cast<int>(image_.num_components()), T,
-      [&](BlockContext& ctx) {
-        const std::size_t s = static_cast<std::size_t>(ctx.block_index);
-        const std::size_t ns = image_.comp_nvars[s];
-        const std::int64_t off = image_.comp_offset[s];
-        const std::int64_t aoff = image_.abar_offset[s];
-        double* y = y_scratch_.data() + off;
-        for (std::size_t j = 0; j < ns; ++j) {
-          y[j] = x_[image_.global_idx[off + static_cast<std::int64_t>(j)]] +
-                 lambda_[off + static_cast<std::int64_t>(j)] / rho_;
-        }
-        ctx.charge(ns, 3.0, 28.0);  // staging pass
-        for (std::size_t i = 0; i < ns; ++i) {
-          const double* row = image_.abar.data() + aoff +
-                              static_cast<std::int64_t>(i * ns);
-          double sum = 0.0;
-          for (std::size_t j = 0; j < ns; ++j) sum += row[j] * y[j];
-          z_[off + static_cast<std::int64_t>(i)] =
-              image_.bbar[off + static_cast<std::int64_t>(i)] - sum;
-        }
-        ctx.charge(ns, 2.0 * static_cast<double>(ns) + 1.0,
-                   8.0 * static_cast<double>(ns) + 24.0);
-      });
+  PackedState st = packed_state();
+  backend_.local_update(image_, st);
 }
 
 void GpuSolverFreeAdmm::dual_update() {
-  const std::size_t total = image_.total_local();
-  const int T = options_.elementwise_block;
-  const int blocks = static_cast<int>((total + T - 1) / T);
-  device_.launch("dual_update", blocks, T, [&](BlockContext& ctx) {
-    const std::size_t begin = static_cast<std::size_t>(ctx.block_index) * T;
-    const std::size_t end = std::min(total, begin + T);
-    for (std::size_t pos = begin; pos < end; ++pos) {
-      lambda_[pos] += rho_ * (x_[image_.global_idx[pos]] - z_[pos]);
-    }
-    ctx.charge(end - begin, 3.0, 44.0);
-  });
+  PackedState st = packed_state();
+  backend_.dual_update(image_, st);
 }
 
-IterationRecord GpuSolverFreeAdmm::compute_residuals(int iteration) const {
-  // Functional twin of SolverFreeAdmm::compute_residuals (same summation
-  // order); charged as a fused reduction kernel.
+IterationRecord GpuSolverFreeAdmm::compute_residuals(int iteration) {
   IterationRecord rec;
   rec.iteration = iteration;
   rec.rho = rho_;
-  double pres2 = 0.0, bx2 = 0.0, z2 = 0.0, dz2 = 0.0, l2 = 0.0;
-  const std::size_t total = image_.total_local();
-  for (std::size_t pos = 0; pos < total; ++pos) {
-    const double bx = x_[image_.global_idx[pos]];
-    const double d = bx - z_[pos];
-    pres2 += d * d;
-    bx2 += bx * bx;
-    z2 += z_[pos] * z_[pos];
-    const double dz = z_[pos] - z_prev_[pos];
-    dz2 += dz * dz;
-    l2 += lambda_[pos] * lambda_[pos];
-  }
-  rec.primal_residual = std::sqrt(pres2);
-  rec.dual_residual = rho_ * std::sqrt(dz2);
+  const PackedState st = packed_state();
+  const ResidualSums sums = backend_.residual_sums(image_, st);
   const auto& opt = options_.admm;
-  rec.eps_primal = opt.eps_rel * std::sqrt(std::max(bx2, z2));
-  rec.eps_dual = opt.eps_rel * std::sqrt(l2);
-
-  // Reduction cost (const_cast-free: ledger updates happen in the non-const
-  // solve loop; here we only price it when called through solve()).
+  rec.primal_residual = std::sqrt(sums.pres2);
+  rec.dual_residual = rho_ * std::sqrt(sums.dz2);
+  rec.eps_primal = opt.eps_rel * std::sqrt(std::max(sums.bx2, sums.z2));
+  rec.eps_dual = opt.eps_rel * std::sqrt(sums.l2);
   return rec;
 }
 
@@ -217,18 +102,6 @@ AdmmResult GpuSolverFreeAdmm::solve() {
     result.iterations = t;
     if (t % opt.check_every == 0) {
       const IterationRecord rec = compute_residuals(t);
-      // Price the residual reduction as an elementwise kernel + d2h of the
-      // five partial sums.
-      const std::size_t total = image_.total_local();
-      const int T = options_.elementwise_block;
-      device_.launch("residuals", static_cast<int>((total + T - 1) / T), T,
-                     [&](BlockContext& ctx) {
-                       const std::size_t begin =
-                           static_cast<std::size_t>(ctx.block_index) * T;
-                       const std::size_t end = std::min(total, begin + T);
-                       ctx.charge(end - begin, 10.0, 48.0);
-                     });
-      device_.record_transfer(5 * sizeof(double));
       if (++recorded % opt.record_every == 0) result.history.push_back(rec);
       result.primal_residual = rec.primal_residual;
       result.dual_residual = rec.dual_residual;
@@ -242,7 +115,7 @@ AdmmResult GpuSolverFreeAdmm::solve() {
   result.objective = dopf::linalg::dot(problem_->c, x_);
   result.final_rho = rho_;
   // Report *simulated* seconds in the timing breakdown.
-  const auto& by = device_.ledger().by_kernel;
+  const auto& by = backend_.device().ledger().by_kernel;
   auto get = [&](const char* k) {
     const auto it = by.find(k);
     return it == by.end() ? 0.0 : it->second;
@@ -258,7 +131,7 @@ AdmmResult GpuSolverFreeAdmm::solve() {
 GpuSolverFreeAdmm::KernelAverages GpuSolverFreeAdmm::kernel_averages() const {
   KernelAverages avg;
   if (iterations_run_ == 0) return avg;
-  const auto& by = device_.ledger().by_kernel;
+  const auto& by = backend_.device().ledger().by_kernel;
   auto get = [&](const char* k) {
     const auto it = by.find(k);
     return it == by.end() ? 0.0

@@ -6,37 +6,15 @@
 #include "core/admm.hpp"
 #include "opf/decompose.hpp"
 #include "simt/device.hpp"
+#include "simt/simt_backend.hpp"
 
 namespace dopf::simt {
 
 /// Flattened, "device-resident" image of the distributed problem — the
 /// arrays a CUDA implementation would upload once before the ADMM loop
-/// (Sec. IV-C/IV-D): concatenated Abar_s / bbar_s blocks, the consensus map,
-/// and the per-variable gather lists that make the diagonal global update
-/// (18) a one-thread-per-entry kernel.
-struct DeviceProblem {
-  // Per component s:
-  std::vector<std::int64_t> comp_offset;   ///< start of x_s within z
-  std::vector<std::int64_t> abar_offset;   ///< start of Abar_s (row-major)
-  std::vector<int> comp_nvars;             ///< n_s
-  // Concatenated payloads:
-  std::vector<double> abar;      ///< all Abar_s, row-major per component
-  std::vector<double> bbar;      ///< all bbar_s
-  std::vector<int> global_idx;   ///< z position -> global variable
-  // Per global variable i (CSR over z positions holding copies of i):
-  std::vector<std::int64_t> gather_ptr;
-  std::vector<std::int64_t> gather_pos;
-  std::vector<double> c, lb, ub;
-
-  std::size_t num_components() const { return comp_nvars.size(); }
-  std::size_t num_global() const { return c.size(); }
-  std::size_t total_local() const { return global_idx.size(); }
-  /// Device-resident footprint in bytes (diagnostics).
-  std::size_t bytes() const;
-
-  static DeviceProblem build(const dopf::opf::DistributedProblem& problem,
-                             const dopf::core::LocalSolvers& solvers);
-};
+/// (Sec. IV-C/IV-D). This IS the shared packed SoA storage every execution
+/// backend runs over; the SIMT path adds nothing on top of it.
+using DeviceProblem = dopf::core::PackedLocalSolvers;
 
 struct GpuAdmmOptions {
   /// Note: the simulated GPU paths execute the paper's Algorithm 1 exactly;
@@ -50,12 +28,13 @@ struct GpuAdmmOptions {
   int elementwise_block = 256;
 };
 
-/// GPU-simulated execution of Algorithm 1.
+/// GPU-simulated execution of Algorithm 1, driving the SimtBackend over the
+/// packed problem image.
 ///
-/// Produces iterates *bit-identical* to core::SolverFreeAdmm (the update
-/// expressions and floating-point summation orders match), which is the
-/// property the paper's Fig. 2 demonstrates for CPU vs GPU; the simulated
-/// ledger provides the per-kernel timing for Figs. 3-4.
+/// Produces iterates *bit-identical* to core::SolverFreeAdmm (both paths
+/// execute the same core::kernels expressions over the same packed pool),
+/// which is the property the paper's Fig. 2 demonstrates for CPU vs GPU;
+/// the simulated ledger provides the per-kernel timing for Figs. 3-4.
 class GpuSolverFreeAdmm {
  public:
   GpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
@@ -68,13 +47,13 @@ class GpuSolverFreeAdmm {
   void global_update();
   void local_update();
   void dual_update();
-  dopf::core::IterationRecord compute_residuals(int iteration) const;
+  dopf::core::IterationRecord compute_residuals(int iteration);
   bool termination_satisfied(const dopf::core::IterationRecord& rec) const;
 
   std::span<const double> x() const { return x_; }
   std::span<const double> z() const { return z_; }
-  const Device& device() const { return device_; }
-  Device& device() { return device_; }
+  const Device& device() const { return backend_.device(); }
+  Device& device() { return backend_.device(); }
   const DeviceProblem& image() const { return image_; }
 
   /// Simulated seconds per update kind, averaged over iterations run.
@@ -87,10 +66,12 @@ class GpuSolverFreeAdmm {
   KernelAverages kernel_averages() const;
 
  private:
+  dopf::core::PackedState packed_state();
+
   const dopf::opf::DistributedProblem* problem_;
   GpuAdmmOptions options_;
-  Device device_;
   DeviceProblem image_;
+  SimtBackend backend_;
   double rho_;
   int iterations_run_ = 0;
 

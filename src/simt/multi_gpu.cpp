@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/packed_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dopf::simt {
@@ -10,7 +11,9 @@ namespace dopf::simt {
 using dopf::core::AdmmResult;
 using dopf::core::IterationRecord;
 using dopf::core::LocalSolvers;
+using dopf::core::ResidualSums;
 using dopf::opf::DistributedProblem;
+namespace kernels = dopf::core::kernels;
 
 MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
     const DistributedProblem& problem, MultiGpuOptions options)
@@ -55,16 +58,10 @@ void MultiGpuSolverFreeAdmm::global_update() {
     const std::size_t end = std::min(n, begin + T);
     double max_flops = 0.0, max_bytes = 0.0;
     for (std::size_t i = begin; i < end; ++i) {
-      const std::int64_t p0 = image_.gather_ptr[i];
-      const std::int64_t p1 = image_.gather_ptr[i + 1];
-      double acc = 0.0;
-      for (std::int64_t k = p0; k < p1; ++k) {
-        const std::int64_t pos = image_.gather_pos[k];
-        acc += rho_ * z_[pos] - lambda_[pos];
-      }
-      const double deg = static_cast<double>(p1 - p0);
-      const double xhat = (acc - image_.c[i]) / (rho_ * deg);
-      x_[i] = std::min(std::max(xhat, image_.lb[i]), image_.ub[i]);
+      kernels::global_entry(image_, z_.data(), lambda_.data(), rho_, i,
+                            x_.data());
+      const double deg = static_cast<double>(image_.gather_ptr[i + 1] -
+                                             image_.gather_ptr[i]);
       max_flops = std::max(max_flops, 3.0 * deg + 5.0);
       max_bytes = std::max(max_bytes, 24.0 * deg + 40.0);
     }
@@ -81,23 +78,11 @@ double MultiGpuSolverFreeAdmm::launch_local_on(std::size_t d) {
       "local_update", static_cast<int>(part.size()), T,
       [&](BlockContext& ctx) {
         const std::size_t s = part[ctx.block_index];
-        const std::size_t ns = image_.comp_nvars[s];
-        const std::int64_t off = image_.comp_offset[s];
-        const std::int64_t aoff = image_.abar_offset[s];
-        double* y = y_scratch_.data() + off;
-        for (std::size_t j = 0; j < ns; ++j) {
-          y[j] = x_[image_.global_idx[off + static_cast<std::int64_t>(j)]] +
-                 lambda_[off + static_cast<std::int64_t>(j)] / rho_;
-        }
+        const std::size_t ns = static_cast<std::size_t>(image_.comp_nvars[s]);
+        kernels::stage_component(image_, x_.data(), lambda_.data(), rho_, s,
+                                 y_scratch_.data());
         ctx.charge(ns, 3.0, 28.0);
-        for (std::size_t i = 0; i < ns; ++i) {
-          const double* row = image_.abar.data() + aoff +
-                              static_cast<std::int64_t>(i * ns);
-          double sum = 0.0;
-          for (std::size_t j = 0; j < ns; ++j) sum += row[j] * y[j];
-          z_[off + static_cast<std::int64_t>(i)] =
-              image_.bbar[off + static_cast<std::int64_t>(i)] - sum;
-        }
+        kernels::project_component(image_, s, y_scratch_.data(), z_.data());
         ctx.charge(ns, 2.0 * static_cast<double>(ns) + 1.0,
                    8.0 * static_cast<double>(ns) + 24.0);
       });
@@ -136,13 +121,13 @@ double MultiGpuSolverFreeAdmm::launch_dual_on(std::size_t d) {
   devices_[d].launch("dual_update", static_cast<int>(part.size()), T,
                      [&](BlockContext& ctx) {
                        const std::size_t s = part[ctx.block_index];
-                       const std::size_t ns = image_.comp_nvars[s];
-                       const std::int64_t off = image_.comp_offset[s];
+                       const std::size_t ns =
+                           static_cast<std::size_t>(image_.comp_nvars[s]);
+                       const std::size_t off =
+                           static_cast<std::size_t>(image_.comp_offset[s]);
                        for (std::size_t j = 0; j < ns; ++j) {
-                         const std::int64_t pos =
-                             off + static_cast<std::int64_t>(j);
-                         lambda_[pos] +=
-                             rho_ * (x_[image_.global_idx[pos]] - z_[pos]);
+                         kernels::dual_entry(image_, x_.data(), z_.data(),
+                                             rho_, off + j, lambda_.data());
                        }
                        ctx.charge(ns, 3.0, 44.0);
                      });
@@ -157,26 +142,30 @@ void MultiGpuSolverFreeAdmm::dual_update() {
   sim_dual_ += span;
 }
 
-IterationRecord MultiGpuSolverFreeAdmm::compute_residuals(
-    int iteration) const {
+IterationRecord MultiGpuSolverFreeAdmm::compute_residuals(int iteration) {
+  // Same deterministic chunk-tree reduction as every single-device backend,
+  // so the multi-GPU residual history stays byte-identical to them.
   IterationRecord rec;
   rec.iteration = iteration;
   rec.rho = rho_;
-  double pres2 = 0.0, bx2 = 0.0, z2 = 0.0, dz2 = 0.0, l2 = 0.0;
-  for (std::size_t pos = 0; pos < z_.size(); ++pos) {
-    const double bx = x_[image_.global_idx[pos]];
-    const double d = bx - z_[pos];
-    pres2 += d * d;
-    bx2 += bx * bx;
-    z2 += z_[pos] * z_[pos];
-    const double dz = z_[pos] - z_prev_[pos];
-    dz2 += dz * dz;
-    l2 += lambda_[pos] * lambda_[pos];
+  dopf::core::PackedState st;
+  st.rho = rho_;
+  st.x = x_;
+  st.z = z_;
+  st.z_prev = z_prev_;
+  st.lambda = lambda_;
+  st.y = y_scratch_;
+  std::vector<ResidualSums> partials(
+      dopf::core::residual_num_chunks(image_.total_local()));
+  for (std::size_t k = 0; k < partials.size(); ++k) {
+    dopf::core::residual_chunk(image_, st, k, &partials[k]);
   }
-  rec.primal_residual = std::sqrt(pres2);
-  rec.dual_residual = rho_ * std::sqrt(dz2);
-  rec.eps_primal = options_.gpu.admm.eps_rel * std::sqrt(std::max(bx2, z2));
-  rec.eps_dual = options_.gpu.admm.eps_rel * std::sqrt(l2);
+  const ResidualSums sums = dopf::core::combine_residual_chunks(partials);
+  rec.primal_residual = std::sqrt(sums.pres2);
+  rec.dual_residual = rho_ * std::sqrt(sums.dz2);
+  rec.eps_primal =
+      options_.gpu.admm.eps_rel * std::sqrt(std::max(sums.bx2, sums.z2));
+  rec.eps_dual = options_.gpu.admm.eps_rel * std::sqrt(sums.l2);
   return rec;
 }
 

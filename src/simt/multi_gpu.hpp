@@ -36,7 +36,7 @@ class MultiGpuSolverFreeAdmm {
   void global_update();
   void local_update();
   void dual_update();
-  dopf::core::IterationRecord compute_residuals(int iteration) const;
+  dopf::core::IterationRecord compute_residuals(int iteration);
 
   std::span<const double> x() const { return x_; }
   std::size_t num_devices() const { return devices_.size(); }

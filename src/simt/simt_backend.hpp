@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "core/backend.hpp"
+#include "simt/device.hpp"
+
+namespace dopf::simt {
+
+/// SIMT execution backend: runs the packed update kernels bit-exactly on the
+/// host (same core::kernels expressions as the serial/threaded backends)
+/// while charging a simulated GPU Device ledger per launch — the grid/block
+/// mapping of the paper's Sec. IV-C/IV-D (one block per component for the
+/// local update, elementwise grids for global/dual, a fused reduction kernel
+/// plus a 5-double d2h transfer for the residuals).
+class SimtBackend final : public dopf::core::ExecutionBackend {
+ public:
+  struct Config {
+    /// Threads per block T for the local-update kernel (paper sweeps 1..64).
+    int threads_per_block = 32;
+    /// Threads per block for the elementwise global/dual/residual kernels.
+    int elementwise_block = 256;
+  };
+
+  SimtBackend() : SimtBackend(Device()) {}
+  explicit SimtBackend(Device device) : SimtBackend(std::move(device), Config()) {}
+  SimtBackend(Device device, Config config);
+
+  const char* name() const override { return "simt"; }
+  void global_update(const dopf::core::PackedLocalSolvers& pack,
+                     dopf::core::PackedState& state) override;
+  void local_update(const dopf::core::PackedLocalSolvers& pack,
+                    dopf::core::PackedState& state) override;
+  void dual_update(const dopf::core::PackedLocalSolvers& pack,
+                   dopf::core::PackedState& state) override;
+  dopf::core::ResidualSums residual_sums(
+      const dopf::core::PackedLocalSolvers& pack,
+      const dopf::core::PackedState& state) override;
+
+  const Device& device() const { return device_; }
+  Device& device() { return device_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Device device_;
+  Config config_;
+  std::vector<dopf::core::ResidualSums> partials_;
+};
+
+}  // namespace dopf::simt

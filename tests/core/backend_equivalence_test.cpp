@@ -1,0 +1,106 @@
+// Cross-backend bit-identity: the serial, threaded (any thread count), and
+// SIMT execution backends run the same core::kernels expressions over the
+// same packed pool with the same deterministic residual reduction, so the
+// residual history and final iterate must be byte-identical — not merely
+// close — on every instance.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "core/backend.hpp"
+#include "feeders/ieee13.hpp"
+#include "feeders/synthetic.hpp"
+#include "opf/decompose.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "simt/gpu_admm.hpp"
+
+namespace dopf::core {
+namespace {
+
+using dopf::opf::DistributedProblem;
+
+AdmmOptions test_options(int iterations) {
+  AdmmOptions opt;
+  opt.max_iterations = iterations;
+  opt.check_every = 1;   // residuals every iteration
+  opt.record_every = 1;  // and all of them in the history
+  opt.eps_rel = 0.0;     // never terminate: fixed-length trajectories
+  return opt;
+}
+
+AdmmResult run_with_backend(const DistributedProblem& problem,
+                            const AdmmOptions& opt,
+                            std::unique_ptr<ExecutionBackend> backend) {
+  SolverFreeAdmm admm(problem, opt);
+  if (backend) admm.set_backend(std::move(backend));
+  return admm.solve();
+}
+
+void expect_bit_identical(const AdmmResult& a, const AdmmResult& b,
+                          const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t t = 0; t < a.history.size(); ++t) {
+    const IterationRecord& ra = a.history[t];
+    const IterationRecord& rb = b.history[t];
+    ASSERT_EQ(ra.primal_residual, rb.primal_residual) << "iteration " << t;
+    ASSERT_EQ(ra.dual_residual, rb.dual_residual) << "iteration " << t;
+    ASSERT_EQ(ra.eps_primal, rb.eps_primal) << "iteration " << t;
+    ASSERT_EQ(ra.eps_dual, rb.eps_dual) << "iteration " << t;
+  }
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    ASSERT_EQ(a.x[i], b.x[i]) << "x[" << i << "]";
+  }
+}
+
+void check_all_backends(const DistributedProblem& problem, int iterations) {
+  const AdmmOptions opt = test_options(iterations);
+  const AdmmResult serial = run_with_backend(problem, opt, nullptr);
+  ASSERT_EQ(serial.history.size(), static_cast<std::size_t>(iterations));
+
+  for (int threads : {1, 4, 16}) {
+    const AdmmResult threaded = run_with_backend(
+        problem, opt, dopf::runtime::make_threaded_backend(threads));
+    expect_bit_identical(serial, threaded,
+                         threads == 1   ? "threaded(1)"
+                         : threads == 4 ? "threaded(4)"
+                                        : "threaded(16)");
+  }
+
+  dopf::simt::GpuAdmmOptions gpu_opt;
+  gpu_opt.admm = opt;
+  dopf::simt::GpuSolverFreeAdmm gpu(problem, gpu_opt);
+  const AdmmResult simt = gpu.solve();
+  expect_bit_identical(serial, simt, "simt");
+}
+
+TEST(BackendEquivalenceTest, Ieee13ResidualHistoriesByteIdentical) {
+  const dopf::network::Network net = dopf::feeders::ieee13();
+  const DistributedProblem problem = dopf::opf::decompose(net);
+  check_all_backends(problem, 60);
+}
+
+TEST(BackendEquivalenceTest, Ieee123ResidualHistoriesByteIdentical) {
+  const dopf::network::Network net =
+      dopf::feeders::synthetic_feeder(dopf::feeders::ieee123_spec());
+  const DistributedProblem problem = dopf::opf::decompose(net);
+  check_all_backends(problem, 40);
+}
+
+TEST(BackendEquivalenceTest, BackendsReportTheirNames) {
+  const dopf::network::Network net = dopf::feeders::ieee13();
+  const DistributedProblem problem = dopf::opf::decompose(net);
+  SolverFreeAdmm admm(problem, AdmmOptions{});
+  EXPECT_STREQ(admm.backend().name(), "serial");
+  admm.set_backend(dopf::runtime::make_threaded_backend(2));
+  EXPECT_STREQ(admm.backend().name(), "threaded");
+  admm.set_backend(nullptr);  // restores the built-in serial backend
+  EXPECT_STREQ(admm.backend().name(), "serial");
+}
+
+}  // namespace
+}  // namespace dopf::core

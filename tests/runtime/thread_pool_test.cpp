@@ -1,0 +1,124 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dopf::runtime {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (int threads : {1, 2, 4, 16}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }  // destructor joins the workers; no job ever submitted
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10007;  // prime: uneven chunks
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](int, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunksAreContiguousAndOrderedByLane) {
+  ThreadPool pool(4);
+  const std::size_t n = 10;  // fewer items than would fill all lanes evenly
+  std::vector<int> lane_of(n, -1);
+  pool.parallel_for(n, [&](int lane, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) lane_of[i] = lane;
+  });
+  // Static partition: lane ids are non-decreasing across [0, n).
+  for (std::size_t i = 1; i < n; ++i) EXPECT_GE(lane_of[i], lane_of[i - 1]);
+  EXPECT_EQ(lane_of.front(), 0);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](int, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  ASSERT_GE(pool.size(), 2);
+  EXPECT_THROW(
+      pool.parallel_for(
+          1000,
+          [&](int lane, std::size_t, std::size_t) {
+            if (lane == pool.size() - 1) {  // thrown on a worker thread
+              throw std::runtime_error("worker boom");
+            }
+          }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, CallerLaneExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](int lane, std::size_t, std::size_t) {
+                                   if (lane == 0) {  // caller's own lane
+                                     throw std::logic_error("lane0 boom");
+                                   }
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionInLaneOrderWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(1000, [](int lane, std::size_t, std::size_t) {
+      throw std::runtime_error("lane " + std::to_string(lane));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lane 0");
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobsAndAfterExceptions) {
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<double> data(n, 1.0);
+  double expected = static_cast<double>(n);
+  for (int round = 0; round < 50; ++round) {
+    if (round == 25) {  // an exception must not poison the pool
+      EXPECT_THROW(pool.parallel_for(n,
+                                     [](int, std::size_t, std::size_t) {
+                                       throw std::runtime_error("mid-run");
+                                     }),
+                   std::runtime_error);
+    }
+    pool.parallel_for(n, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) data[i] *= 1.0009765625;
+    });
+    expected *= 1.0009765625;
+  }
+  const double sum = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(sum, expected, 1e-9 * expected);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanLanes) {
+  ThreadPool pool(16);
+  const std::size_t n = 3;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](int, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace dopf::runtime

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: run the tier-1 verify twice — a plain Release pass and an
+# ASan+UBSan pass (-DDOPF_SANITIZE=ON). Both must be green.
+#
+# Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== test ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass build -DCMAKE_BUILD_TYPE=Release -DDOPF_SANITIZE=OFF
+run_pass build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
+
+echo "=== ci.sh: both passes green ==="

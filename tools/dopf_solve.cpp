@@ -5,6 +5,9 @@
 //
 //   builtin:NAME          one of ieee13, ieee123, ieee8500, ieee8500_mini
 //   --algorithm ALG       solver-free (default) | benchmark | reference
+//   --backend B           serial (default) | threaded | simt (solver-free only)
+//   --threads N           worker threads for --backend threaded
+//                         (default: hardware concurrency)
 //   --rho R               ADMM penalty (default 100)
 //   --eps E               relative tolerance (default 1e-3)
 //   --max-iters N         iteration cap (default 200000)
@@ -19,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "baseline/benchmark_admm.hpp"
@@ -26,6 +30,8 @@
 #include "feeders/feeder_io.hpp"
 #include "opf/solution.hpp"
 #include "runtime/instances.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "simt/gpu_admm.hpp"
 #include "solver/reference.hpp"
 
 namespace {
@@ -34,6 +40,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [options] <feeder-file | builtin:NAME>\n"
                "  --algorithm solver-free|benchmark|reference\n"
+               "  --backend serial|threaded|simt  --threads N\n"
                "  --rho R  --eps E  --max-iters N  --relaxation A\n"
                "  --quantize-bits B  --report  --residuals FILE  --output FILE\n",
                argv0);
@@ -53,6 +60,8 @@ double parse_double(const char* arg, const char* what) {
 
 int main(int argc, char** argv) {
   std::string input, algorithm = "solver-free", residual_file, output_file;
+  std::string backend = "serial";
+  int threads = 0;  // 0 = hardware concurrency
   bool report = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
@@ -65,6 +74,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--algorithm") {
       algorithm = next();
+    } else if (arg == "--backend") {
+      backend = next();
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(parse_double(next(), "--threads"));
     } else if (arg == "--rho") {
       opt.rho = parse_double(next(), "--rho");
     } else if (arg == "--eps") {
@@ -119,25 +132,47 @@ int main(int argc, char** argv) {
       const auto problem = dopf::opf::decompose(net, model);
       std::printf("decomposition: %zu components\n",
                   problem.num_components());
+      if (backend != "serial" && algorithm != "solver-free") {
+        std::fprintf(stderr, "--backend %s requires --algorithm solver-free\n",
+                     backend.c_str());
+        return 1;
+      }
+      std::string backend_label = backend;
       dopf::core::AdmmResult res;
       if (algorithm == "benchmark") {
         dopf::baseline::BenchmarkAdmm admm(problem, opt);
         res = admm.solve();
+      } else if (algorithm == "solver-free" && backend == "simt") {
+        dopf::simt::GpuAdmmOptions gpu_opt;
+        gpu_opt.admm = opt;
+        dopf::simt::GpuSolverFreeAdmm admm(problem, gpu_opt);
+        res = admm.solve();
       } else if (algorithm == "solver-free") {
         dopf::core::SolverFreeAdmm admm(problem, opt);
+        if (backend == "threaded") {
+          auto tb = std::make_unique<dopf::runtime::ThreadedBackend>(threads);
+          backend_label =
+              "threaded(" + std::to_string(tb->threads()) + " threads)";
+          admm.set_backend(std::move(tb));
+        } else if (backend != "serial") {
+          std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+          return 1;
+        }
         res = admm.solve();
       } else {
         std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
         return 1;
       }
       std::printf(
-          "%s ADMM: %s in %d iterations, objective %.8f\n"
+          "%s ADMM [backend: %s]: %s in %d iterations, objective %.8f\n"
           "residuals: primal %.3e dual %.3e; wall %.2fs "
-          "(global %.2fs local %.2fs dual %.2fs)\n",
-          algorithm.c_str(), res.converged ? "converged" : "NOT converged",
-          res.iterations, res.objective, res.primal_residual,
-          res.dual_residual, res.timing.total(), res.timing.global_update,
-          res.timing.local_update, res.timing.dual_update);
+          "(global %.2fs local %.2fs dual %.2fs, +%.2fs precompute)\n",
+          algorithm.c_str(), backend_label.c_str(),
+          res.converged ? "converged" : "NOT converged", res.iterations,
+          res.objective, res.primal_residual, res.dual_residual,
+          res.timing.total(), res.timing.global_update,
+          res.timing.local_update, res.timing.dual_update,
+          res.timing.precompute);
       x = res.x;
       ok = res.converged;
       history = res.history;
