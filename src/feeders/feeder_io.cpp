@@ -67,6 +67,16 @@ class Tokens {
     }
   }
 
+  PhaseSet phases(const char* what) {
+    const std::string t = word(what);
+    try {
+      return PhaseSet::parse(t);
+    } catch (const std::exception& e) {
+      fail(std::string("bad phase set '") + t + "' for " + what + ": " +
+           e.what());
+    }
+  }
+
   PerPhase<double> triple(const char* what) {
     PerPhase<double> v;
     for (double& x : v.values) x = number(what);
@@ -174,7 +184,7 @@ Network read_feeder(std::istream& in) {
     if (kind == "bus") {
       Bus b;
       b.name = tok.word("bus name");
-      b.phases = PhaseSet::parse(tok.word("phases"));
+      b.phases = tok.phases("phases");
       b.w_min = tok.triple("wmin");
       b.w_max = tok.triple("wmax");
       b.g_shunt = tok.triple("gsh");
@@ -186,7 +196,7 @@ Network read_feeder(std::istream& in) {
       Generator g;
       g.name = tok.word("gen name");
       g.bus = bus_id(tok.word("bus"), tok);
-      g.phases = PhaseSet::parse(tok.word("phases"));
+      g.phases = tok.phases("phases");
       g.p_min = tok.triple("pmin");
       g.p_max = tok.triple("pmax");
       g.q_min = tok.triple("qmin");
@@ -197,7 +207,7 @@ Network read_feeder(std::istream& in) {
       Load l;
       l.name = tok.word("load name");
       l.bus = bus_id(tok.word("bus"), tok);
-      l.phases = PhaseSet::parse(tok.word("phases"));
+      l.phases = tok.phases("phases");
       const std::string conn = tok.word("connection");
       if (conn == "wye") {
         l.connection = Connection::kWye;
@@ -216,7 +226,7 @@ Network read_feeder(std::istream& in) {
       l.name = tok.word("line name");
       l.from_bus = bus_id(tok.word("from"), tok);
       l.to_bus = bus_id(tok.word("to"), tok);
-      l.phases = PhaseSet::parse(tok.word("phases"));
+      l.phases = tok.phases("phases");
       l.is_transformer = tok.number("xfmr flag") != 0.0;
       l.tap_ratio = tok.triple("tap");
       l.flow_limit = tok.triple("limit");

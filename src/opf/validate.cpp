@@ -35,6 +35,27 @@ double ValidationReport::worst() const {
                    max_bound_violation});
 }
 
+std::string ValidationReport::worst_check() const {
+  const struct {
+    double value;
+    const char* name;
+  } checks[] = {{max_p_balance, "P-balance"},
+                {max_q_balance, "Q-balance"},
+                {max_flow_consistency, "flow"},
+                {max_voltage_equation, "voltage"},
+                {max_load_model, "load-model"},
+                {max_bound_violation, "bounds"}};
+  const char* name = checks[0].name;
+  double best = checks[0].value;
+  for (const auto& c : checks) {
+    if (c.value > best) {
+      best = c.value;
+      name = c.name;
+    }
+  }
+  return name;
+}
+
 std::string ValidationReport::to_string() const {
   std::ostringstream os;
   os << "P-balance " << max_p_balance << ", Q-balance " << max_q_balance

@@ -22,6 +22,10 @@ struct ValidationReport {
   std::string worst_site;
 
   double worst() const;
+  /// Name of the dominant check category ("P-balance", "flow", ...), so a
+  /// failure diagnostic can say *what kind* of physics is violated, not
+  /// just where.
+  std::string worst_check() const;
   bool ok(double tol) const { return worst() <= tol; }
   std::string to_string() const;
 };

@@ -74,6 +74,7 @@ double MultiGpuSolverFreeAdmm::launch_local_on(std::size_t d) {
   const int T = options_.gpu.threads_per_block;
   const double before = devices_[d].ledger().kernel_seconds;
   const auto& part = partition_[d];
+  if (part.empty()) return 0.0;  // idle rank: skip the zero-block launch
   devices_[d].launch(
       "local_update", static_cast<int>(part.size()), T,
       [&](BlockContext& ctx) {
@@ -118,6 +119,7 @@ double MultiGpuSolverFreeAdmm::launch_dual_on(std::size_t d) {
   const int T = options_.gpu.elementwise_block;
   const double before = devices_[d].ledger().kernel_seconds;
   const auto& part = partition_[d];
+  if (part.empty()) return 0.0;  // idle rank: skip the zero-block launch
   devices_[d].launch("dual_update", static_cast<int>(part.size()), T,
                      [&](BlockContext& ctx) {
                        const std::size_t s = part[ctx.block_index];

@@ -1,0 +1,198 @@
+#include "verify/fuzzer.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <utility>
+
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "simt/simt_backend.hpp"
+#include "solver/reference.hpp"
+#include "verify/trace.hpp"
+
+namespace dopf::verify {
+
+using dopf::core::AdmmOptions;
+using dopf::core::AdmmResult;
+using dopf::core::SolverFreeAdmm;
+using dopf::feeders::SyntheticSpec;
+using dopf::opf::DistributedProblem;
+
+FuzzOptions::FuzzOptions() : admm(default_fuzz_admm()) {
+  // Random feeders produce component blocks with worse conditioning than the
+  // curated networks, so the (exact) projection carries a larger roundoff
+  // residual. Still orders of magnitude below any genuine kernel defect.
+  invariants.local_feasibility_tol = 1e-5;
+  // The objective gap at a fixed eps_rel varies with conditioning; random
+  // draws produce legitimate ~3% outliers that a curated network never hits.
+  invariants.objective_tol = 5e-2;
+}
+
+AdmmOptions default_fuzz_admm() {
+  AdmmOptions opt;
+  opt.eps_rel = 1e-3;
+  opt.max_iterations = 50000;
+  opt.check_every = 10;
+  opt.record_every = 1;
+  return opt;
+}
+
+SyntheticSpec random_spec(std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  auto uniform = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  auto uniform_int = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  SyntheticSpec spec;
+  spec.num_buses = uniform_int(16, 48);
+  spec.num_leaves = uniform_int(2, std::max(2, (spec.num_buses - 2) / 2));
+  // Strictly radial, like the distribution feeders the decomposition
+  // targets: tie lines slow consensus badly enough to blow the iteration
+  // budget on unlucky draws.
+  spec.num_extra_lines = 0;
+  spec.keep_phases_prob = uniform(0.3, 0.9);
+  spec.two_phase_prob = uniform(0.0, 0.3);
+  spec.load_density = uniform(0.25, 0.8);
+  spec.delta_prob = uniform(0.0, 0.4);
+  spec.const_current_prob = uniform(0.0, 0.25);
+  spec.const_impedance_prob = uniform(0.0, 0.25);
+  spec.load_unit = uniform(0.1, 0.45);
+  spec.min_delta_loads = uniform_int(0, 2);
+  spec.drop_budget = uniform(0.04, 0.08);
+  spec.transformer_prob = uniform(0.0, 0.3);
+  spec.num_der = uniform_int(0, 3);
+  spec.seed = seed;
+  return spec;
+}
+
+namespace {
+
+std::string case_label(std::uint64_t seed) {
+  return "fuzz-" + std::to_string(seed);
+}
+
+/// Run one backend over a fresh solver and capture its trace.
+Trace run_backend(const DistributedProblem& problem, const AdmmOptions& opt,
+                  std::unique_ptr<dopf::core::ExecutionBackend> backend,
+                  const std::string& label) {
+  SolverFreeAdmm admm(problem, opt);
+  const std::string backend_name = backend ? backend->name() : "serial";
+  if (backend) admm.set_backend(std::move(backend));
+  return Trace::from_result(admm.solve(), opt, label, backend_name);
+}
+
+}  // namespace
+
+int FuzzReport::num_failed() const {
+  int failed = 0;
+  for (const FuzzCase& c : cases) {
+    if (!c.passed()) ++failed;
+  }
+  return failed;
+}
+
+std::string FuzzReport::summary() const {
+  std::string out;
+  for (const FuzzCase& c : cases) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "seed %llu: %s | %zu components, %d iterations, "
+                  "objective %.6f -> %s\n",
+                  static_cast<unsigned long long>(c.seed),
+                  c.feeder_summary.c_str(), c.components, c.iterations,
+                  c.objective, c.passed() ? "pass" : "FAIL");
+    out += line;
+    for (const std::string& f : c.failures) out += "    " + f + "\n";
+  }
+  char verdict[96];
+  std::snprintf(verdict, sizeof(verdict), "fuzz: %d/%zu cases passed\n",
+                static_cast<int>(cases.size()) - num_failed(), cases.size());
+  out += verdict;
+  return out;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  report.cases.reserve(static_cast<std::size_t>(options.num_cases));
+
+  for (int i = 0; i < options.num_cases; ++i) {
+    FuzzCase fuzz_case;
+    fuzz_case.seed = options.base_seed + static_cast<std::uint64_t>(i);
+    const std::string label = case_label(fuzz_case.seed);
+
+    const SyntheticSpec spec = random_spec(fuzz_case.seed);
+    const dopf::network::Network net = dopf::feeders::synthetic_feeder(spec);
+    fuzz_case.feeder_summary = net.summary();
+    const dopf::opf::OpfModel model = dopf::opf::build_model(net);
+    const DistributedProblem problem = dopf::opf::decompose(net, model);
+    fuzz_case.components = problem.num_components();
+
+    // Serial run: the anchor trajectory (and the z for invariant checks).
+    SolverFreeAdmm serial_solver(problem, options.admm);
+    AdmmResult serial = serial_solver.solve();
+    const Trace serial_trace =
+        Trace::from_result(serial, options.admm, label, "serial");
+    fuzz_case.iterations = serial.iterations;
+    fuzz_case.converged = serial.converged;
+    fuzz_case.objective = serial.objective;
+    fuzz_case.digest = trace_digest(serial_trace);
+    if (!serial.converged) {
+      fuzz_case.failures.push_back(
+          "serial run did not converge within " +
+          std::to_string(options.admm.max_iterations) + " iterations (" +
+          dopf::core::to_string(serial.status) + std::string(")"));
+    }
+
+    // Differential legs: threaded and SIMT must be byte-identical.
+    {
+      const Trace threaded = run_backend(
+          problem, options.admm,
+          dopf::runtime::make_threaded_backend(options.threads), label);
+      const TraceDiff diff = compare_traces(serial_trace, threaded, 0.0);
+      if (!diff.identical) {
+        fuzz_case.failures.push_back("threaded backend diverges from serial: " +
+                                     diff.message);
+      }
+    }
+    {
+      const Trace simt =
+          run_backend(problem, options.admm,
+                      std::make_unique<dopf::simt::SimtBackend>(), label);
+      const TraceDiff diff = compare_traces(serial_trace, simt, 0.0);
+      if (!diff.identical) {
+        fuzz_case.failures.push_back("simt backend diverges from serial: " +
+                                     diff.message);
+      }
+    }
+
+    // Backend-independent invariants of the converged state.
+    InvariantReport invariants =
+        check_invariants(problem, serial_solver.x(), serial_solver.z());
+    add_model_check(model, serial_solver.x(), &invariants);
+
+    if (options.run_reference) {
+      const dopf::solver::LpSolution reference =
+          dopf::solver::reference_solve(model);
+      if (reference.status != dopf::solver::LpStatus::kOptimal) {
+        fuzz_case.failures.push_back(
+            std::string("reference interior-point solve failed: ") +
+            dopf::solver::to_string(reference.status));
+      } else {
+        add_reference_check(model, serial_solver.x(), reference, &invariants);
+      }
+    }
+    for (std::string& failure : invariants.failures(options.invariants)) {
+      fuzz_case.failures.push_back(std::move(failure));
+    }
+
+    report.cases.push_back(std::move(fuzz_case));
+  }
+  return report;
+}
+
+}  // namespace dopf::verify

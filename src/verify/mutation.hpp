@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/backend.hpp"
+
+namespace dopf::verify {
+
+/// A deliberate kernel defect, for proving the verification harness detects
+/// divergence (mutation smoke test). The wrapped backend behaves exactly
+/// like its inner backend except that on the `local_update_call`-th local
+/// update it perturbs one entry of z by `delta` — the smallest realistic
+/// model of a broken kernel or packing layout.
+struct MutationSpec {
+  /// 1-based local_update() call at which to strike.
+  int local_update_call = 3;
+  /// z position to perturb (wrapped modulo the total local dimension).
+  std::size_t z_position = 7;
+  double delta = 1e-6;
+};
+
+/// Wrap `inner` with the mutation. Takes ownership; name() reports
+/// "mutant(<inner>)" so a mutated run can never masquerade as a clean one.
+std::unique_ptr<dopf::core::ExecutionBackend> make_mutant_backend(
+    std::unique_ptr<dopf::core::ExecutionBackend> inner,
+    const MutationSpec& spec = {});
+
+}  // namespace dopf::verify

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/admm.hpp"
+
+namespace dopf::verify {
+
+/// Thrown on malformed trace files.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A complete, deterministic record of one ADMM run: the solve profile, the
+/// residual history sampled at every check, and the final iterate. Traces
+/// serialize with C99 hex-float literals, so write/read round-trips preserve
+/// every bit and two runs can be compared byte-for-byte through this format.
+struct Trace {
+  std::string network;    ///< instance label (e.g. "ieee13")
+  std::string algorithm;  ///< "solver-free"
+  /// Which backend produced the run. Informational only: the whole point of
+  /// the golden comparison is that this field is the ONLY one allowed to
+  /// differ between a matching pair of traces.
+  std::string backend;
+  double rho = 0.0;
+  double eps_rel = 0.0;
+  int check_every = 1;
+  int record_every = 1;
+  int iterations = 0;
+  std::string status;
+  double objective = 0.0;
+  std::vector<dopf::core::IterationRecord> history;
+  std::vector<double> x;  ///< final global iterate
+
+  /// Capture a solve result under the given labels/options.
+  static Trace from_result(const dopf::core::AdmmResult& result,
+                           const dopf::core::AdmmOptions& options,
+                           std::string network, std::string backend,
+                           std::string algorithm = "solver-free");
+};
+
+void write_trace(const Trace& trace, std::ostream& out);
+Trace read_trace(std::istream& in);
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+/// Outcome of a trace comparison. When traces disagree, `message` pinpoints
+/// the first divergence (which field, which iteration, both values).
+struct TraceDiff {
+  bool identical = true;
+  std::string message;
+};
+
+/// Compare `candidate` against `golden`. With tol == 0 every numeric field
+/// must match bit-for-bit (the serial/threaded/simt contract); with tol > 0
+/// values must satisfy |a - b| <= tol * max(1, |a|, |b|). The `backend`
+/// field is deliberately excluded from the comparison.
+TraceDiff compare_traces(const Trace& golden, const Trace& candidate,
+                         double tol = 0.0);
+
+/// Order-sensitive FNV-1a digest over the bit patterns of the residual
+/// history and the final iterate; equal digests over the same profile mean
+/// bit-identical trajectories (seeded-determinism regression tests).
+std::uint64_t trace_digest(const Trace& trace);
+
+/// The pinned solve profile every committed golden trace is recorded and
+/// replayed with. Changing it invalidates all golden files (see TESTING.md).
+dopf::core::AdmmOptions golden_profile();
+
+}  // namespace dopf::verify

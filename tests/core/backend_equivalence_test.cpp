@@ -91,6 +91,63 @@ TEST(BackendEquivalenceTest, Ieee123ResidualHistoriesByteIdentical) {
   check_all_backends(problem, 40);
 }
 
+TEST(BackendEquivalenceTest, ThreadsExceedingComponentCountStayIdentical) {
+  // More workers than components: most threads get an empty slice of the
+  // packed pool and must contribute exactly nothing to the reduction.
+  const dopf::network::Network net = dopf::feeders::ieee13();
+  const DistributedProblem problem = dopf::opf::decompose(net);
+  const AdmmOptions opt = test_options(25);
+  const AdmmResult serial = run_with_backend(problem, opt, nullptr);
+  const int oversubscribed = static_cast<int>(problem.num_components()) * 4 + 3;
+  const AdmmResult threaded = run_with_backend(
+      problem, opt, dopf::runtime::make_threaded_backend(oversubscribed));
+  expect_bit_identical(serial, threaded, "threaded(4*components+3)");
+}
+
+TEST(BackendEquivalenceTest, SingleComponentProblemByteIdentical) {
+  // Degenerate decomposition: one component owning every global variable.
+  // min x0 + 0.5*x1  s.t.  x0 + x1 = 1,  x in [0,1]^2.
+  DistributedProblem problem;
+  problem.num_vars = 2;
+  problem.c = {1.0, 0.5};
+  problem.lb = {0.0, 0.0};
+  problem.ub = {1.0, 1.0};
+  problem.x0 = {0.0, 0.0};
+  problem.copy_count = {1, 1};
+  dopf::opf::Component comp;
+  comp.name = "only";
+  comp.a = dopf::linalg::Matrix{{1.0, 1.0}};
+  comp.b = {1.0};
+  comp.global = {0, 1};
+  problem.components.push_back(std::move(comp));
+  check_all_backends(problem, 40);
+}
+
+TEST(BackendEquivalenceTest, ZeroIterationSolveIsIdenticalAndInert) {
+  // max_iterations = 0: no update may run; every backend must return the
+  // initial iterate untouched, byte for byte.
+  const dopf::network::Network net = dopf::feeders::ieee13();
+  const DistributedProblem problem = dopf::opf::decompose(net);
+  const AdmmOptions opt = test_options(0);
+
+  const AdmmResult serial = run_with_backend(problem, opt, nullptr);
+  EXPECT_EQ(serial.iterations, 0);
+  EXPECT_TRUE(serial.history.empty());
+  ASSERT_EQ(serial.x.size(), problem.num_vars);
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    ASSERT_EQ(serial.x[i], problem.x0[i]) << "x[" << i << "]";
+  }
+
+  const AdmmResult threaded = run_with_backend(
+      problem, opt, dopf::runtime::make_threaded_backend(8));
+  expect_bit_identical(serial, threaded, "threaded(8), zero iterations");
+
+  dopf::simt::GpuAdmmOptions gpu_opt;
+  gpu_opt.admm = opt;
+  dopf::simt::GpuSolverFreeAdmm gpu(problem, gpu_opt);
+  expect_bit_identical(serial, gpu.solve(), "simt, zero iterations");
+}
+
 TEST(BackendEquivalenceTest, BackendsReportTheirNames) {
   const dopf::network::Network net = dopf::feeders::ieee13();
   const DistributedProblem problem = dopf::opf::decompose(net);

@@ -78,7 +78,59 @@ TEST(ParserRobustnessTest, PhaseGarbageRejected) {
   std::stringstream in(
       "feeder v1\n"
       "bus a xyz 1 1 1 1 1 1 0 0 0 0 0 0\n");
-  EXPECT_THROW(read_feeder(in), std::exception);
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(ParserRobustnessTest, OutOfRangePhaseReportsLineAndToken) {
+  // A phase character outside {a,b,c} must surface as a FeederFormatError
+  // with the line number and the offending token — not as the raw
+  // std::invalid_argument escaping from PhaseSet::parse.
+  std::stringstream in(
+      "feeder v1\n"
+      "bus root abd 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  try {
+    read_feeder(in);
+    FAIL() << "out-of-range phase accepted";
+  } catch (const FeederFormatError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("feeder line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad phase set 'abd'"), std::string::npos) << msg;
+  }
+}
+
+TEST(ParserRobustnessTest, DuplicateBusIdReportsName) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus root abc 1 1 1 1 1 1 0 0 0 0 0 0\n"
+      "bus root abc 1 1 1 1 1 1 0 0 0 0 0 0\n");
+  try {
+    read_feeder(in);
+    FAIL() << "duplicate bus id accepted";
+  } catch (const FeederFormatError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate bus root"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("feeder line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(ParserRobustnessTest, TruncatedLineRecordReportsLine) {
+  // Chop a line record mid-matrix: the error must carry the line number.
+  const std::string text = valid_text();
+  const std::size_t line_pos = text.find("\nline ");
+  ASSERT_NE(line_pos, std::string::npos);
+  const std::size_t line_end = text.find('\n', line_pos + 1);
+  ASSERT_NE(line_end, std::string::npos);
+  // Keep the first half of the first 'line' record, drop the rest of the file.
+  const std::string cut =
+      text.substr(0, line_pos + (line_end - line_pos) / 2);
+  std::stringstream in(cut);
+  try {
+    read_feeder(in);
+    FAIL() << "truncated record accepted";
+  } catch (const FeederFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("feeder line"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ParserRobustnessTest, SemanticallyInvalidNetworkRejected) {

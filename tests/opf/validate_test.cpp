@@ -82,6 +82,17 @@ TEST(ValidateTest, DetectsBoundViolation) {
       << report.worst_site;
 }
 
+TEST(ValidateTest, WorstCheckNamesDominantCategory) {
+  ValidationReport report;
+  report.max_flow_consistency = 0.5;
+  report.max_p_balance = 0.1;
+  EXPECT_EQ(report.worst_check(), "flow");
+  report.max_bound_violation = 0.9;
+  EXPECT_EQ(report.worst_check(), "bounds");
+  // All-zero report: still a well-defined (first) category.
+  EXPECT_EQ(ValidationReport{}.worst_check(), "P-balance");
+}
+
 TEST(ValidateTest, ReportStringListsEveryCategory) {
   const auto net = dopf::feeders::ieee13();
   const OpfModel model = build_model(net);

@@ -29,6 +29,33 @@ TEST(PartitionTest, BlockPartitionMoreRanksThanItems) {
   EXPECT_TRUE(p[2].empty());
 }
 
+TEST(PartitionTest, LptMoreRanksThanItems) {
+  // Ranks beyond the item count must come back empty, never crash, and the
+  // loaded ranks still hold every item exactly once.
+  std::vector<double> w = {3.0, 1.0, 2.0};
+  const Partition p = lpt_partition(w, 8);
+  ASSERT_EQ(p.size(), 8u);
+  std::vector<int> seen(w.size(), 0);
+  std::size_t empty = 0;
+  for (const auto& part : p) {
+    if (part.empty()) ++empty;
+    for (std::size_t s : part) ++seen[s];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  EXPECT_EQ(empty, 5u);
+  // With at least as many ranks as items, LPT is optimal: the makespan is
+  // the single heaviest item.
+  EXPECT_DOUBLE_EQ(makespan(p, w), 3.0);
+}
+
+TEST(PartitionTest, MakespanTolerantOfEmptyRanks) {
+  std::vector<double> w = {1.0, 2.0};
+  const Partition p = {{0}, {}, {1}, {}};
+  EXPECT_DOUBLE_EQ(makespan(p, w), 2.0);
+  const Partition all_empty = {{}, {}};
+  EXPECT_DOUBLE_EQ(makespan(all_empty, w), 0.0);
+}
+
 TEST(PartitionTest, ZeroRanksThrows) {
   EXPECT_THROW(block_partition(5, 0), std::invalid_argument);
   std::vector<double> w(3, 1.0);

@@ -46,6 +46,36 @@ TEST(MultiGpuTest, BitIdenticalToSingleDeviceAndCpu) {
   }
 }
 
+TEST(MultiGpuTest, DevicesExceedingComponentsMatchSingleDevice) {
+  // More devices than components: the trailing devices own an empty
+  // partition. They must neither crash nor perturb a single bit of the
+  // trajectory relative to the one-device run.
+  const auto& problem = fixture().problem;
+  const std::size_t devices = problem.num_components() + 5;
+
+  MultiGpuSolverFreeAdmm single(problem, make_options(1, 40));
+  const auto rs = single.solve();
+  MultiGpuSolverFreeAdmm over(problem, make_options(devices, 40));
+  const auto ro = over.solve();
+
+  EXPECT_EQ(over.num_devices(), devices);
+  EXPECT_EQ(rs.iterations, ro.iterations);
+  ASSERT_EQ(rs.history.size(), ro.history.size());
+  for (std::size_t t = 0; t < rs.history.size(); ++t) {
+    ASSERT_EQ(rs.history[t].primal_residual, ro.history[t].primal_residual)
+        << "iteration " << t;
+    ASSERT_EQ(rs.history[t].dual_residual, ro.history[t].dual_residual)
+        << "iteration " << t;
+  }
+  ASSERT_EQ(rs.x.size(), ro.x.size());
+  for (std::size_t i = 0; i < rs.x.size(); ++i) {
+    ASSERT_EQ(rs.x[i], ro.x[i]) << "entry " << i;
+  }
+  // Empty-partition devices never launch the local-update kernel.
+  const auto& last = over.device(devices - 1).ledger().by_kernel;
+  EXPECT_EQ(last.count("local_update"), 0u);
+}
+
 TEST(MultiGpuTest, EveryDeviceDoesWork) {
   MultiGpuSolverFreeAdmm gpu(fixture().problem, make_options(4));
   gpu.solve();

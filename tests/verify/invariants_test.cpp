@@ -1,0 +1,168 @@
+// The invariant checker recomputes feasibility/consensus/KKT quantities
+// directly from the component blocks and the centralized model — these tests
+// pin down both directions: a healthy converged state passes, and each
+// corrupted state is caught by the matching invariant.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "solver/reference.hpp"
+#include "verify/invariants.hpp"
+
+namespace dopf::verify {
+namespace {
+
+struct SolvedInstance {
+  dopf::opf::OpfModel model;
+  dopf::opf::DistributedProblem problem;
+  std::vector<double> x;
+  std::vector<double> z;
+};
+
+const SolvedInstance& solved_ieee13() {
+  static const SolvedInstance* instance = [] {
+    const auto net = dopf::feeders::ieee13();
+    auto model = dopf::opf::build_model(net);
+    auto problem = dopf::opf::decompose(net, model);
+    dopf::core::AdmmOptions opt;
+    opt.eps_rel = 1e-3;
+    opt.check_every = 10;
+    dopf::core::SolverFreeAdmm admm(problem, opt);
+    const auto result = admm.solve();
+    EXPECT_TRUE(result.converged);
+    return new SolvedInstance{
+        std::move(model), std::move(problem),
+        std::vector<double>(admm.x().begin(), admm.x().end()),
+        std::vector<double>(admm.z().begin(), admm.z().end())};
+  }();
+  return *instance;
+}
+
+TEST(InvariantsTest, ConvergedStatePassesAllChecks) {
+  const SolvedInstance& s = solved_ieee13();
+  InvariantReport report = check_invariants(s.problem, s.x, s.z);
+  add_model_check(s.model, s.x, &report);
+
+  const InvariantOptions options;
+  EXPECT_TRUE(report.ok(options)) << [&] {
+    std::string all;
+    for (const auto& f : report.failures(options)) all += f + "\n";
+    return all;
+  }();
+  // z comes out of exact projections: feasibility is roundoff-level.
+  EXPECT_LT(report.local_feasibility, 1e-9);
+  // the global update clips, so the box is satisfied exactly.
+  EXPECT_LE(report.box_violation, 0.0 + 1e-15);
+  EXPECT_GT(report.primal_residual, 0.0);
+}
+
+TEST(InvariantsTest, KktAndObjectiveAgainstReferencePass) {
+  const SolvedInstance& s = solved_ieee13();
+  const auto reference = dopf::solver::reference_solve(s.model);
+  ASSERT_EQ(reference.status, dopf::solver::LpStatus::kOptimal);
+
+  InvariantReport report = check_invariants(s.problem, s.x, s.z);
+  add_reference_check(s.model, s.x, reference, &report);
+  ASSERT_GE(report.kkt_stationarity, 0.0);
+  ASSERT_GE(report.objective_gap, 0.0);
+  EXPECT_TRUE(report.ok(InvariantOptions{})) << report.to_string();
+
+  // The reference optimum itself must be (numerically) a KKT point — a much
+  // tighter statement than the ADMM tolerance.
+  InvariantReport at_optimum;
+  add_reference_check(s.model, reference.x, reference, &at_optimum);
+  EXPECT_LT(at_optimum.kkt_stationarity, 1e-4);
+  EXPECT_LT(at_optimum.objective_gap, 1e-9);
+}
+
+TEST(InvariantsTest, CorruptedLocalIterateCaught) {
+  const SolvedInstance& s = solved_ieee13();
+  std::vector<double> corrupt_z = s.z;
+  corrupt_z[corrupt_z.size() / 2] += 0.1;
+
+  const InvariantReport report = check_invariants(s.problem, s.x, corrupt_z);
+  const InvariantOptions options;
+  EXPECT_GT(report.local_feasibility, options.local_feasibility_tol);
+  EXPECT_FALSE(report.ok(options));
+  EXPECT_FALSE(report.worst_component.empty());
+  // The diagnostic names the offending invariant.
+  bool mentions_feasibility = false;
+  for (const auto& f : report.failures(options)) {
+    if (f.find("local feasibility") != std::string::npos) {
+      mentions_feasibility = true;
+    }
+  }
+  EXPECT_TRUE(mentions_feasibility);
+}
+
+TEST(InvariantsTest, OutOfBoxGlobalIterateCaught) {
+  const SolvedInstance& s = solved_ieee13();
+  std::vector<double> corrupt_x = s.x;
+  // Push one bounded variable far past its upper bound.
+  for (std::size_t i = 0; i < corrupt_x.size(); ++i) {
+    if (s.problem.ub[i] < 1e29) {
+      corrupt_x[i] = s.problem.ub[i] + 1.0;
+      break;
+    }
+  }
+  const InvariantReport report = check_invariants(s.problem, corrupt_x, s.z);
+  EXPECT_GT(report.box_violation, 0.9);
+  EXPECT_FALSE(report.ok(InvariantOptions{}));
+}
+
+TEST(InvariantsTest, ConsensusGapCaught) {
+  const SolvedInstance& s = solved_ieee13();
+  std::vector<double> drifted_x = s.x;
+  for (double& v : drifted_x) v += 0.2;
+  const InvariantReport report = check_invariants(s.problem, drifted_x, s.z);
+  const InvariantOptions options;
+  EXPECT_GT(report.consensus_gap, options.consensus_tol);
+  EXPECT_FALSE(report.ok(options));
+}
+
+TEST(InvariantsTest, StationarityCatchesNonOptimalPoint) {
+  const SolvedInstance& s = solved_ieee13();
+  const auto reference = dopf::solver::reference_solve(s.model);
+  ASSERT_EQ(reference.status, dopf::solver::LpStatus::kOptimal);
+
+  // A feasible-looking but non-optimal point: drag the generator dispatch
+  // variables (those with cost) away from the optimum.
+  std::vector<double> bad_x = reference.x;
+  for (std::size_t i = 0; i < bad_x.size(); ++i) {
+    if (s.model.c[i] != 0.0) bad_x[i] += 1.0;
+  }
+  InvariantReport report;
+  add_reference_check(s.model, bad_x, reference, &report);
+  EXPECT_GT(report.kkt_stationarity, InvariantOptions{}.kkt_tol);
+  EXPECT_GT(report.objective_gap, InvariantOptions{}.objective_tol);
+}
+
+TEST(InvariantsTest, SizeMismatchesRejected) {
+  const SolvedInstance& s = solved_ieee13();
+  std::vector<double> short_x(s.x.begin(), s.x.end() - 1);
+  EXPECT_THROW(check_invariants(s.problem, short_x, s.z),
+               std::invalid_argument);
+  std::vector<double> short_z(s.z.begin(), s.z.end() - 1);
+  EXPECT_THROW(check_invariants(s.problem, s.x, short_z),
+               std::invalid_argument);
+}
+
+TEST(InvariantsTest, ReportFormatsAllEvaluatedFields) {
+  const SolvedInstance& s = solved_ieee13();
+  InvariantReport report = check_invariants(s.problem, s.x, s.z);
+  add_model_check(s.model, s.x, &report);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("local_feasibility"), std::string::npos);
+  EXPECT_NE(text.find("consensus_gap"), std::string::npos);
+  EXPECT_NE(text.find("model_residual"), std::string::npos);
+  // Not evaluated -> not reported.
+  EXPECT_EQ(text.find("kkt_stationarity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dopf::verify

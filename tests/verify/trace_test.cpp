@@ -1,0 +1,155 @@
+// Golden-trace format: hex-float serialization must round-trip every bit,
+// the comparator must pinpoint the first divergence, and malformed files
+// must be rejected with a pointed error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/admm.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+#include "verify/trace.hpp"
+
+namespace dopf::verify {
+namespace {
+
+Trace sample_trace() {
+  // A real solve, so the trace carries genuinely irrational doubles.
+  const auto net = dopf::feeders::ieee13();
+  const auto problem = dopf::opf::decompose(net);
+  dopf::core::AdmmOptions opt;
+  opt.max_iterations = 25;
+  opt.eps_rel = 0.0;
+  opt.check_every = 1;
+  dopf::core::SolverFreeAdmm admm(problem, opt);
+  return Trace::from_result(admm.solve(), opt, "ieee13", "serial");
+}
+
+TEST(TraceTest, RoundTripPreservesEveryBit) {
+  const Trace original = sample_trace();
+  ASSERT_FALSE(original.history.empty());
+  ASSERT_FALSE(original.x.empty());
+
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const Trace reread = read_trace(buffer);
+
+  const TraceDiff diff = compare_traces(original, reread, 0.0);
+  EXPECT_TRUE(diff.identical) << diff.message;
+  EXPECT_EQ(trace_digest(original), trace_digest(reread));
+  EXPECT_EQ(reread.backend, "serial");
+  EXPECT_EQ(reread.network, "ieee13");
+}
+
+TEST(TraceTest, SerializationIsDeterministic) {
+  const Trace trace = sample_trace();
+  std::stringstream a, b;
+  write_trace(trace, a);
+  write_trace(trace, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TraceTest, HexFloatSpecialValuesRoundTrip) {
+  Trace t;
+  t.network = "special";
+  t.algorithm = "solver-free";
+  t.backend = "serial";
+  t.status = "converged";
+  t.x = {0.0, -0.0, std::numeric_limits<double>::denorm_min(),
+         -std::numeric_limits<double>::max(), 0.1, 1.0 / 3.0};
+  std::stringstream buffer;
+  write_trace(t, buffer);
+  const Trace r = read_trace(buffer);
+  ASSERT_EQ(r.x.size(), t.x.size());
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    EXPECT_EQ(std::signbit(r.x[i]), std::signbit(t.x[i])) << i;
+    EXPECT_EQ(r.x[i], t.x[i]) << i;
+  }
+  EXPECT_TRUE(compare_traces(t, r, 0.0).identical);
+}
+
+TEST(TraceTest, ComparatorPinpointsHistoryDivergence) {
+  const Trace golden = sample_trace();
+  Trace mutated = golden;
+  // One ULP on one residual sample must be caught and located.
+  mutated.history[7].dual_residual =
+      std::nextafter(mutated.history[7].dual_residual, 1e300);
+
+  const TraceDiff diff = compare_traces(golden, mutated, 0.0);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.message.find("iteration " +
+                              std::to_string(golden.history[7].iteration)),
+            std::string::npos)
+      << diff.message;
+  EXPECT_NE(diff.message.find("dual_residual"), std::string::npos)
+      << diff.message;
+
+  // The same ULP nudge is far inside any sane tolerance.
+  EXPECT_TRUE(compare_traces(golden, mutated, 1e-9).identical);
+}
+
+TEST(TraceTest, ComparatorPinpointsIterateDivergence) {
+  const Trace golden = sample_trace();
+  Trace mutated = golden;
+  mutated.x[3] += 1e-12;
+  const TraceDiff diff = compare_traces(golden, mutated, 0.0);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.message.find("x[3]"), std::string::npos) << diff.message;
+  EXPECT_NE(trace_digest(golden), trace_digest(mutated));
+}
+
+TEST(TraceTest, ComparatorRejectsProfileMismatch) {
+  const Trace golden = sample_trace();
+  Trace other = golden;
+  other.check_every = golden.check_every + 1;
+  const TraceDiff diff = compare_traces(golden, other, 0.0);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.message.find("profile"), std::string::npos) << diff.message;
+}
+
+TEST(TraceTest, BackendFieldIsExcludedFromComparison) {
+  const Trace golden = sample_trace();
+  Trace other = golden;
+  other.backend = "threaded";
+  EXPECT_TRUE(compare_traces(golden, other, 0.0).identical);
+}
+
+TEST(TraceTest, ToleranceComparisonAcceptsNearbyTraces) {
+  const Trace golden = sample_trace();
+  Trace near = golden;
+  for (double& v : near.x) v += 1e-9;
+  EXPECT_FALSE(compare_traces(golden, near, 0.0).identical);
+  EXPECT_TRUE(compare_traces(golden, near, 1e-6).identical);
+}
+
+TEST(TraceTest, TruncatedTraceRejected) {
+  const Trace trace = sample_trace();
+  std::stringstream buffer;
+  write_trace(trace, buffer);
+  const std::string text = buffer.str();
+  for (double frac : {0.2, 0.6, 0.95}) {
+    std::stringstream cut(
+        text.substr(0, static_cast<std::size_t>(text.size() * frac)));
+    EXPECT_THROW(read_trace(cut), TraceError) << "fraction " << frac;
+  }
+}
+
+TEST(TraceTest, GarbageRejected) {
+  std::stringstream not_a_trace("dopf-trace v2\n");
+  EXPECT_THROW(read_trace(not_a_trace), TraceError);
+  std::stringstream empty("");
+  EXPECT_THROW(read_trace(empty), TraceError);
+  std::stringstream bad_number(
+      "dopf-trace v1\nnetwork n\nalgorithm a\nbackend b\nrho banana\n");
+  EXPECT_THROW(read_trace(bad_number), TraceError);
+}
+
+TEST(TraceTest, MissingGoldenFileRaises) {
+  EXPECT_THROW(load_trace("/nonexistent/golden.trace"), TraceError);
+}
+
+}  // namespace
+}  // namespace dopf::verify

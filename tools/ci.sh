@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: run the tier-1 verify twice — a plain Release pass and an
+# CI gate: run the verify suite twice — a plain Release pass and an
 # ASan+UBSan pass (-DDOPF_SANITIZE=ON). Both must be green.
+#
+# Test tiers (see TESTING.md):
+#   tier1 — fast deterministic tests; run in BOTH configurations.
+#   tier2 — fuzz / differential / golden-trace suites; Release only, so the
+#           sanitizer pass stays fast and golden byte-for-byte comparisons
+#           are never run under a differently-optimized build.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -10,16 +16,20 @@ JOBS="${1:-$(nproc)}"
 
 run_pass() {
   local dir="$1"
-  shift
+  local ctest_extra="$2"
+  shift 2
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@"
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== test ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  echo "=== test ${dir} (ctest ${ctest_extra:-<all tiers>}) ==="
+  # shellcheck disable=SC2086  # ctest_extra is a deliberate word list
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" ${ctest_extra}
 }
 
-run_pass build -DCMAKE_BUILD_TYPE=Release -DDOPF_SANITIZE=OFF
-run_pass build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
+# Release: the full suite, tier1 + tier2 (golden traces, fuzzing).
+run_pass build "" -DCMAKE_BUILD_TYPE=Release -DDOPF_SANITIZE=OFF
+# Sanitizers: tier1 only.
+run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 
 echo "=== ci.sh: both passes green ==="

@@ -1,0 +1,276 @@
+// dopf_verify — machine-checkable correctness gate for the distributed OPF
+// solvers. Three modes:
+//
+//   golden (default): run one execution backend under the pinned golden
+//     profile and diff the trace byte-for-byte against the committed golden
+//     file, then check the backend-independent invariants of the final
+//     state. `--record` (re)writes the golden file instead of comparing.
+//   --mutate: self-test. Injects a deliberate kernel perturbation and runs
+//     the same comparison; the run MUST be detected (non-zero exit), which
+//     proves the harness has teeth.
+//   --fuzz N: property-based differential fuzzing over seeded random
+//     feeders (see src/verify/fuzzer.hpp).
+//
+// Usage:
+//   dopf_verify [options]
+//   --network NAME|FILE   builtin (ieee13, ieee123, ieee8500_mini, ieee8500)
+//                         or a feeder file (default ieee13)
+//   --backend B           serial (default) | threaded | simt
+//   --threads N           worker threads for --backend threaded
+//   --golden FILE         golden trace path (overrides --golden-dir)
+//   --golden-dir DIR      directory holding <network>.trace files
+//                         (default: $DOPF_GOLDEN_DIR, else search for
+//                         tests/golden upward from the working directory)
+//   --record              write the golden trace for this run and exit
+//   --reference           also check KKT stationarity / objective gap
+//                         against the interior-point reference
+//   --tol T               tolerance for --reference checks (default 5e-2)
+//   --mutate              inject the kernel perturbation self-test
+//   --fuzz N --seed S     run N fuzz cases starting at seed S
+//
+// Exit codes: 0 = verified, 1 = usage/infrastructure error,
+//             2 = verification failure (divergence or invariant violation).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+#include "core/admm.hpp"
+#include "feeders/feeder_io.hpp"
+#include "opf/validate.hpp"
+#include "runtime/instances.hpp"
+#include "runtime/threaded_backend.hpp"
+#include "simt/simt_backend.hpp"
+#include "solver/reference.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/invariants.hpp"
+#include "verify/mutation.hpp"
+#include "verify/trace.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --network NAME|FILE  --backend serial|threaded|simt  --threads N\n"
+      "  --golden FILE | --golden-dir DIR  --record\n"
+      "  --reference  --tol T  --mutate\n"
+      "  --fuzz N  --seed S\n",
+      argv0);
+  std::exit(1);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool is_builtin(const std::string& name) {
+  for (const char* b : {"ieee13", "ieee123", "ieee8500", "ieee8500_mini"}) {
+    if (name == b) return true;
+  }
+  return false;
+}
+
+/// Default golden directory: $DOPF_GOLDEN_DIR, else tests/golden searched
+/// upward from the working directory (covers running from the repo root,
+/// build/, or build/tools/).
+std::string default_golden_dir() {
+  if (const char* env = std::getenv("DOPF_GOLDEN_DIR")) return env;
+  std::string prefix;
+  for (int depth = 0; depth < 4; ++depth) {
+    const std::string candidate = prefix + "tests/golden";
+    if (file_exists(candidate)) return candidate;
+    prefix += "../";
+  }
+  return "tests/golden";
+}
+
+std::unique_ptr<dopf::core::ExecutionBackend> make_backend(
+    const std::string& name, int threads) {
+  if (name == "serial") return nullptr;  // SolverFreeAdmm's built-in default
+  if (name == "threaded") return dopf::runtime::make_threaded_backend(threads);
+  if (name == "simt") return std::make_unique<dopf::simt::SimtBackend>();
+  std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string network = "ieee13", backend = "serial";
+  std::string golden_file, golden_dir;
+  int threads = 4;
+  bool record = false, reference = false, mutate = false;
+  int fuzz_cases = 0;
+  std::uint64_t seed = 20250807;
+  double tol = 5e-2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--network") {
+      network = next();
+    } else if (arg == "--backend") {
+      backend = next();
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--golden") {
+      golden_file = next();
+    } else if (arg == "--golden-dir") {
+      golden_dir = next();
+    } else if (arg == "--record") {
+      record = true;
+    } else if (arg == "--reference") {
+      reference = true;
+    } else if (arg == "--tol") {
+      tol = std::atof(next());
+    } else if (arg == "--mutate") {
+      mutate = true;
+    } else if (arg == "--fuzz") {
+      fuzz_cases = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    if (fuzz_cases > 0) {
+      dopf::verify::FuzzOptions options;
+      options.num_cases = fuzz_cases;
+      options.base_seed = seed;
+      options.threads = threads;
+      const dopf::verify::FuzzReport report = dopf::verify::run_fuzz(options);
+      std::printf("%s", report.summary().c_str());
+      return report.ok() ? 0 : 2;
+    }
+
+    // --- Golden-trace mode.
+    dopf::network::Network net;
+    std::string label = network;
+    if (is_builtin(network)) {
+      net = dopf::runtime::make_instance(network).net;
+    } else {
+      net = dopf::feeders::load_feeder(network);
+      const std::size_t slash = network.find_last_of('/');
+      label = slash == std::string::npos ? network : network.substr(slash + 1);
+    }
+    const dopf::opf::OpfModel model = dopf::opf::build_model(net);
+    const dopf::opf::DistributedProblem problem =
+        dopf::opf::decompose(net, model);
+
+    const dopf::core::AdmmOptions profile = dopf::verify::golden_profile();
+    dopf::core::SolverFreeAdmm admm(problem, profile);
+    std::string backend_label = backend;
+    {
+      auto exec = make_backend(backend, threads);
+      if (mutate) {
+        if (!exec) exec = dopf::core::make_serial_backend();
+        exec = dopf::verify::make_mutant_backend(std::move(exec));
+        backend_label = "mutant(" + backend + ")";
+      }
+      if (exec) admm.set_backend(std::move(exec));
+    }
+    const dopf::core::AdmmResult result = admm.solve();
+    const dopf::verify::Trace trace = dopf::verify::Trace::from_result(
+        result, profile, label, backend_label);
+    std::printf("%s: %s backend, %s in %d iterations, objective %.8f\n",
+                label.c_str(), backend_label.c_str(),
+                dopf::core::to_string(result.status), result.iterations,
+                result.objective);
+
+    if (golden_file.empty()) {
+      if (golden_dir.empty()) golden_dir = default_golden_dir();
+      golden_file = golden_dir + "/" + label + ".trace";
+    }
+
+    if (record) {
+      if (mutate) {
+        std::fprintf(stderr, "refusing to record a mutated golden trace\n");
+        return 1;
+      }
+      dopf::verify::save_trace(trace, golden_file);
+      std::printf("golden trace written to %s (%zu history records)\n",
+                  golden_file.c_str(), trace.history.size());
+      return 0;
+    }
+
+    int verdict = 0;
+
+    // 1. Byte-for-byte trace comparison against the committed golden file.
+    const dopf::verify::Trace golden = dopf::verify::load_trace(golden_file);
+    const dopf::verify::TraceDiff diff =
+        dopf::verify::compare_traces(golden, trace, 0.0);
+    if (diff.identical) {
+      std::printf("golden trace %s: byte-for-byte match (%zu records)\n",
+                  golden_file.c_str(), golden.history.size());
+    } else {
+      std::fprintf(stderr, "GOLDEN TRACE MISMATCH (%s):\n  %s\n",
+                   golden_file.c_str(), diff.message.c_str());
+      verdict = 2;
+    }
+
+    // 2. Backend-independent invariants of the final state.
+    dopf::verify::InvariantReport invariants =
+        dopf::verify::check_invariants(problem, admm.x(), admm.z());
+    dopf::verify::add_model_check(model, admm.x(), &invariants);
+
+    // 3. Optional: KKT stationarity/objective gap vs the centralized
+    //    interior-point reference, plus the physics-level validation.
+    dopf::verify::InvariantOptions inv_options;
+    inv_options.kkt_tol = tol;
+    inv_options.objective_tol = tol;
+    inv_options.consensus_tol = tol;
+    inv_options.model_residual_tol = tol;
+    if (reference) {
+      const dopf::solver::LpSolution ref = dopf::solver::reference_solve(model);
+      if (ref.status != dopf::solver::LpStatus::kOptimal) {
+        std::fprintf(stderr, "reference solve failed: %s\n",
+                     dopf::solver::to_string(ref.status));
+        return 1;
+      }
+      dopf::verify::add_reference_check(model, admm.x(), ref, &invariants);
+      const dopf::opf::ValidationReport physics =
+          dopf::opf::validate_solution(net, model, admm.x());
+      std::printf("physics validation: worst %.3e (%s at %s)\n",
+                  physics.worst(), physics.worst_check().c_str(),
+                  physics.worst_site.c_str());
+      if (!physics.ok(inv_options.model_residual_tol)) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATION: physics %s residual %.3e at %s "
+                     "exceeds tolerance %.1e\n",
+                     physics.worst_check().c_str(), physics.worst(),
+                     physics.worst_site.c_str(),
+                     inv_options.model_residual_tol);
+        verdict = 2;
+      }
+    }
+    std::printf("%s", invariants.to_string().c_str());
+    const auto failures = invariants.failures(inv_options);
+    for (const std::string& f : failures) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", f.c_str());
+    }
+    if (!failures.empty()) verdict = 2;
+
+    if (verdict == 0) {
+      std::printf("VERIFIED: %s on %s matches golden and satisfies all "
+                  "invariants\n",
+                  backend_label.c_str(), label.c_str());
+    }
+    return verdict;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
