@@ -103,6 +103,7 @@ bool SolverFreeAdmm::plain_path() const {
 
 void SolverFreeAdmm::reset() {
   rho_ = options_.rho;
+  start_iteration_ = 0;
   active_.assign(packed_.num_components(), 1);
   async_rng_.seed(options_.async_seed);
   x_ = problem_->x0;
@@ -136,6 +137,31 @@ void SolverFreeAdmm::warm_start(std::span<const double> x,
   } else {
     std::copy(lambda.begin(), lambda.end(), lambda_.begin());
   }
+}
+
+void SolverFreeAdmm::restore_state(int iteration, double rho,
+                                   std::span<const double> x,
+                                   std::span<const double> z,
+                                   std::span<const double> z_prev,
+                                   std::span<const double> lambda) {
+  if (iteration < 0) {
+    throw std::invalid_argument("restore_state: negative iteration");
+  }
+  if (x.size() != problem_->num_vars || z.size() != total_local_ ||
+      z_prev.size() != total_local_ || lambda.size() != total_local_) {
+    throw std::invalid_argument("restore_state: state size mismatch");
+  }
+  start_iteration_ = iteration;
+  rho_ = rho;
+  std::copy(x.begin(), x.end(), x_.begin());
+  std::copy(z.begin(), z.end(), z_.begin());
+  std::copy(z_prev.begin(), z_prev.end(), z_prev_.begin());
+  std::copy(lambda.begin(), lambda.end(), lambda_.begin());
+}
+
+void SolverFreeAdmm::set_checkpoint_hook(int every, CheckpointHook hook) {
+  checkpoint_every_ = every;
+  checkpoint_hook_ = std::move(hook);
 }
 
 void SolverFreeAdmm::global_update() {
@@ -281,7 +307,10 @@ AdmmResult SolverFreeAdmm::solve() {
   AdmmResult result;
   int recorded = 0;
   const auto wall_start = Clock::now();
-  for (int t = 1; t <= options_.max_iterations; ++t) {
+  // A restored checkpoint resumes at start_iteration_ + 1; the iterate state
+  // was already placed by restore_state, so the loop body is oblivious.
+  result.iterations = start_iteration_;
+  for (int t = start_iteration_ + 1; t <= options_.max_iterations; ++t) {
     auto tic = Clock::now();
     global_update();
     timing_.global_update += seconds_since(tic);
@@ -305,14 +334,19 @@ AdmmResult SolverFreeAdmm::solve() {
       }
       result.primal_residual = rec.primal_residual;
       result.dual_residual = rec.dual_residual;
+      // Divergence guard first: a non-finite residual, tolerance, or rho
+      // means the iterate itself is non-finite (NaN/Inf propagates into
+      // every sum), and NaN comparisons must never be read as convergence.
+      if (!std::isfinite(rec.primal_residual) ||
+          !std::isfinite(rec.dual_residual) ||
+          !std::isfinite(rec.eps_primal) || !std::isfinite(rec.eps_dual) ||
+          !std::isfinite(rec.rho)) {
+        result.status = AdmmStatus::kDiverged;
+        break;
+      }
       if (termination_satisfied(rec)) {
         result.converged = true;
         result.status = AdmmStatus::kConverged;
-        break;
-      }
-      if (!std::isfinite(rec.primal_residual) ||
-          !std::isfinite(rec.dual_residual)) {
-        result.status = AdmmStatus::kDiverged;
         break;
       }
       if (options_.time_limit_seconds > 0.0 &&
@@ -331,6 +365,10 @@ AdmmResult SolverFreeAdmm::solve() {
           rho_ /= options_.adaptive_factor;
         }
       }
+    }
+    if (checkpoint_every_ > 0 && checkpoint_hook_ &&
+        t % checkpoint_every_ == 0) {
+      checkpoint_hook_(*this, t);
     }
   }
   result.x.assign(x_.begin(), x_.end());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <random>
 #include <vector>
@@ -82,6 +83,10 @@ struct TimingBreakdown {
   double local_update = 0.0;
   double dual_update = 0.0;
   double residuals = 0.0;
+  /// Simulated seconds spent recovering from injected faults (checkpoint
+  /// redistribution + problem re-upload on device failover). Zero on
+  /// fault-free runs; populated by simt::MultiGpuSolverFreeAdmm.
+  double recovery = 0.0;
   int iterations = 0;
 
   /// Per-iteration update time only: the one-time `precompute` (local-solver
@@ -89,7 +94,7 @@ struct TimingBreakdown {
   /// per-iteration figures (Fig. 3/4) amortize it away. Use
   /// total_with_precompute() for end-to-end wall time.
   double total() const {
-    return global_update + local_update + dual_update + residuals;
+    return global_update + local_update + dual_update + residuals + recovery;
   }
 
   /// End-to-end: precompute plus every per-iteration phase.
@@ -170,6 +175,8 @@ class SolverFreeAdmm {
   std::span<const double> x() const { return x_; }
   /// Concatenated local solutions z = [x_1; ...; x_S] of (17).
   std::span<const double> z() const { return z_; }
+  /// Previous local solutions (needed to restart the dual residual).
+  std::span<const double> z_prev() const { return z_prev_; }
   std::span<const double> lambda() const { return lambda_; }
   double rho() const { return rho_; }
   /// The packed per-iteration problem image shared by every backend.
@@ -190,6 +197,25 @@ class SolverFreeAdmm {
   /// small perturbations; see examples/dynamic_topology.
   void warm_start(std::span<const double> x,
                   std::span<const double> lambda = {});
+
+  /// Restore the complete iterate state captured after iteration
+  /// `iteration` (checkpoint restart): a subsequent solve() continues at
+  /// iteration+1 and — because every update is deterministic — reproduces
+  /// the uninterrupted run bit-for-bit from that point. Defined for the
+  /// plain paper configuration; the extension paths carry RNG state that a
+  /// checkpoint does not capture.
+  void restore_state(int iteration, double rho, std::span<const double> x,
+                     std::span<const double> z,
+                     std::span<const double> z_prev,
+                     std::span<const double> lambda);
+  /// Iteration the next solve() resumes after (0 = fresh run).
+  int start_iteration() const { return start_iteration_; }
+
+  /// Invoke `hook` every `every` iterations inside solve() with the solver's
+  /// current state (periodic checkpointing; see runtime/checkpoint.hpp).
+  /// every <= 0 or an empty hook disables.
+  using CheckpointHook = std::function<void(const SolverFreeAdmm&, int)>;
+  void set_checkpoint_hook(int every, CheckpointHook hook);
 
   const dopf::opf::DistributedProblem& problem() const { return *problem_; }
   const AdmmOptions& options() const { return options_; }
@@ -217,6 +243,9 @@ class SolverFreeAdmm {
   PackedLocalSolvers packed_;
   std::unique_ptr<ExecutionBackend> backend_;
   double rho_;
+  int start_iteration_ = 0;
+  int checkpoint_every_ = 0;
+  CheckpointHook checkpoint_hook_;
 
   std::size_t total_local_ = 0;  // sum n_s
 

@@ -1,0 +1,200 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "verify/codec.hpp"
+
+namespace dopf::runtime {
+
+namespace {
+
+using dopf::verify::crc32;
+using dopf::verify::hex_double;
+using dopf::verify::parse_double_token;
+
+void write_vector(std::ostream& out, const char* name,
+                  const std::vector<double>& v) {
+  out << name << ' ' << v.size() << '\n';
+  for (double value : v) out << "v " << hex_double(value) << '\n';
+}
+
+class Lines {
+ public:
+  explicit Lines(std::istream& in) : in_(in) {}
+
+  std::vector<std::string> next() {
+    std::string raw;
+    while (std::getline(in_, raw)) {
+      ++no_;
+      std::istringstream ss(raw);
+      std::vector<std::string> tokens;
+      std::string t;
+      while (ss >> t) tokens.push_back(t);
+      if (!tokens.empty()) return tokens;
+    }
+    return {};
+  }
+
+  int line_no() const { return no_; }
+
+ private:
+  std::istream& in_;
+  int no_ = 0;
+};
+
+double parse_number(const std::string& token, int line_no) {
+  double v = 0.0;
+  if (!parse_double_token(token, &v)) {
+    throw CheckpointError("checkpoint line " + std::to_string(line_no) +
+                          ": bad number '" + token + "'");
+  }
+  return v;
+}
+
+std::string payload_string(const AdmmCheckpoint& ck) {
+  std::ostringstream body;
+  body << "label " << (ck.label.empty() ? "-" : ck.label) << '\n';
+  body << "iteration " << ck.iteration << '\n';
+  body << "rho " << hex_double(ck.rho) << '\n';
+  write_vector(body, "x", ck.x);
+  write_vector(body, "z", ck.z);
+  write_vector(body, "z_prev", ck.z_prev);
+  write_vector(body, "lambda", ck.lambda);
+  return body.str();
+}
+
+}  // namespace
+
+AdmmCheckpoint AdmmCheckpoint::capture(const dopf::core::SolverFreeAdmm& admm,
+                                       int iteration, std::string label) {
+  AdmmCheckpoint ck;
+  ck.label = std::move(label);
+  ck.iteration = iteration;
+  ck.rho = admm.rho();
+  ck.x.assign(admm.x().begin(), admm.x().end());
+  ck.z.assign(admm.z().begin(), admm.z().end());
+  ck.z_prev.assign(admm.z_prev().begin(), admm.z_prev().end());
+  ck.lambda.assign(admm.lambda().begin(), admm.lambda().end());
+  return ck;
+}
+
+void AdmmCheckpoint::restore(dopf::core::SolverFreeAdmm* admm) const {
+  admm->restore_state(iteration, rho, x, z, z_prev, lambda);
+}
+
+void write_checkpoint(const AdmmCheckpoint& ck, std::ostream& out) {
+  const std::string body = payload_string(ck);
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08" PRIx32, crc32(body));
+  out << "dopf-checkpoint v1\n" << body << crc_line << "\nend\n";
+}
+
+AdmmCheckpoint read_checkpoint(std::istream& in) {
+  // Slurp so the CRC can cover the exact payload bytes between the header
+  // line and the crc line.
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = slurp.str();
+
+  const auto header_end = text.find('\n');
+  if (header_end == std::string::npos ||
+      text.substr(0, header_end) != "dopf-checkpoint v1") {
+    throw CheckpointError("not a dopf-checkpoint v1 file");
+  }
+  const auto crc_pos = text.rfind("\ncrc ");
+  if (crc_pos == std::string::npos || crc_pos < header_end) {
+    throw CheckpointError("checkpoint: missing crc line (truncated file?)");
+  }
+  const std::string body = text.substr(header_end + 1,
+                                       crc_pos + 1 - (header_end + 1));
+
+  std::istringstream tail(text.substr(crc_pos + 1));
+  Lines tail_lines(tail);
+  const auto crc_tokens = tail_lines.next();
+  if (crc_tokens.size() != 2 || crc_tokens[0] != "crc") {
+    throw CheckpointError("checkpoint: malformed crc line");
+  }
+  std::uint32_t stored = 0;
+  if (std::sscanf(crc_tokens[1].c_str(), "%8" SCNx32, &stored) != 1) {
+    throw CheckpointError("checkpoint: malformed crc value '" +
+                          crc_tokens[1] + "'");
+  }
+  const std::uint32_t actual = crc32(body);
+  if (stored != actual) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "checkpoint: CRC mismatch (stored %08" PRIx32
+                  ", payload %08" PRIx32 ") — file corrupted",
+                  stored, actual);
+    throw CheckpointError(msg);
+  }
+  const auto end_tokens = tail_lines.next();
+  if (end_tokens.empty() || end_tokens[0] != "end") {
+    throw CheckpointError("checkpoint: missing 'end' terminator");
+  }
+
+  std::istringstream body_in(body);
+  Lines lines(body_in);
+  auto expect = [&](const std::vector<std::string>& tokens, const char* key,
+                    std::size_t count) {
+    if (tokens.empty() || tokens[0] != key || tokens.size() != count + 1) {
+      throw CheckpointError("checkpoint line " +
+                            std::to_string(lines.line_no()) + ": expected '" +
+                            key + "' with " + std::to_string(count) +
+                            " value(s)");
+    }
+  };
+  auto read_vector = [&](const char* name, std::vector<double>* out) {
+    auto tokens = lines.next();
+    expect(tokens, name, 1);
+    const auto count =
+        static_cast<std::size_t>(parse_number(tokens[1], lines.line_no()));
+    out->reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tokens = lines.next();
+      expect(tokens, "v", 1);
+      out->push_back(parse_number(tokens[1], lines.line_no()));
+    }
+  };
+
+  AdmmCheckpoint ck;
+  auto tokens = lines.next();
+  expect(tokens, "label", 1);
+  ck.label = tokens[1] == "-" ? std::string() : tokens[1];
+  tokens = lines.next();
+  expect(tokens, "iteration", 1);
+  ck.iteration = static_cast<int>(parse_number(tokens[1], lines.line_no()));
+  tokens = lines.next();
+  expect(tokens, "rho", 1);
+  ck.rho = parse_number(tokens[1], lines.line_no());
+  read_vector("x", &ck.x);
+  read_vector("z", &ck.z);
+  read_vector("z_prev", &ck.z_prev);
+  read_vector("lambda", &ck.lambda);
+  return ck;
+}
+
+void save_checkpoint(const AdmmCheckpoint& ck, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw CheckpointError("cannot open for writing: " + path);
+  write_checkpoint(ck, out);
+  if (!out) throw CheckpointError("write failed: " + path);
+}
+
+AdmmCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open: " + path);
+  return read_checkpoint(in);
+}
+
+std::size_t checkpoint_bytes(const AdmmCheckpoint& ck) {
+  return sizeof(double) *
+             (ck.x.size() + ck.z.size() + ck.z_prev.size() +
+              ck.lambda.size()) +
+         sizeof(double) + sizeof(int);
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/admm.hpp"
+
+namespace dopf::runtime {
+
+/// Thrown on malformed, truncated, or corrupted checkpoint files.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A complete restart point of the solver-free ADMM: everything the
+/// deterministic updates read, captured after iteration `iteration`.
+/// Serialized with the same C99 hex-float codec as the golden traces
+/// (src/verify/codec.hpp) so a save/load round-trip preserves every bit,
+/// and guarded by a CRC-32 of the payload so truncation or bit rot is
+/// detected at load time instead of silently corrupting a resumed run.
+struct AdmmCheckpoint {
+  std::string label;  ///< instance label (informational, e.g. "ieee13")
+  int iteration = 0;  ///< the state is AFTER this iteration's dual update
+  double rho = 0.0;
+  std::vector<double> x;       ///< global iterate
+  std::vector<double> z;       ///< local solutions, concatenated
+  std::vector<double> z_prev;  ///< previous local solutions
+  std::vector<double> lambda;  ///< duals, concatenated
+
+  /// Snapshot the solver's current state (use from a checkpoint hook or
+  /// between step-level calls; the state must be post-dual-update).
+  static AdmmCheckpoint capture(const dopf::core::SolverFreeAdmm& admm,
+                                int iteration, std::string label = {});
+
+  /// Push this state back into a solver over the same problem layout; its
+  /// next solve() resumes from iteration + 1.
+  void restore(dopf::core::SolverFreeAdmm* admm) const;
+};
+
+void write_checkpoint(const AdmmCheckpoint& ck, std::ostream& out);
+AdmmCheckpoint read_checkpoint(std::istream& in);
+void save_checkpoint(const AdmmCheckpoint& ck, const std::string& path);
+AdmmCheckpoint load_checkpoint(const std::string& path);
+
+/// Serialized size in bytes (what a rank must ship to recover a peer); used
+/// to price failover through the communication model.
+std::size_t checkpoint_bytes(const AdmmCheckpoint& ck);
+
+}  // namespace dopf::runtime

@@ -1,0 +1,239 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace dopf::runtime {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kKillDevice:
+      return "kill";
+    case FaultEvent::Kind::kDropMessage:
+      return "drop";
+    case FaultEvent::Kind::kCorruptMessage:
+      return "corrupt";
+    case FaultEvent::Kind::kStraggle:
+      return "straggle";
+  }
+  return "?";
+}
+
+double parse_value(const std::string& token, const std::string& event) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    throw FaultError("fault spec: bad number '" + token + "' in '" + event +
+                     "'");
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, sep)) {
+    // Trim surrounding whitespace so "a; b" parses.
+    const auto b = part.find_first_not_of(" \t");
+    const auto e = part.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? std::string()
+                                         : part.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind) << ":device=" << device << ",iter=" << iteration;
+  if (kind == Kind::kDropMessage && count != 1) out << ",count=" << count;
+  if (kind == Kind::kCorruptMessage) out << ",scale=" << factor;
+  if (kind == Kind::kStraggle) {
+    if (until > iteration) out << ",until=" << until;
+    out << ",factor=" << factor;
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw FaultError("fault spec: missing ':' in '" + entry + "'");
+    }
+    const std::string kind = entry.substr(0, colon);
+    FaultEvent ev;
+    if (kind == "kill") {
+      ev.kind = FaultEvent::Kind::kKillDevice;
+    } else if (kind == "drop") {
+      ev.kind = FaultEvent::Kind::kDropMessage;
+    } else if (kind == "corrupt") {
+      ev.kind = FaultEvent::Kind::kCorruptMessage;
+      ev.factor = 16.0;  // default corruption scale
+    } else if (kind == "straggle") {
+      ev.kind = FaultEvent::Kind::kStraggle;
+      ev.factor = 4.0;  // default slowdown
+    } else {
+      throw FaultError("fault spec: unknown fault kind '" + kind + "' in '" +
+                       entry + "'");
+    }
+    bool have_device = false, have_iter = false;
+    for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
+      if (kv.empty()) continue;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw FaultError("fault spec: expected key=value, got '" + kv +
+                         "' in '" + entry + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const double value = parse_value(kv.substr(eq + 1), entry);
+      if (key == "device") {
+        if (value < 0) throw FaultError("fault spec: negative device");
+        ev.device = static_cast<std::size_t>(value);
+        have_device = true;
+      } else if (key == "iter") {
+        ev.iteration = static_cast<int>(value);
+        have_iter = true;
+      } else if (key == "until") {
+        ev.until = static_cast<int>(value);
+      } else if (key == "count") {
+        ev.count = static_cast<int>(value);
+      } else if (key == "scale" || key == "factor") {
+        ev.factor = value;
+      } else {
+        throw FaultError("fault spec: unknown key '" + key + "' in '" +
+                         entry + "'");
+      }
+    }
+    if (!have_device || !have_iter) {
+      throw FaultError("fault spec: '" + entry +
+                       "' needs at least device= and iter=");
+    }
+    if (ev.iteration < 1) {
+      throw FaultError("fault spec: iter must be >= 1 in '" + entry + "'");
+    }
+    if (ev.until < ev.iteration) ev.until = ev.iteration;
+    if (ev.kind == FaultEvent::Kind::kDropMessage && ev.count < 1) {
+      throw FaultError("fault spec: drop count must be >= 1 in '" + entry +
+                       "'");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += ';';
+    out += ev.to_string();
+  }
+  return out;
+}
+
+double retry_cost_seconds(const RecoveryPolicy& policy, const CommModel& comm,
+                          std::size_t message_bytes, int failures) {
+  double seconds = 0.0;
+  double timeout = policy.retry_timeout_s;
+  for (int attempt = 0; attempt < failures; ++attempt) {
+    seconds += timeout + comm.message_seconds(message_bytes);
+    timeout *= policy.backoff_factor;
+  }
+  return seconds;
+}
+
+void FaultInjector::mark_consumed(std::size_t idx) {
+  if (consumed_.size() < plan_.events.size()) {
+    consumed_.resize(plan_.events.size(), false);
+  }
+  consumed_[idx] = true;
+}
+
+bool FaultInjector::kill_scheduled(std::size_t device, int iteration) const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kKillDevice && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::consume_kill(std::size_t device, int iteration) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kKillDevice && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      mark_consumed(i);
+      return;
+    }
+  }
+}
+
+int FaultInjector::message_drops(std::size_t device, int iteration) const {
+  int drops = 0;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kDropMessage && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      drops += ev.count;
+    }
+  }
+  return drops;
+}
+
+void FaultInjector::consume_drops(std::size_t device, int iteration) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kDropMessage && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      mark_consumed(i);
+    }
+  }
+}
+
+const FaultEvent* FaultInjector::corruption(std::size_t device,
+                                            int iteration) const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kCorruptMessage && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+void FaultInjector::consume_corruption(std::size_t device, int iteration) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (ev.kind == FaultEvent::Kind::kCorruptMessage && ev.device == device &&
+        ev.iteration == iteration && !is_consumed(i)) {
+      mark_consumed(i);
+      return;
+    }
+  }
+}
+
+double FaultInjector::straggle_factor(std::size_t device,
+                                      int iteration) const {
+  double factor = 1.0;
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultEvent::Kind::kStraggle && ev.device == device &&
+        iteration >= ev.iteration && iteration <= ev.until) {
+      factor *= ev.factor;
+    }
+  }
+  return factor;
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/comm_model.hpp"
+
+namespace dopf::runtime {
+
+/// Thrown on malformed fault specs and on unrecoverable injected faults
+/// (a device lost with failover disabled, or retries exhausted).
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One scheduled fault. All faults are keyed by (device, iteration), so a
+/// plan is fully deterministic: the same plan against the same run injects
+/// the same faults at the same points, every time.
+struct FaultEvent {
+  enum class Kind {
+    kKillDevice,       ///< device dies at the start of `iteration`
+    kDropMessage,      ///< the device's consensus upload is lost `count` times
+    kCorruptMessage,   ///< the upload payload is scaled by `factor`
+    kStraggle,         ///< kernel time multiplied by `factor` on [iter, until]
+  };
+  Kind kind = Kind::kKillDevice;
+  std::size_t device = 0;
+  int iteration = 1;
+  int until = 0;        ///< straggle end (inclusive; defaults to `iteration`)
+  int count = 1;        ///< drop repetitions before the message gets through
+  double factor = 0.0;  ///< straggle multiplier / corruption scale
+
+  std::string to_string() const;
+};
+
+/// A deterministic schedule of faults, parseable from a CLI spec string:
+///
+///   kill:device=D,iter=K
+///   drop:device=D,iter=K[,count=C]
+///   corrupt:device=D,iter=K[,scale=S]
+///   straggle:device=D,iter=K[,until=L][,factor=F]
+///
+/// Events are separated by ';'. Example:
+///   "kill:device=1,iter=137;straggle:device=2,iter=10,until=40,factor=4"
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parse a spec string; throws FaultError with the offending token on
+  /// malformed input. An empty/whitespace spec yields an empty plan.
+  static FaultPlan parse(const std::string& spec);
+
+  std::string to_string() const;
+};
+
+/// How the runtime reacts to injected faults. The costs of every recovery
+/// action are priced through the CommModel so simulated time reflects them.
+struct RecoveryPolicy {
+  /// Re-partition a dead device's components onto the survivors and resume
+  /// from the last checkpoint. Off: a kill raises FaultError.
+  bool failover = true;
+  /// CRC-verify consensus payloads; a corrupted message is detected and
+  /// re-sent (priced as one retry) instead of silently entering the state.
+  /// Off: corruption silently perturbs the consensus iterate.
+  bool verify_messages = true;
+  /// Message retry budget before a dropped link escalates to a device loss.
+  int max_retries = 3;
+  /// Detection timeout charged per failed delivery attempt.
+  double retry_timeout_s = 100e-6;
+  /// Exponential backoff factor applied to successive timeouts.
+  double backoff_factor = 2.0;
+};
+
+/// Simulated seconds spent recovering a message that failed `failures`
+/// times: each failure costs one (backed-off) detection timeout plus the
+/// re-send priced through the alpha-beta model.
+double retry_cost_seconds(const RecoveryPolicy& policy, const CommModel& comm,
+                          std::size_t message_bytes, int failures);
+
+/// Query-side view of a FaultPlan used inside the iteration loop. Kill
+/// events are consumed (a device dies once); everything else is a pure
+/// deterministic function of (device, iteration).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  bool empty() const { return plan_.empty(); }
+
+  /// True when a not-yet-consumed kill is scheduled at (device, iteration).
+  bool kill_scheduled(std::size_t device, int iteration) const;
+  /// Consume the kill so a post-failover replay does not re-trigger it.
+  void consume_kill(std::size_t device, int iteration);
+
+  /// Number of times the device's upload is dropped at this iteration.
+  int message_drops(std::size_t device, int iteration) const;
+  /// Consume the drop events once retried, so a post-failover replay of the
+  /// same iteration sees a clean link (transient-fault semantics).
+  void consume_drops(std::size_t device, int iteration);
+
+  /// The corruption event hitting the device's upload this iteration, or
+  /// nullptr. Corruption applies on the first pass only (consumed like a
+  /// kill), so a rolled-back replay is clean — matching a real transient.
+  const FaultEvent* corruption(std::size_t device, int iteration) const;
+  void consume_corruption(std::size_t device, int iteration);
+
+  /// Kernel-time multiplier for the device at this iteration (1.0 = none).
+  double straggle_factor(std::size_t device, int iteration) const;
+
+ private:
+  FaultPlan plan_;
+  std::vector<bool> consumed_ = {};  // parallel to plan_.events
+
+  bool is_consumed(std::size_t idx) const {
+    return idx < consumed_.size() && consumed_[idx];
+  }
+  void mark_consumed(std::size_t idx);
+};
+
+}  // namespace dopf::runtime

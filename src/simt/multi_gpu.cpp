@@ -5,14 +5,20 @@
 
 #include "core/packed_kernels.hpp"
 #include "linalg/vector_ops.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace dopf::simt {
 
 using dopf::core::AdmmResult;
+using dopf::core::AdmmStatus;
 using dopf::core::IterationRecord;
 using dopf::core::LocalSolvers;
 using dopf::core::ResidualSums;
 using dopf::opf::DistributedProblem;
+using dopf::runtime::AdmmCheckpoint;
+using dopf::runtime::FaultError;
+using dopf::runtime::FaultEvent;
+using dopf::runtime::retry_cost_seconds;
 namespace kernels = dopf::core::kernels;
 
 MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
@@ -24,14 +30,8 @@ MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
   image_ = DeviceProblem::build(problem, solvers);
   devices_.assign(std::max<std::size_t>(1, options.num_devices),
                   Device(options.device_spec));
-  partition_ = dopf::runtime::block_partition(problem.components.size(),
-                                              devices_.size());
-  payload_vars_.assign(devices_.size(), 0);
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
-    for (std::size_t s : partition_[d]) {
-      payload_vars_[d] += problem.components[s].num_vars();
-    }
-  }
+  alive_.assign(devices_.size(), 1);
+  repartition();
 
   x_ = problem.x0;
   z_.assign(image_.total_local(), 0.0);
@@ -47,13 +47,55 @@ MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
   }
 }
 
+std::size_t MultiGpuSolverFreeAdmm::alive_devices() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), char(1)));
+}
+
+void MultiGpuSolverFreeAdmm::repartition() {
+  std::vector<std::size_t> live;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (alive_[d]) live.push_back(d);
+  }
+  if (live.empty()) {
+    throw FaultError("multi-gpu: no surviving devices");
+  }
+  aggregator_ = live.front();
+  const dopf::runtime::Partition parts =
+      dopf::runtime::block_partition(problem_->components.size(), live.size());
+  partition_.assign(devices_.size(), {});
+  payload_vars_.assign(devices_.size(), 0);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    partition_[live[i]] = parts[i];
+    for (std::size_t s : parts[i]) {
+      payload_vars_[live[i]] += problem_->components[s].num_vars();
+    }
+  }
+}
+
+void MultiGpuSolverFreeAdmm::restore_state(const AdmmCheckpoint& checkpoint) {
+  if (checkpoint.x.size() != x_.size() ||
+      checkpoint.z.size() != z_.size() ||
+      checkpoint.z_prev.size() != z_prev_.size() ||
+      checkpoint.lambda.size() != lambda_.size()) {
+    throw FaultError("multi-gpu restore: checkpoint size mismatch");
+  }
+  x_ = checkpoint.x;
+  z_ = checkpoint.z;
+  z_prev_ = checkpoint.z_prev;
+  lambda_ = checkpoint.lambda;
+  rho_ = checkpoint.rho;
+  start_iteration_ = checkpoint.iteration;
+}
+
 void MultiGpuSolverFreeAdmm::global_update() {
-  // Aggregator (device 0) runs the diagonal global update over all entries.
+  // The aggregator runs the diagonal global update over all entries.
   const std::size_t n = image_.num_global();
   const int T = options_.gpu.elementwise_block;
   const int blocks = static_cast<int>((n + T - 1) / T);
-  const double before = devices_[0].ledger().kernel_seconds;
-  devices_[0].launch("global_update", blocks, T, [&](BlockContext& ctx) {
+  Device& agg = devices_[aggregator_];
+  const double before = agg.ledger().kernel_seconds;
+  agg.launch("global_update", blocks, T, [&](BlockContext& ctx) {
     const std::size_t begin = static_cast<std::size_t>(ctx.block_index) * T;
     const std::size_t end = std::min(n, begin + T);
     double max_flops = 0.0, max_bytes = 0.0;
@@ -67,7 +109,7 @@ void MultiGpuSolverFreeAdmm::global_update() {
     }
     ctx.charge(end - begin, max_flops, max_bytes);
   });
-  sim_global_ += devices_[0].ledger().kernel_seconds - before;
+  sim_global_ += agg.ledger().kernel_seconds - before;
 }
 
 double MultiGpuSolverFreeAdmm::launch_local_on(std::size_t d) {
@@ -90,25 +132,62 @@ double MultiGpuSolverFreeAdmm::launch_local_on(std::size_t d) {
   return devices_[d].ledger().kernel_seconds - before;
 }
 
-void MultiGpuSolverFreeAdmm::local_update() {
+void MultiGpuSolverFreeAdmm::local_update(int iteration) {
   z_prev_.swap(z_);
   // Devices run concurrently: the phase time is the slowest kernel plus the
   // consensus traffic (PCIe staging per device, MPI to the aggregator; the
-  // aggregator handles peers serially).
+  // aggregator handles peers serially). Injected faults price in here:
+  // stragglers stretch a device's kernel span, dropped or CRC-rejected
+  // uploads cost timeout+backoff retries, and undetected corruption mangles
+  // the payload itself.
   double span = 0.0;
   double comm = 0.0;
   double staging = 0.0;
+  const bool multi = alive_devices() > 1;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    span = std::max(span, launch_local_on(d));
+    if (!alive_[d]) continue;
+    double dev_span = launch_local_on(d);
+    dev_span *= injector_.straggle_factor(d, iteration);
+    span = std::max(span, dev_span);
     const std::size_t down = payload_vars_[d] * sizeof(double);
     const std::size_t up = 2 * payload_vars_[d] * sizeof(double);
-    if (devices_.size() > 1) {
+    if (multi) {
       staging = std::max(staging, options_.staging.transfer_seconds(down) +
                                       options_.staging.transfer_seconds(up));
       devices_[d].record_transfer(down + up);
-      if (d != 0) {
+      if (d != aggregator_) {
         comm += options_.comm.message_seconds(down) +
                 options_.comm.message_seconds(up);
+
+        const int drops = injector_.message_drops(d, iteration);
+        if (drops > 0) {
+          // process_device_faults already escalated budget overruns, so
+          // here the retries always succeed; price them and move on.
+          comm += retry_cost_seconds(options_.recovery, options_.comm, up,
+                                     drops);
+          retries_ += drops;
+          injector_.consume_drops(d, iteration);
+        }
+        if (const FaultEvent* ev = injector_.corruption(d, iteration)) {
+          if (options_.recovery.verify_messages) {
+            // CRC rejects the payload; one re-send restores it intact.
+            comm += retry_cost_seconds(options_.recovery, options_.comm, up,
+                                       1);
+            ++retries_;
+          } else {
+            // Undetected: the mangled x_s silently enters the consensus
+            // state (this is what the invariant checker / golden
+            // comparator must catch).
+            for (std::size_t s : partition_[d]) {
+              const auto off = static_cast<std::size_t>(image_.comp_offset[s]);
+              const auto ns = static_cast<std::size_t>(image_.comp_nvars[s]);
+              for (std::size_t j = 0; j < ns; ++j) {
+                z_[off + j] *= ev->factor;
+              }
+            }
+          }
+          injector_.consume_corruption(d, iteration);
+        }
       }
     }
   }
@@ -136,10 +215,12 @@ double MultiGpuSolverFreeAdmm::launch_dual_on(std::size_t d) {
   return devices_[d].ledger().kernel_seconds - before;
 }
 
-void MultiGpuSolverFreeAdmm::dual_update() {
+void MultiGpuSolverFreeAdmm::dual_update(int iteration) {
   double span = 0.0;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    span = std::max(span, launch_dual_on(d));
+    if (!alive_[d]) continue;
+    span = std::max(span,
+                    launch_dual_on(d) * injector_.straggle_factor(d, iteration));
   }
   sim_dual_ += span;
 }
@@ -171,14 +252,105 @@ IterationRecord MultiGpuSolverFreeAdmm::compute_residuals(int iteration) {
   return rec;
 }
 
+void MultiGpuSolverFreeAdmm::take_checkpoint(int iteration,
+                                             const AdmmResult& result,
+                                             int recorded) {
+  checkpoint_.label = options_.label;
+  checkpoint_.iteration = iteration;
+  checkpoint_.rho = rho_;
+  checkpoint_.x = x_;
+  checkpoint_.z = z_;
+  checkpoint_.z_prev = z_prev_;
+  checkpoint_.lambda = lambda_;
+  ck_history_size_ = result.history.size();
+  ck_recorded_ = recorded;
+  if (!options_.checkpoint_path.empty()) {
+    dopf::runtime::save_checkpoint(checkpoint_, options_.checkpoint_path);
+  }
+}
+
+void MultiGpuSolverFreeAdmm::fail_over(std::size_t device, AdmmResult* result,
+                                       int* recorded) {
+  alive_[device] = 0;
+  repartition();  // throws FaultError when nobody survives
+
+  // Deterministic recovery: roll the consensus state back to the restart
+  // point and replay. Every survivor executes the identical kernel
+  // expressions over the identical component order, so the replayed
+  // trajectory is bit-for-bit the fault-free one.
+  x_ = checkpoint_.x;
+  z_ = checkpoint_.z;
+  z_prev_ = checkpoint_.z_prev;
+  lambda_ = checkpoint_.lambda;
+  rho_ = checkpoint_.rho;
+  result->history.resize(ck_history_size_);
+  *recorded = ck_recorded_;
+
+  // Price the recovery: the aggregator re-stages the checkpoint across
+  // PCIe, ships it to every survivor, and the dead device's slice of the
+  // problem image is re-uploaded to its new owners.
+  const std::size_t ck_bytes = dopf::runtime::checkpoint_bytes(checkpoint_);
+  const std::size_t image_slice = image_.bytes() / devices_.size();
+  double cost = options_.staging.transfer_seconds(ck_bytes);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (!alive_[d]) continue;
+    if (d != aggregator_) cost += options_.comm.message_seconds(ck_bytes);
+    cost += options_.staging.transfer_seconds(
+        image_slice / std::max<std::size_t>(1, alive_devices()));
+    devices_[d].record_transfer(ck_bytes);
+  }
+  sim_recovery_ += cost;
+  ++failovers_;
+}
+
+bool MultiGpuSolverFreeAdmm::process_device_faults(int iteration,
+                                                   AdmmResult* result,
+                                                   int* recorded) {
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (!alive_[d]) continue;
+    const bool killed = injector_.kill_scheduled(d, iteration);
+    const bool link_lost = !killed && d != aggregator_ &&
+                           injector_.message_drops(d, iteration) >
+                               options_.recovery.max_retries;
+    if (!killed && !link_lost) continue;
+    if (!options_.recovery.failover) {
+      throw FaultError(
+          "device " + std::to_string(d) +
+          (killed ? " failed" : " exhausted its message retry budget") +
+          " at iteration " + std::to_string(iteration) +
+          " and failover is disabled");
+    }
+    if (killed) {
+      injector_.consume_kill(d, iteration);
+    } else {
+      injector_.consume_drops(d, iteration);
+    }
+    fail_over(d, result, recorded);
+    return true;
+  }
+  return false;
+}
+
 AdmmResult MultiGpuSolverFreeAdmm::solve() {
   AdmmResult result;
   const auto& opt = options_.gpu.admm;
+  injector_ = dopf::runtime::FaultInjector(options_.faults);
   int recorded = 0;
-  for (int t = 1; t <= opt.max_iterations; ++t) {
+  result.iterations = start_iteration_;
+  // The initial state is always a valid restart point; periodic
+  // checkpointing (options_.checkpoint_every) refreshes it.
+  take_checkpoint(start_iteration_, result, recorded);
+
+  int t = start_iteration_ + 1;
+  while (t <= opt.max_iterations) {
+    if (!injector_.empty() &&
+        process_device_faults(t, &result, &recorded)) {
+      t = checkpoint_.iteration + 1;  // rolled back: replay from the restart
+      continue;
+    }
     global_update();
-    local_update();
-    dual_update();
+    local_update(t);
+    dual_update(t);
     ++iterations_run_;
     result.iterations = t;
     if (t % opt.check_every == 0) {
@@ -186,12 +358,24 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
       if (++recorded % opt.record_every == 0) result.history.push_back(rec);
       result.primal_residual = rec.primal_residual;
       result.dual_residual = rec.dual_residual;
+      if (!std::isfinite(rec.primal_residual) ||
+          !std::isfinite(rec.dual_residual) ||
+          !std::isfinite(rec.eps_primal) || !std::isfinite(rec.eps_dual)) {
+        result.status = AdmmStatus::kDiverged;
+        break;
+      }
       if (rec.primal_residual <= rec.eps_primal &&
           rec.dual_residual <= rec.eps_dual) {
         result.converged = true;
+        result.status = AdmmStatus::kConverged;
         break;
       }
     }
+    if (options_.checkpoint_every > 0 &&
+        t % options_.checkpoint_every == 0) {
+      take_checkpoint(t, result, recorded);
+    }
+    ++t;
   }
   result.x.assign(x_.begin(), x_.end());
   result.objective = dopf::linalg::dot(problem_->c, x_);
@@ -199,6 +383,7 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
   result.timing.global_update = sim_global_;
   result.timing.local_update = sim_local_;
   result.timing.dual_update = sim_dual_;
+  result.timing.recovery = sim_recovery_;
   result.timing.iterations = iterations_run_;
   return result;
 }

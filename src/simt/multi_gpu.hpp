@@ -1,8 +1,11 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "runtime/checkpoint.hpp"
 #include "runtime/comm_model.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/partition.hpp"
 #include "simt/gpu_admm.hpp"
 
@@ -15,17 +18,39 @@ struct MultiGpuOptions {
   DeviceSpec device_spec;
   dopf::runtime::CommModel comm;        ///< inter-node MPI model
   dopf::runtime::StagingModel staging;  ///< GPU <-> host PCIe model
+
+  /// Deterministic fault schedule injected into the run (empty = none).
+  dopf::runtime::FaultPlan faults;
+  /// Reaction to injected faults: message retry/backoff, CRC verification
+  /// of consensus payloads, and checkpoint-based device failover.
+  dopf::runtime::RecoveryPolicy recovery;
+  /// Refresh the in-memory restart checkpoint every N iterations (0 keeps
+  /// only the initial state as the restart point).
+  int checkpoint_every = 0;
+  /// Also persist each checkpoint to this file (empty = in-memory only).
+  std::string checkpoint_path;
+  /// Label written into persisted checkpoints (e.g. "ieee13").
+  std::string label;
 };
 
 /// Functional multi-GPU execution of Algorithm 1 (the paper's Sec. IV-E /
 /// Fig. 3 middle row): components are block-partitioned across `num_devices`
-/// simulated GPUs; device 0 doubles as the aggregator running the global
-/// update. Every device executes its kernels bit-exactly (component order is
-/// preserved, so results equal the single-device and CPU paths), while the
-/// per-iteration *simulated* time accounts for
+/// simulated GPUs; the lowest-indexed live device doubles as the aggregator
+/// running the global update. Every device executes its kernels bit-exactly
+/// (component order is preserved, so results equal the single-device and CPU
+/// paths), while the per-iteration *simulated* time accounts for
 ///   max over devices of the local/dual kernel time
 ///   + PCIe staging of each device's consensus payload
 ///   + MPI messages between the aggregator and the other devices.
+///
+/// Fault tolerance (options.faults / options.recovery): injected message
+/// drops and CRC-detected corruption are re-sent with timeout+backoff
+/// (priced through the CommModel); stragglers multiply a device's kernel
+/// span; a killed device triggers failover — its components are
+/// re-partitioned onto the survivors, the consensus state rolls back to the
+/// last checkpoint, and the run resumes deterministically, so a recovered
+/// run's trace is byte-identical to the fault-free one. Recovery cost is
+/// reported in TimingBreakdown::recovery.
 class MultiGpuSolverFreeAdmm {
  public:
   MultiGpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
@@ -34,13 +59,25 @@ class MultiGpuSolverFreeAdmm {
   dopf::core::AdmmResult solve();
 
   void global_update();
-  void local_update();
-  void dual_update();
+  void local_update(int iteration = 0);
+  void dual_update(int iteration = 0);
   dopf::core::IterationRecord compute_residuals(int iteration);
 
   std::span<const double> x() const { return x_; }
+  std::span<const double> z() const { return z_; }
   std::size_t num_devices() const { return devices_.size(); }
+  std::size_t alive_devices() const;
   const Device& device(std::size_t d) const { return devices_[d]; }
+
+  /// Resume from a persisted checkpoint: the state becomes the restart
+  /// point, and solve() continues at checkpoint.iteration + 1.
+  void restore_state(const dopf::runtime::AdmmCheckpoint& checkpoint);
+
+  /// Fault-handling counters for the last solve().
+  int failovers() const { return failovers_; }
+  int message_retries() const { return retries_; }
+  /// Simulated seconds spent in failover recovery.
+  double recovery_seconds() const { return sim_recovery_; }
 
   /// Average simulated seconds per iteration, by phase (Fig. 3 middle row).
   struct IterationAverages {
@@ -56,19 +93,43 @@ class MultiGpuSolverFreeAdmm {
   MultiGpuOptions options_;
   DeviceProblem image_;
   std::vector<Device> devices_;
-  dopf::runtime::Partition partition_;
+  std::vector<char> alive_;
+  std::size_t aggregator_ = 0;
+  dopf::runtime::Partition partition_;     // per device; empty when dead
   std::vector<std::size_t> payload_vars_;  // per device
+  dopf::runtime::FaultInjector injector_;
   double rho_;
+  int start_iteration_ = 0;
   int iterations_run_ = 0;
+  int failovers_ = 0;
+  int retries_ = 0;
 
   double sim_global_ = 0.0;
   double sim_local_ = 0.0;
   double sim_dual_ = 0.0;
+  double sim_recovery_ = 0.0;
 
   std::vector<double> x_, z_, z_prev_, lambda_, y_scratch_;
 
+  // Restart point: the functional state after checkpoint_.iteration, plus
+  // the result-bookkeeping needed to rewind the residual history.
+  dopf::runtime::AdmmCheckpoint checkpoint_;
+  std::size_t ck_history_size_ = 0;
+  int ck_recorded_ = 0;
+
   double launch_local_on(std::size_t d);
   double launch_dual_on(std::size_t d);
+  /// Recompute the partition over the live devices (aggregator = lowest).
+  void repartition();
+  void take_checkpoint(int iteration, const dopf::core::AdmmResult& result,
+                       int recorded);
+  /// Handle kill / retry-exhaustion faults scheduled at `iteration`.
+  /// Returns true when a failover rolled the state back (the caller must
+  /// rewind its iteration counter to checkpoint_.iteration + 1).
+  bool process_device_faults(int iteration, dopf::core::AdmmResult* result,
+                             int* recorded);
+  void fail_over(std::size_t device, dopf::core::AdmmResult* result,
+                 int* recorded);
 };
 
 }  // namespace dopf::simt

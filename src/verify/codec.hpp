@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace dopf::verify {
+
+/// The bit-exact text codec shared by the golden-trace serializer
+/// (src/verify/trace.cpp) and the checkpoint serializer
+/// (src/runtime/checkpoint.cpp). Header-only so runtime can reuse it
+/// without a link-time dependency on dopf::verify.
+
+/// Exact decimal-free rendering: C99 hex-float round-trips every bit.
+inline std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Parse a full numeric token (decimal or hex-float, inf/nan included).
+/// Returns false if the token is empty or has trailing garbage.
+inline bool parse_double_token(const std::string& token, double* out) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over raw bytes.
+/// Guards checkpoint payloads against truncation and bit rot.
+inline std::uint32_t crc32(std::string_view bytes,
+                           std::uint32_t crc = 0xffffffffu) {
+  for (unsigned char c : bytes) {
+    crc ^= c;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace dopf::verify

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "verify/codec.hpp"
+
 namespace dopf::verify {
 
 using dopf::core::AdmmOptions;
@@ -17,18 +19,12 @@ using dopf::core::IterationRecord;
 
 namespace {
 
-/// Exact decimal-free rendering: C99 hex-float round-trips every bit.
-std::string hex(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
+/// Exact decimal-free rendering (shared codec; round-trips every bit).
+std::string hex(double v) { return hex_double(v); }
 
 double parse_number(const std::string& token, int line_no) {
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  const double v = std::strtod(begin, &end);
-  if (end == begin || *end != '\0') {
+  double v = 0.0;
+  if (!parse_double_token(token, &v)) {
     throw TraceError("trace line " + std::to_string(line_no) +
                      ": bad number '" + token + "'");
   }
@@ -313,6 +309,15 @@ TraceDiff compare_traces(const Trace& golden, const Trace& candidate,
                 value_pair(golden.objective, candidate.objective));
   }
   return diff;
+}
+
+Trace trace_suffix(const Trace& trace, int after_iteration) {
+  Trace t = trace;
+  t.history.clear();
+  for (const IterationRecord& r : trace.history) {
+    if (r.iteration > after_iteration) t.history.push_back(r);
+  }
+  return t;
 }
 
 std::uint64_t trace_digest(const Trace& trace) {

@@ -63,6 +63,12 @@ struct TraceDiff {
 TraceDiff compare_traces(const Trace& golden, const Trace& candidate,
                          double tol = 0.0);
 
+/// The trace restricted to history records strictly after `after_iteration`
+/// (profile metadata, final iterate, objective and status are kept). Used to
+/// compare a resumed-from-checkpoint run against the full golden trace: the
+/// resumed run only re-records the post-restart samples.
+Trace trace_suffix(const Trace& trace, int after_iteration);
+
 /// Order-sensitive FNV-1a digest over the bit patterns of the residual
 /// history and the final iterate; equal digests over the same profile mean
 /// bit-identical trajectories (seeded-determinism regression tests).

@@ -103,6 +103,42 @@ TEST(AdmmStatusTest, NonFiniteDataDetectedAsDiverged) {
   EXPECT_LT(res.iterations, 1000);
 }
 
+TEST(AdmmStatusTest, ExplodingRhoDetectedAsDiverged) {
+  // rho at the edge of the double range overflows the dual residual and the
+  // eps_dual scale (rho * ||z - z_prev||, rho * eps_rel * ||lambda||) to
+  // infinity within a few iterations; the guard must flag divergence rather
+  // than iterate on non-finite numbers or claim convergence.
+  AdmmOptions opt;
+  opt.rho = 1e308;
+  opt.max_iterations = 1000;
+  opt.check_every = 1;
+  SolverFreeAdmm admm(problem(), opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kDiverged);
+  EXPECT_LT(res.iterations, 1000);
+}
+
+TEST(AdmmStatusTest, TimeLimitRecordsPartialProgress) {
+  // An infeasible problem can never converge, so a tight time limit MUST
+  // fire; the result still carries the partial iteration count and the
+  // residual records accumulated before the stop.
+  const auto p = tiny_problem(4.0);
+  AdmmOptions opt;
+  opt.max_iterations = 100000000;
+  opt.time_limit_seconds = 0.05;
+  opt.check_every = 10;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kTimeLimit);
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_LT(res.iterations, 100000000);
+  ASSERT_FALSE(res.history.empty());
+  EXPECT_LE(res.history.back().iteration, res.iterations);
+  EXPECT_EQ(res.timing.iterations, res.iterations);
+}
+
 TEST(AdmmStatusTest, FeasibleTinyProblemConverges) {
   // Control for the two cases above: rhs = 1 is consistent with the box.
   const auto p = tiny_problem(1.0);

@@ -1,0 +1,193 @@
+/// Fault-plan parsing, injector semantics, retry pricing, and the
+/// fault-aware VirtualCluster overload.
+
+#include "runtime/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+#include "runtime/partition.hpp"
+
+namespace dopf::runtime {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryKind) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill:device=1,iter=137; drop:device=2,iter=10,count=2;"
+      "corrupt:device=0,iter=5,scale=32;"
+      "straggle:device=3,iter=7,until=20,factor=8");
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kKillDevice);
+  EXPECT_EQ(plan.events[0].device, 1u);
+  EXPECT_EQ(plan.events[0].iteration, 137);
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::kDropMessage);
+  EXPECT_EQ(plan.events[1].count, 2);
+  EXPECT_EQ(plan.events[2].kind, FaultEvent::Kind::kCorruptMessage);
+  EXPECT_EQ(plan.events[2].factor, 32.0);
+  EXPECT_EQ(plan.events[3].kind, FaultEvent::Kind::kStraggle);
+  EXPECT_EQ(plan.events[3].until, 20);
+  EXPECT_EQ(plan.events[3].factor, 8.0);
+}
+
+TEST(FaultPlanTest, DefaultsApplied) {
+  const FaultPlan plan =
+      FaultPlan::parse("corrupt:device=1,iter=3;straggle:device=0,iter=9");
+  EXPECT_EQ(plan.events[0].factor, 16.0);  // default corruption scale
+  EXPECT_EQ(plan.events[1].factor, 4.0);   // default slowdown
+  EXPECT_EQ(plan.events[1].until, 9);      // until defaults to iter
+}
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("  ; ;  ").empty());
+}
+
+TEST(FaultPlanTest, RoundTripsThroughToString) {
+  const std::string spec =
+      "kill:device=1,iter=137;drop:device=2,iter=10,count=2;"
+      "corrupt:device=0,iter=5,scale=32;"
+      "straggle:device=3,iter=7,until=20,factor=8";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  const FaultPlan replayed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(plan.to_string(), replayed.to_string());
+  ASSERT_EQ(plan.events.size(), replayed.events.size());
+}
+
+TEST(FaultPlanTest, MalformedSpecsThrowWithContext) {
+  EXPECT_THROW(FaultPlan::parse("explode:device=0,iter=1"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill device=0"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill:device=0"), FaultError);  // no iter
+  EXPECT_THROW(FaultPlan::parse("kill:iter=5"), FaultError);    // no device
+  EXPECT_THROW(FaultPlan::parse("kill:device=0,iter=abc"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill:device=0,iter=0"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill:device=-1,iter=5"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill:device=0,iter=5,bogus=1"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("drop:device=0,iter=5,count=0"), FaultError);
+  try {
+    FaultPlan::parse("kill:device=0,iter=1x");
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("1x"), std::string::npos)
+        << "diagnostic should quote the offending token: " << e.what();
+  }
+}
+
+TEST(FaultInjectorTest, KillIsConsumedOnce) {
+  FaultInjector inj(FaultPlan::parse("kill:device=1,iter=7"));
+  EXPECT_FALSE(inj.kill_scheduled(1, 6));
+  EXPECT_FALSE(inj.kill_scheduled(0, 7));
+  EXPECT_TRUE(inj.kill_scheduled(1, 7));
+  inj.consume_kill(1, 7);
+  // A post-failover replay of the same iteration sees a clean device.
+  EXPECT_FALSE(inj.kill_scheduled(1, 7));
+}
+
+TEST(FaultInjectorTest, DropsAccumulateAndConsume) {
+  FaultInjector inj(
+      FaultPlan::parse("drop:device=2,iter=4,count=2;drop:device=2,iter=4"));
+  EXPECT_EQ(inj.message_drops(2, 4), 3);
+  EXPECT_EQ(inj.message_drops(2, 5), 0);
+  inj.consume_drops(2, 4);
+  EXPECT_EQ(inj.message_drops(2, 4), 0);
+}
+
+TEST(FaultInjectorTest, CorruptionConsumed) {
+  FaultInjector inj(FaultPlan::parse("corrupt:device=0,iter=9,scale=64"));
+  ASSERT_NE(inj.corruption(0, 9), nullptr);
+  EXPECT_EQ(inj.corruption(0, 9)->factor, 64.0);
+  EXPECT_EQ(inj.corruption(0, 8), nullptr);
+  inj.consume_corruption(0, 9);
+  EXPECT_EQ(inj.corruption(0, 9), nullptr);
+}
+
+TEST(FaultInjectorTest, StraggleWindowMultiplies) {
+  FaultInjector inj(FaultPlan::parse(
+      "straggle:device=1,iter=5,until=10,factor=3;"
+      "straggle:device=1,iter=8,until=12,factor=2"));
+  EXPECT_EQ(inj.straggle_factor(1, 4), 1.0);
+  EXPECT_EQ(inj.straggle_factor(1, 5), 3.0);
+  EXPECT_EQ(inj.straggle_factor(1, 8), 6.0);  // overlapping windows compound
+  EXPECT_EQ(inj.straggle_factor(1, 11), 2.0);
+  EXPECT_EQ(inj.straggle_factor(1, 13), 1.0);
+  EXPECT_EQ(inj.straggle_factor(0, 8), 1.0);  // other devices unaffected
+}
+
+TEST(RetryCostTest, BackoffSeriesPlusResends) {
+  RecoveryPolicy policy;
+  policy.retry_timeout_s = 1e-4;
+  policy.backoff_factor = 2.0;
+  CommModel comm;
+  const std::size_t bytes = 4096;
+  // 3 failures: timeouts 1e-4 + 2e-4 + 4e-4, plus three re-sends.
+  const double expect =
+      7e-4 + 3.0 * comm.message_seconds(bytes);
+  EXPECT_NEAR(retry_cost_seconds(policy, comm, bytes, 3), expect, 1e-12);
+  EXPECT_EQ(retry_cost_seconds(policy, comm, bytes, 0), 0.0);
+}
+
+class FaultClusterTest : public ::testing::Test {
+ protected:
+  // 6 equal components over 3 ranks: 2 per rank.
+  std::vector<double> seconds_ = std::vector<double>(6, 1e-3);
+  std::vector<std::size_t> payload_ = std::vector<std::size_t>(6, 10);
+  Partition partition_ = block_partition(6, 3);
+  VirtualCluster cluster_{3, CommModel{}};
+  RecoveryPolicy recovery_;
+};
+
+TEST_F(FaultClusterTest, NoFaultsMatchesBaseline) {
+  const FaultInjector none;
+  const auto base = cluster_.price_local_update(partition_, seconds_, payload_);
+  const auto faulted = cluster_.price_local_update(
+      partition_, seconds_, payload_, none, 1, recovery_);
+  EXPECT_EQ(faulted.compute_seconds, base.compute_seconds);
+  EXPECT_EQ(faulted.communication_seconds, base.communication_seconds);
+}
+
+TEST_F(FaultClusterTest, StraggleStretchesMakespanOnly) {
+  const FaultInjector inj(
+      FaultPlan::parse("straggle:device=1,iter=5,factor=4"));
+  const auto base = cluster_.price_local_update(partition_, seconds_, payload_);
+  const auto in_window = cluster_.price_local_update(
+      partition_, seconds_, payload_, inj, 5, recovery_);
+  const auto outside = cluster_.price_local_update(
+      partition_, seconds_, payload_, inj, 6, recovery_);
+  EXPECT_NEAR(in_window.compute_seconds, 4.0 * base.compute_seconds, 1e-15);
+  EXPECT_EQ(in_window.communication_seconds, base.communication_seconds);
+  EXPECT_EQ(outside.compute_seconds, base.compute_seconds);
+}
+
+TEST_F(FaultClusterTest, DropsPriceRetries) {
+  const FaultInjector inj(FaultPlan::parse("drop:device=2,iter=3,count=2"));
+  const auto base = cluster_.price_local_update(partition_, seconds_, payload_);
+  const auto faulted = cluster_.price_local_update(
+      partition_, seconds_, payload_, inj, 3, recovery_);
+  const std::size_t up_bytes = 2 * 20 * sizeof(double);  // rank 2: 2 comps
+  EXPECT_NEAR(faulted.communication_seconds - base.communication_seconds,
+              retry_cost_seconds(recovery_, CommModel{}, up_bytes, 2), 1e-15);
+}
+
+TEST_F(FaultClusterTest, DropsBeyondRetryBudgetThrow) {
+  recovery_.max_retries = 2;
+  const FaultInjector inj(FaultPlan::parse("drop:device=0,iter=3,count=3"));
+  EXPECT_THROW(cluster_.price_local_update(partition_, seconds_, payload_,
+                                           inj, 3, recovery_),
+               FaultError);
+}
+
+TEST_F(FaultClusterTest, DetectedCorruptionPricesOneResend) {
+  const FaultInjector inj(FaultPlan::parse("corrupt:device=1,iter=3"));
+  const auto base = cluster_.price_local_update(partition_, seconds_, payload_);
+  const auto verified = cluster_.price_local_update(
+      partition_, seconds_, payload_, inj, 3, recovery_);
+  EXPECT_GT(verified.communication_seconds, base.communication_seconds);
+
+  recovery_.verify_messages = false;
+  const auto unverified = cluster_.price_local_update(
+      partition_, seconds_, payload_, inj, 3, recovery_);
+  // Undetected corruption costs nothing — that is exactly the danger.
+  EXPECT_EQ(unverified.communication_seconds, base.communication_seconds);
+}
+
+}  // namespace
+}  // namespace dopf::runtime

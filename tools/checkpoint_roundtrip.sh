@@ -1,0 +1,20 @@
+#!/bin/sh
+# CLI checkpoint round-trip: solve while writing periodic checkpoints, then
+# resume from the written file. Both invocations must converge (exit 0).
+#
+# usage: checkpoint_roundtrip.sh <path-to-dopf_solve> <scratch-dir>
+set -eu
+
+solve="$1"
+dir="$2"
+ck="$dir/roundtrip.ckpt"
+rm -f "$ck"
+
+"$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000 \
+  --checkpoint-every 40 --checkpoint "$ck"
+test -s "$ck" || { echo "checkpoint file was not written" >&2; exit 1; }
+head -1 "$ck" | grep -q '^dopf-checkpoint v1$' || {
+  echo "unexpected checkpoint header" >&2; exit 1;
+}
+
+"$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000 --resume "$ck"

@@ -3,8 +3,14 @@
 # ASan+UBSan pass (-DDOPF_SANITIZE=ON). Both must be green.
 #
 # Test tiers (see TESTING.md):
-#   tier1 — fast deterministic tests; run in BOTH configurations.
-#   tier2 — fuzz / differential / golden-trace suites; Release only, so the
+#   tier1 — fast deterministic tests; run in BOTH configurations. This
+#           includes the fault-injection, checkpoint round-trip, and CLI
+#           argument-audit suites (fault_test, checkpoint_test,
+#           fault_recovery_test, cli_checkpoint_roundtrip, cli_* smoke
+#           tests), so recovery paths are exercised under ASan/UBSan too.
+#   tier2 — fuzz / differential / golden-trace suites (including the
+#           verify_fault_* failover/corruption gates and the
+#           verify_resume_* checkpoint-restart gates); Release only, so the
 #           sanitizer pass stays fast and golden byte-for-byte comparisons
 #           are never run under a differently-optimized build.
 #

@@ -5,21 +5,34 @@
 //
 //   builtin:NAME          one of ieee13, ieee123, ieee8500, ieee8500_mini
 //   --algorithm ALG       solver-free (default) | benchmark | reference
-//   --backend B           serial (default) | threaded | simt (solver-free only)
+//   --backend B           serial (default) | threaded | simt | multigpu
+//                         (solver-free only)
 //   --threads N           worker threads for --backend threaded
 //                         (default: hardware concurrency)
+//   --devices N           simulated devices for --backend multigpu (default 2)
 //   --rho R               ADMM penalty (default 100)
 //   --eps E               relative tolerance (default 1e-3)
 //   --max-iters N         iteration cap (default 200000)
 //   --relaxation A        over-relaxation factor (default 1.0)
 //   --quantize-bits B     message quantization (default 0 = exact)
+//   --faults SPEC         deterministic fault schedule (multigpu only), e.g.
+//                         "kill:device=1,iter=137;straggle:device=2,iter=5,
+//                         until=20,factor=4" (see runtime/fault.hpp)
+//   --no-recovery         disable failover + message verification (faults
+//                         then corrupt or abort the run — for testing)
+//   --checkpoint-every N  capture a restart checkpoint every N iterations
+//   --checkpoint FILE     checkpoint file to (over)write
+//   --resume FILE         restore state from FILE before solving
 //   --report              print the full dispatch/voltage report
 //   --residuals FILE      dump residual history as CSV
 //   --output FILE         dump the solution (per-variable CSV)
 //
-// Exit code 0 on convergence/optimality, 2 otherwise.
+// Exit code 0 on convergence/optimality, 1 on usage or input errors,
+// 2 otherwise.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -29,47 +42,77 @@
 #include "core/admm.hpp"
 #include "feeders/feeder_io.hpp"
 #include "opf/solution.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/instances.hpp"
 #include "runtime/threaded_backend.hpp"
 #include "simt/gpu_admm.hpp"
+#include "simt/multi_gpu.hpp"
 #include "solver/reference.hpp"
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [options] <feeder-file | builtin:NAME>\n"
-               "  --algorithm solver-free|benchmark|reference\n"
-               "  --backend serial|threaded|simt  --threads N\n"
-               "  --rho R  --eps E  --max-iters N  --relaxation A\n"
-               "  --quantize-bits B  --report  --residuals FILE  --output FILE\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <feeder-file | builtin:NAME>\n"
+      "  --algorithm solver-free|benchmark|reference\n"
+      "  --backend serial|threaded|simt|multigpu  --threads N  --devices N\n"
+      "  --rho R  --eps E  --max-iters N  --relaxation A  --quantize-bits B\n"
+      "  --faults SPEC  --no-recovery\n"
+      "  --checkpoint-every N  --checkpoint FILE  --resume FILE\n"
+      "  --report  --residuals FILE  --output FILE\n",
+      argv0);
   std::exit(1);
 }
 
+/// Strict numeric parsing: the whole token must be a number, otherwise the
+/// tool prints a pointed diagnostic plus the usage text and exits 1.
+const char* g_argv0 = "dopf_solve";
+
 double parse_double(const char* arg, const char* what) {
-  try {
-    return std::stod(arg);
-  } catch (...) {
-    std::fprintf(stderr, "bad value '%s' for %s\n", arg, what);
-    std::exit(1);
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", g_argv0, arg,
+                 what);
+    usage(g_argv0);
   }
+  return v;
+}
+
+int parse_int(const char* arg, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '%s' for %s\n", g_argv0, arg,
+                 what);
+    usage(g_argv0);
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argv0 = argv[0];
   std::string input, algorithm = "solver-free", residual_file, output_file;
   std::string backend = "serial";
+  std::string fault_spec, checkpoint_file, resume_file;
   int threads = 0;  // 0 = hardware concurrency
-  bool report = false;
+  int devices = 2;
+  int checkpoint_every = 0;
+  bool report = false, no_recovery = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", argv[0], arg.c_str());
+        usage(argv[0]);
+      }
       return argv[++i];
     };
     if (arg == "--algorithm") {
@@ -77,17 +120,29 @@ int main(int argc, char** argv) {
     } else if (arg == "--backend") {
       backend = next();
     } else if (arg == "--threads") {
-      threads = static_cast<int>(parse_double(next(), "--threads"));
+      threads = parse_int(next(), "--threads");
+    } else if (arg == "--devices") {
+      devices = parse_int(next(), "--devices");
     } else if (arg == "--rho") {
       opt.rho = parse_double(next(), "--rho");
     } else if (arg == "--eps") {
       opt.eps_rel = parse_double(next(), "--eps");
     } else if (arg == "--max-iters") {
-      opt.max_iterations = static_cast<int>(parse_double(next(), "--max-iters"));
+      opt.max_iterations = parse_int(next(), "--max-iters");
     } else if (arg == "--relaxation") {
       opt.relaxation = parse_double(next(), "--relaxation");
     } else if (arg == "--quantize-bits") {
-      opt.quantize_bits = static_cast<int>(parse_double(next(), "--quantize-bits"));
+      opt.quantize_bits = parse_int(next(), "--quantize-bits");
+    } else if (arg == "--faults") {
+      fault_spec = next();
+    } else if (arg == "--no-recovery") {
+      no_recovery = true;
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = parse_int(next(), "--checkpoint-every");
+    } else if (arg == "--checkpoint") {
+      checkpoint_file = next();
+    } else if (arg == "--resume") {
+      resume_file = next();
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--residuals") {
@@ -97,13 +152,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
       usage(argv[0]);
     } else {
       input = arg;
     }
   }
-  if (input.empty()) usage(argv[0]);
+  if (input.empty()) {
+    std::fprintf(stderr, "%s: missing feeder input\n", argv[0]);
+    usage(argv[0]);
+  }
+  if (!fault_spec.empty() && backend != "multigpu") {
+    std::fprintf(stderr, "%s: --faults requires --backend multigpu\n",
+                 argv[0]);
+    return 1;
+  }
+  if (checkpoint_every > 0 && checkpoint_file.empty() &&
+      backend != "multigpu") {
+    // multigpu keeps an in-memory restart point; other backends need a file.
+    std::fprintf(stderr, "%s: --checkpoint-every needs --checkpoint FILE\n",
+                 argv[0]);
+    return 1;
+  }
 
   try {
     dopf::network::Network net;
@@ -142,6 +212,33 @@ int main(int argc, char** argv) {
       if (algorithm == "benchmark") {
         dopf::baseline::BenchmarkAdmm admm(problem, opt);
         res = admm.solve();
+      } else if (algorithm == "solver-free" && backend == "multigpu") {
+        dopf::simt::MultiGpuOptions mo;
+        mo.gpu.admm = opt;
+        mo.num_devices = static_cast<std::size_t>(std::max(1, devices));
+        mo.faults = dopf::runtime::FaultPlan::parse(fault_spec);
+        if (no_recovery) {
+          mo.recovery.failover = false;
+          mo.recovery.verify_messages = false;
+        }
+        mo.checkpoint_every = checkpoint_every;
+        mo.checkpoint_path = checkpoint_file;
+        mo.label = input;
+        backend_label = "multigpu(" + std::to_string(mo.num_devices) + ")";
+        dopf::simt::MultiGpuSolverFreeAdmm admm(problem, mo);
+        if (!resume_file.empty()) {
+          admm.restore_state(dopf::runtime::load_checkpoint(resume_file));
+          std::printf("resumed from %s\n", resume_file.c_str());
+        }
+        res = admm.solve();
+        if (admm.failovers() > 0 || admm.message_retries() > 0) {
+          std::printf(
+              "fault recovery: %d failover(s), %d message retr%s, %zu/%zu "
+              "devices alive, %.2e simulated recovery seconds\n",
+              admm.failovers(), admm.message_retries(),
+              admm.message_retries() == 1 ? "y" : "ies", admm.alive_devices(),
+              admm.num_devices(), admm.recovery_seconds());
+        }
       } else if (algorithm == "solver-free" && backend == "simt") {
         dopf::simt::GpuAdmmOptions gpu_opt;
         gpu_opt.admm = opt;
@@ -158,6 +255,22 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
           return 1;
         }
+        if (!resume_file.empty()) {
+          const auto ck = dopf::runtime::load_checkpoint(resume_file);
+          ck.restore(&admm);
+          std::printf("resumed from %s (iteration %d)\n", resume_file.c_str(),
+                      ck.iteration);
+        }
+        if (checkpoint_every > 0) {
+          admm.set_checkpoint_hook(
+              checkpoint_every,
+              [&](const dopf::core::SolverFreeAdmm& solver, int iteration) {
+                dopf::runtime::save_checkpoint(
+                    dopf::runtime::AdmmCheckpoint::capture(solver, iteration,
+                                                           input),
+                    checkpoint_file);
+              });
+        }
         res = admm.solve();
       } else {
         std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
@@ -168,7 +281,7 @@ int main(int argc, char** argv) {
           "residuals: primal %.3e dual %.3e; wall %.2fs "
           "(global %.2fs local %.2fs dual %.2fs, +%.2fs precompute)\n",
           algorithm.c_str(), backend_label.c_str(),
-          res.converged ? "converged" : "NOT converged", res.iterations,
+          dopf::core::to_string(res.status), res.iterations,
           res.objective, res.primal_residual, res.dual_residual,
           res.timing.total(), res.timing.global_update,
           res.timing.local_update, res.timing.dual_update,

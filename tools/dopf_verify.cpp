@@ -1,5 +1,5 @@
 // dopf_verify — machine-checkable correctness gate for the distributed OPF
-// solvers. Three modes:
+// solvers. Modes:
 //
 //   golden (default): run one execution backend under the pinned golden
 //     profile and diff the trace byte-for-byte against the committed golden
@@ -10,13 +10,27 @@
 //     proves the harness has teeth.
 //   --fuzz N: property-based differential fuzzing over seeded random
 //     feeders (see src/verify/fuzzer.hpp).
+//   --backend multigpu [--faults SPEC]: run the simulated multi-device
+//     solver — optionally under an injected fault schedule — and require the
+//     recovered run to reproduce the fault-free golden trace byte-for-byte.
+//   --resume FILE: restore a checkpoint and verify the resumed run
+//     reproduces the golden trace from the restart point onward.
+//   --record-checkpoint K: run the serial solver, capture the state after
+//     iteration K, and write <golden-dir>/<network>.ckpt.
 //
 // Usage:
 //   dopf_verify [options]
 //   --network NAME|FILE   builtin (ieee13, ieee123, ieee8500_mini, ieee8500)
 //                         or a feeder file (default ieee13)
-//   --backend B           serial (default) | threaded | simt
+//   --backend B           serial (default) | threaded | simt | multigpu
 //   --threads N           worker threads for --backend threaded
+//   --devices N           simulated devices for --backend multigpu (default 3)
+//   --faults SPEC         fault schedule for multigpu (runtime/fault.hpp)
+//   --no-recovery         disable failover + message CRC verification
+//   --checkpoint-every N  multigpu restart-point refresh interval (default 50
+//                         when faults are injected)
+//   --resume FILE         restore FILE, then verify the post-restart suffix
+//   --record-checkpoint K write <golden-dir>/<network>.ckpt at iteration K
 //   --golden FILE         golden trace path (overrides --golden-dir)
 //   --golden-dir DIR      directory holding <network>.trace files
 //                         (default: $DOPF_GOLDEN_DIR, else search for
@@ -40,8 +54,11 @@
 #include "core/admm.hpp"
 #include "feeders/feeder_io.hpp"
 #include "opf/validate.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/instances.hpp"
 #include "runtime/threaded_backend.hpp"
+#include "simt/multi_gpu.hpp"
 #include "simt/simt_backend.hpp"
 #include "solver/reference.hpp"
 #include "verify/fuzzer.hpp"
@@ -51,16 +68,56 @@
 
 namespace {
 
+const char* g_argv0 = "dopf_verify";
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --network NAME|FILE  --backend serial|threaded|simt  --threads N\n"
+      "  --network NAME|FILE  --backend serial|threaded|simt|multigpu\n"
+      "  --threads N  --devices N\n"
+      "  --faults SPEC  --no-recovery  --checkpoint-every N\n"
+      "  --resume FILE  --record-checkpoint K\n"
       "  --golden FILE | --golden-dir DIR  --record\n"
       "  --reference  --tol T  --mutate\n"
       "  --fuzz N  --seed S\n",
       argv0);
   std::exit(1);
+}
+
+/// Strict numeric parsing: reject trailing junk ("1abc") with a pointed
+/// diagnostic plus the usage text, exit 1.
+int parse_int(const char* arg, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '%s' for %s\n", g_argv0, arg,
+                 what);
+    usage(g_argv0);
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const char* arg, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", g_argv0, arg,
+                 what);
+    usage(g_argv0);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* arg, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '%s' for %s\n", g_argv0, arg,
+                 what);
+    usage(g_argv0);
+  }
+  return v;
 }
 
 bool file_exists(const std::string& path) {
@@ -101,10 +158,15 @@ std::unique_ptr<dopf::core::ExecutionBackend> make_backend(
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argv0 = argv[0];
   std::string network = "ieee13", backend = "serial";
   std::string golden_file, golden_dir;
+  std::string fault_spec, resume_file;
   int threads = 4;
-  bool record = false, reference = false, mutate = false;
+  int devices = 3;
+  int checkpoint_every = 0;
+  int record_checkpoint_at = 0;
+  bool record = false, reference = false, mutate = false, no_recovery = false;
   int fuzz_cases = 0;
   std::uint64_t seed = 20250807;
   double tol = 5e-2;
@@ -112,7 +174,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", argv[0], arg.c_str());
+        usage(argv[0]);
+      }
       return argv[++i];
     };
     if (arg == "--network") {
@@ -120,7 +185,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--backend") {
       backend = next();
     } else if (arg == "--threads") {
-      threads = std::atoi(next());
+      threads = parse_int(next(), "--threads");
+    } else if (arg == "--devices") {
+      devices = parse_int(next(), "--devices");
+    } else if (arg == "--faults") {
+      fault_spec = next();
+    } else if (arg == "--no-recovery") {
+      no_recovery = true;
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = parse_int(next(), "--checkpoint-every");
+    } else if (arg == "--resume") {
+      resume_file = next();
+    } else if (arg == "--record-checkpoint") {
+      record_checkpoint_at = parse_int(next(), "--record-checkpoint");
     } else if (arg == "--golden") {
       golden_file = next();
     } else if (arg == "--golden-dir") {
@@ -130,19 +207,33 @@ int main(int argc, char** argv) {
     } else if (arg == "--reference") {
       reference = true;
     } else if (arg == "--tol") {
-      tol = std::atof(next());
+      tol = parse_double(next(), "--tol");
     } else if (arg == "--mutate") {
       mutate = true;
     } else if (arg == "--fuzz") {
-      fuzz_cases = std::atoi(next());
+      fuzz_cases = parse_int(next(), "--fuzz");
     } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = parse_u64(next(), "--seed");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
       usage(argv[0]);
     }
+  }
+  if (!fault_spec.empty() && backend != "multigpu") {
+    std::fprintf(stderr, "%s: --faults requires --backend multigpu\n",
+                 argv[0]);
+    return 1;
+  }
+  if (mutate && backend == "multigpu") {
+    std::fprintf(stderr, "%s: --mutate is not supported with multigpu\n",
+                 argv[0]);
+    return 1;
+  }
+  if (record_checkpoint_at < 0 || checkpoint_every < 0 || devices < 1) {
+    std::fprintf(stderr, "%s: negative/zero count argument\n", argv[0]);
+    usage(argv[0]);
   }
 
   try {
@@ -170,34 +261,117 @@ int main(int argc, char** argv) {
     const dopf::opf::DistributedProblem problem =
         dopf::opf::decompose(net, model);
 
+    if (golden_dir.empty()) golden_dir = default_golden_dir();
+    if (golden_file.empty()) golden_file = golden_dir + "/" + label + ".trace";
+
     const dopf::core::AdmmOptions profile = dopf::verify::golden_profile();
-    dopf::core::SolverFreeAdmm admm(problem, profile);
-    std::string backend_label = backend;
-    {
-      auto exec = make_backend(backend, threads);
-      if (mutate) {
-        if (!exec) exec = dopf::core::make_serial_backend();
-        exec = dopf::verify::make_mutant_backend(std::move(exec));
-        backend_label = "mutant(" + backend + ")";
+
+    // --record-checkpoint K: capture the serial golden-profile state after
+    // exactly iteration K and write the refresh-able committed checkpoint.
+    if (record_checkpoint_at > 0) {
+      const std::string ckpt_path = golden_dir + "/" + label + ".ckpt";
+      dopf::core::SolverFreeAdmm admm(problem, profile);
+      bool written = false;
+      admm.set_checkpoint_hook(
+          record_checkpoint_at,
+          [&](const dopf::core::SolverFreeAdmm& solver, int iteration) {
+            if (iteration != record_checkpoint_at) return;
+            dopf::runtime::save_checkpoint(
+                dopf::runtime::AdmmCheckpoint::capture(solver, iteration,
+                                                       label),
+                ckpt_path);
+            written = true;
+          });
+      const dopf::core::AdmmResult result = admm.solve();
+      if (!written) {
+        std::fprintf(stderr,
+                     "checkpoint iteration %d never reached (run ended at "
+                     "%d)\n",
+                     record_checkpoint_at, result.iterations);
+        return 1;
       }
-      if (exec) admm.set_backend(std::move(exec));
+      std::printf("checkpoint at iteration %d written to %s\n",
+                  record_checkpoint_at, ckpt_path.c_str());
+      return 0;
     }
-    const dopf::core::AdmmResult result = admm.solve();
+
+    // Restart point for --resume: only golden-trace records strictly after
+    // the checkpoint iteration are expected from the resumed run.
+    int resume_from = 0;
+    dopf::runtime::AdmmCheckpoint resume_ck;
+    if (!resume_file.empty()) {
+      resume_ck = dopf::runtime::load_checkpoint(resume_file);
+      resume_from = resume_ck.iteration;
+    }
+
+    // --- Run the requested execution path.
+    dopf::core::AdmmResult result;
+    std::vector<double> final_x, final_z;
+    std::string backend_label = backend;
+    if (backend == "multigpu") {
+      dopf::simt::MultiGpuOptions mo;
+      mo.gpu.admm = profile;
+      mo.num_devices = static_cast<std::size_t>(devices);
+      mo.faults = dopf::runtime::FaultPlan::parse(fault_spec);
+      if (no_recovery) {
+        mo.recovery.failover = false;
+        mo.recovery.verify_messages = false;
+      }
+      mo.checkpoint_every =
+          checkpoint_every > 0 ? checkpoint_every
+                               : (mo.faults.empty() ? 0 : 50);
+      mo.label = label;
+      backend_label = "multigpu(" + std::to_string(mo.num_devices) + ")";
+      dopf::simt::MultiGpuSolverFreeAdmm admm(problem, mo);
+      if (!resume_file.empty()) admm.restore_state(resume_ck);
+      result = admm.solve();
+      final_x.assign(admm.x().begin(), admm.x().end());
+      final_z.assign(admm.z().begin(), admm.z().end());
+      if (!fault_spec.empty()) {
+        std::printf(
+            "faults injected: %s\n"
+            "recovery: %d failover(s), %d message retr%s, %zu/%zu devices "
+            "alive, %.2e simulated recovery seconds\n",
+            mo.faults.to_string().c_str(), admm.failovers(),
+            admm.message_retries(),
+            admm.message_retries() == 1 ? "y" : "ies", admm.alive_devices(),
+            admm.num_devices(), admm.recovery_seconds());
+      }
+    } else {
+      dopf::core::SolverFreeAdmm admm(problem, profile);
+      {
+        auto exec = make_backend(backend, threads);
+        if (mutate) {
+          if (!exec) exec = dopf::core::make_serial_backend();
+          exec = dopf::verify::make_mutant_backend(std::move(exec));
+          backend_label = "mutant(" + backend + ")";
+        }
+        if (exec) admm.set_backend(std::move(exec));
+      }
+      if (!resume_file.empty()) resume_ck.restore(&admm);
+      result = admm.solve();
+      final_x.assign(admm.x().begin(), admm.x().end());
+      final_z.assign(admm.z().begin(), admm.z().end());
+    }
     const dopf::verify::Trace trace = dopf::verify::Trace::from_result(
         result, profile, label, backend_label);
     std::printf("%s: %s backend, %s in %d iterations, objective %.8f\n",
                 label.c_str(), backend_label.c_str(),
                 dopf::core::to_string(result.status), result.iterations,
                 result.objective);
-
-    if (golden_file.empty()) {
-      if (golden_dir.empty()) golden_dir = default_golden_dir();
-      golden_file = golden_dir + "/" + label + ".trace";
+    if (resume_from > 0) {
+      std::printf("resumed from %s (iteration %d)\n", resume_file.c_str(),
+                  resume_from);
     }
 
     if (record) {
       if (mutate) {
         std::fprintf(stderr, "refusing to record a mutated golden trace\n");
+        return 1;
+      }
+      if (!fault_spec.empty() || resume_from > 0) {
+        std::fprintf(stderr,
+                     "refusing to record a faulted or resumed golden trace\n");
         return 1;
       }
       dopf::verify::save_trace(trace, golden_file);
@@ -209,12 +383,18 @@ int main(int argc, char** argv) {
     int verdict = 0;
 
     // 1. Byte-for-byte trace comparison against the committed golden file.
-    const dopf::verify::Trace golden = dopf::verify::load_trace(golden_file);
+    //    A resumed run only re-records the post-restart samples, so it is
+    //    held against the matching suffix of the golden history.
+    dopf::verify::Trace golden = dopf::verify::load_trace(golden_file);
+    if (resume_from > 0) {
+      golden = dopf::verify::trace_suffix(golden, resume_from);
+    }
     const dopf::verify::TraceDiff diff =
         dopf::verify::compare_traces(golden, trace, 0.0);
     if (diff.identical) {
-      std::printf("golden trace %s: byte-for-byte match (%zu records)\n",
-                  golden_file.c_str(), golden.history.size());
+      std::printf("golden trace %s: byte-for-byte match (%zu records%s)\n",
+                  golden_file.c_str(), golden.history.size(),
+                  resume_from > 0 ? ", post-restart suffix" : "");
     } else {
       std::fprintf(stderr, "GOLDEN TRACE MISMATCH (%s):\n  %s\n",
                    golden_file.c_str(), diff.message.c_str());
@@ -223,8 +403,8 @@ int main(int argc, char** argv) {
 
     // 2. Backend-independent invariants of the final state.
     dopf::verify::InvariantReport invariants =
-        dopf::verify::check_invariants(problem, admm.x(), admm.z());
-    dopf::verify::add_model_check(model, admm.x(), &invariants);
+        dopf::verify::check_invariants(problem, final_x, final_z);
+    dopf::verify::add_model_check(model, final_x, &invariants);
 
     // 3. Optional: KKT stationarity/objective gap vs the centralized
     //    interior-point reference, plus the physics-level validation.
@@ -240,9 +420,9 @@ int main(int argc, char** argv) {
                      dopf::solver::to_string(ref.status));
         return 1;
       }
-      dopf::verify::add_reference_check(model, admm.x(), ref, &invariants);
+      dopf::verify::add_reference_check(model, final_x, ref, &invariants);
       const dopf::opf::ValidationReport physics =
-          dopf::opf::validate_solution(net, model, admm.x());
+          dopf::opf::validate_solution(net, model, final_x);
       std::printf("physics validation: worst %.3e (%s at %s)\n",
                   physics.worst(), physics.worst_check().c_str(),
                   physics.worst_site.c_str());
