@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/packed_kernels.hpp"
+#include "core/watchdog.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dopf::core {
@@ -41,6 +42,8 @@ const char* to_string(AdmmStatus status) {
       return "time-limit";
     case AdmmStatus::kDiverged:
       return "diverged";
+    case AdmmStatus::kStalled:
+      return "stalled";
   }
   return "?";
 }
@@ -307,6 +310,13 @@ AdmmResult SolverFreeAdmm::solve() {
   AdmmResult result;
   int recorded = 0;
   const auto wall_start = Clock::now();
+  // Watchdog state: the monitor plus the best-merit iterate snapshot it can
+  // roll the solver back to. Untouched (and cost-free) when watchdog is off.
+  ConvergenceWatchdog watchdog(options_.watchdog_window,
+                               options_.watchdog_min_improvement,
+                               options_.watchdog_max_restarts);
+  std::vector<double> best_x, best_z, best_z_prev, best_lambda;
+  double best_rho = rho_;
   // A restored checkpoint resumes at start_iteration_ + 1; the iterate state
   // was already placed by restore_state, so the loop body is oblivious.
   result.iterations = start_iteration_;
@@ -353,6 +363,39 @@ AdmmResult SolverFreeAdmm::solve() {
           seconds_since(wall_start) > options_.time_limit_seconds) {
         result.status = AdmmStatus::kTimeLimit;
         break;
+      }
+      if (options_.watchdog) {
+        const auto decision = watchdog.observe(rec);
+        if (decision.new_best) {
+          best_x = x_;
+          best_z = z_;
+          best_z_prev = z_prev_;
+          best_lambda = lambda_;
+          best_rho = rho_;
+        }
+        if (decision.action == ConvergenceWatchdog::Action::kNudgeRho) {
+          // Forced residual balancing: same rule as adaptive_rho, but
+          // applied regardless of the adaptive_ratio trigger.
+          if (rec.primal_residual > rec.dual_residual) {
+            rho_ *= options_.adaptive_factor;
+          } else {
+            rho_ /= options_.adaptive_factor;
+          }
+        } else if (decision.action ==
+                   ConvergenceWatchdog::Action::kRestartFromBest) {
+          if (!best_x.empty()) {
+            x_ = best_x;
+            z_ = best_z;
+            z_prev_ = best_z_prev;
+            lambda_ = best_lambda;
+            rho_ = best_rho;
+          }
+        } else if (decision.action == ConvergenceWatchdog::Action::kStop) {
+          result.status = AdmmStatus::kStalled;
+          result.watchdog = watchdog.summary();
+          break;
+        }
+        result.watchdog = watchdog.summary();
       }
       // Residual balancing (extension): scale rho toward balanced residuals.
       if (options_.adaptive_rho && t <= options_.adaptive_until &&

@@ -63,6 +63,22 @@ struct AdmmOptions {
   /// Accumulate per-component local-update wall time (adds timer overhead;
   /// enable only for the runtime/cluster measurement benches).
   bool record_component_times = false;
+
+  /// Convergence watchdog (extension; off reproduces the paper): monitor
+  /// the residual merit max(pres/eps_primal, dres/eps_dual) at every
+  /// termination check, remember the best iterate seen, and when no
+  /// relative merit improvement of at least `watchdog_min_improvement`
+  /// lands within `watchdog_window` iterations, escalate through
+  /// safeguarded actions: a residual-balancing rho nudge (the adaptive_rho
+  /// rule, forced), then restart-from-best-iterate (up to
+  /// `watchdog_max_restarts` times), then a clean kStalled stop. The
+  /// window is counted in iterations, not checks, so the verdict does not
+  /// depend on check_every; the default rides out the multi-hundred-
+  /// iteration merit plateaus healthy ADMM runs exhibit.
+  bool watchdog = false;
+  int watchdog_window = 1000;  ///< stall window, counted in iterations
+  double watchdog_min_improvement = 1e-3;  ///< relative merit improvement
+  int watchdog_max_restarts = 2;  ///< restart-from-best budget before kStalled
 };
 
 /// One sampled point of the residual trajectories (Fig. 2).
@@ -87,14 +103,22 @@ struct TimingBreakdown {
   /// redistribution + problem re-upload on device failover). Zero on
   /// fault-free runs; populated by simt::MultiGpuSolverFreeAdmm.
   double recovery = 0.0;
+  /// Simulated seconds spent on graceful degradation (exhausted retry
+  /// budgets on stale iterations, quarantine/readmission re-partitioning).
+  /// Zero unless a DegradePolicy is enabled and trips.
+  double degrade = 0.0;
   int iterations = 0;
+  /// Iterations where at least one device's contribution was stale or
+  /// quarantined (degraded-mode consensus); 0 on healthy runs.
+  int degraded_iterations = 0;
 
   /// Per-iteration update time only: the one-time `precompute` (local-solver
   /// factorization + packing) is deliberately EXCLUDED, because the paper's
   /// per-iteration figures (Fig. 3/4) amortize it away. Use
   /// total_with_precompute() for end-to-end wall time.
   double total() const {
-    return global_update + local_update + dual_update + residuals + recovery;
+    return global_update + local_update + dual_update + residuals + recovery +
+           degrade;
   }
 
   /// End-to-end: precompute plus every per-iteration phase.
@@ -107,9 +131,18 @@ enum class AdmmStatus {
   kIterationLimit,  ///< max_iterations reached
   kTimeLimit,       ///< time_limit_seconds exceeded
   kDiverged,        ///< non-finite residuals (model inconsistent or rho bad)
+  kStalled,         ///< watchdog: no residual progress, safeguards exhausted
 };
 
 const char* to_string(AdmmStatus status);
+
+/// What the convergence watchdog did during a solve (all zero when off).
+struct WatchdogSummary {
+  int stalls = 0;      ///< stall windows detected
+  int rho_nudges = 0;  ///< forced residual-balancing rho adjustments
+  int restarts = 0;    ///< restart-from-best-iterate actions
+  bool oscillation_detected = false;  ///< merit bounced rather than crept
+};
 
 struct AdmmResult {
   std::vector<double> x;  ///< global solution (clipped to bounds)
@@ -122,6 +155,7 @@ struct AdmmResult {
   double final_rho = 0.0;
   std::vector<IterationRecord> history;
   TimingBreakdown timing;
+  WatchdogSummary watchdog;  ///< populated when options.watchdog is on
   /// Per-component cumulative local-update seconds (empty unless
   /// record_component_times).
   std::vector<double> component_seconds;

@@ -1,0 +1,95 @@
+#include "core/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dopf::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ConvergenceWatchdog::ConvergenceWatchdog(int window, double min_improvement,
+                                         int max_restarts)
+    : window_(std::max(window, 1)),
+      min_improvement_(min_improvement),
+      max_restarts_(std::max(max_restarts, 0)),
+      best_merit_(kInf),
+      improvement_base_(kInf),
+      last_merit_(kInf) {}
+
+double ConvergenceWatchdog::merit(const IterationRecord& rec) {
+  if (rec.eps_primal <= 0.0 || rec.eps_dual <= 0.0) return kInf;
+  return std::max(rec.primal_residual / rec.eps_primal,
+                  rec.dual_residual / rec.eps_dual);
+}
+
+ConvergenceWatchdog::Decision ConvergenceWatchdog::observe(
+    const IterationRecord& rec) {
+  Decision d;
+  const double m = merit(rec);
+  if (!std::isfinite(m)) {
+    // Either still warming up (zero tolerance) or diverging — the solver's
+    // non-finite guard owns the latter. An infinite merit is never progress,
+    // but it must not count towards a stall window either.
+    return d;
+  }
+
+  if (m < best_merit_) {
+    best_merit_ = m;
+    d.new_best = true;
+  }
+
+  // Oscillation bookkeeping: count direction changes of the merit within
+  // the current stall window.
+  const double delta = m - last_merit_;
+  if (std::isfinite(last_merit_) && delta * last_delta_ < 0.0) ++sign_flips_;
+  if (delta != 0.0) last_delta_ = delta;
+  last_merit_ = m;
+
+  if (m <= (1.0 - min_improvement_) * improvement_base_) {
+    improvement_base_ = m;
+    last_progress_iteration_ = rec.iteration;
+    stalled_checks_ = 0;
+    sign_flips_ = 0;
+    return d;
+  }
+  if (last_progress_iteration_ == std::numeric_limits<int>::min()) {
+    // First finite merit and it is not an improvement over +inf — cannot
+    // happen, but never measure a stall from an unset origin.
+    last_progress_iteration_ = rec.iteration;
+  }
+
+  ++stalled_checks_;
+  // The window is measured in ITERATIONS, not residual checks: ADMM merit
+  // plateaus legitimately span hundreds of iterations on converging runs,
+  // and a check-count window would make the verdict depend on check_every.
+  if (rec.iteration - last_progress_iteration_ < window_) return d;
+
+  // A full window elapsed without meaningful improvement: stall.
+  ++summary_.stalls;
+  if (stalled_checks_ >= 4 && sign_flips_ >= stalled_checks_ / 2) {
+    summary_.oscillation_detected = true;
+  }
+  if (escalation_ == 0) {
+    d.action = Action::kNudgeRho;
+    ++summary_.rho_nudges;
+  } else if (escalation_ <= max_restarts_) {
+    d.action = Action::kRestartFromBest;
+    ++summary_.restarts;
+  } else {
+    d.action = Action::kStop;
+    return d;
+  }
+  ++escalation_;
+  // Give the action a fresh window, measured from the best merit seen (a
+  // restart puts the iterate back there).
+  stalled_checks_ = 0;
+  sign_flips_ = 0;
+  improvement_base_ = best_merit_;
+  last_progress_iteration_ = rec.iteration;
+  return d;
+}
+
+}  // namespace dopf::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <limits>
+
+#include "core/admm.hpp"
+
+namespace dopf::core {
+
+/// Stall/oscillation monitor over the residual-check stream of an ADMM run.
+///
+/// The scalar progress measure is the merit
+///   merit(rec) = max(pres / eps_primal, dres / eps_dual),
+/// which is <= 1 exactly when the termination criterion (16) holds, so
+/// "making progress" and "approaching convergence" coincide. The watchdog
+/// watches for a relative merit improvement of at least `min_improvement`
+/// within every `window` ITERATIONS (not checks — ADMM merit plateaus
+/// legitimately span hundreds of iterations on converging runs, and the
+/// verdict must not depend on check_every); when none lands, it reports a
+/// stall and asks the solver to escalate:
+///
+///   stall #1             -> kNudgeRho (forced residual balancing)
+///   stalls #2..restarts+1 -> kRestartFromBest (solver reloads its best
+///                            iterate; see Decision::new_best)
+///   afterwards           -> kStop (solver reports AdmmStatus::kStalled)
+///
+/// Oscillation (the merit bouncing up and down instead of creeping) is
+/// classified by counting sign flips of the merit delta within the stalled
+/// window and flagged in the summary. Purely deterministic: the same
+/// residual stream always produces the same decisions.
+class ConvergenceWatchdog {
+ public:
+  enum class Action {
+    kNone,             ///< keep iterating
+    kNudgeRho,         ///< apply the residual-balancing rho rule now
+    kRestartFromBest,  ///< reload the best-merit iterate snapshot
+    kStop,             ///< give up cleanly: report kStalled
+  };
+
+  struct Decision {
+    Action action = Action::kNone;
+    /// This check produced the best merit so far — snapshot the iterate.
+    bool new_best = false;
+  };
+
+  ConvergenceWatchdog(int window, double min_improvement, int max_restarts);
+
+  /// max(pres/eps_p, dres/eps_d); +inf when a tolerance is still zero
+  /// (guards the first checks where lambda == 0 makes eps_dual zero).
+  static double merit(const IterationRecord& rec);
+
+  /// Feed one residual check; returns what the solver should do.
+  Decision observe(const IterationRecord& rec);
+
+  const WatchdogSummary& summary() const { return summary_; }
+  double best_merit() const { return best_merit_; }
+
+ private:
+  int window_;
+  double min_improvement_;
+  int max_restarts_;
+
+  double best_merit_;
+  double improvement_base_;  ///< merit the next improvement is measured from
+  double last_merit_;
+  double last_delta_ = 0.0;
+  int last_progress_iteration_ = std::numeric_limits<int>::min();
+  int stalled_checks_ = 0;
+  int sign_flips_ = 0;
+  int escalation_ = 0;  ///< 0 = none yet, 1 = nudged, 2.. = restarts
+  WatchdogSummary summary_;
+};
+
+}  // namespace dopf::core

@@ -81,7 +81,31 @@ AdmmCheckpoint AdmmCheckpoint::capture(const dopf::core::SolverFreeAdmm& admm,
   return ck;
 }
 
-void AdmmCheckpoint::restore(dopf::core::SolverFreeAdmm* admm) const {
+void AdmmCheckpoint::validate_for(const dopf::core::SolverFreeAdmm& admm,
+                                  const std::string& expected_label) const {
+  if (!expected_label.empty() && !label.empty() && label != expected_label) {
+    throw CheckpointError("checkpoint was recorded on '" + label +
+                          "' but this run solves '" + expected_label +
+                          "' — refusing to restore");
+  }
+  auto check = [&](const char* name, std::size_t got, std::size_t want) {
+    if (got != want) {
+      throw CheckpointError(
+          "checkpoint" + (label.empty() ? std::string() : " '" + label + "'") +
+          " does not fit this problem: " + name + " has " +
+          std::to_string(got) + " value(s), solver expects " +
+          std::to_string(want) + " — wrong feeder or partition?");
+    }
+  };
+  check("x", x.size(), admm.x().size());
+  check("z", z.size(), admm.z().size());
+  check("z_prev", z_prev.size(), admm.z_prev().size());
+  check("lambda", lambda.size(), admm.lambda().size());
+}
+
+void AdmmCheckpoint::restore(dopf::core::SolverFreeAdmm* admm,
+                             const std::string& expected_label) const {
+  validate_for(*admm, expected_label);
   admm->restore_state(iteration, rho, x, z, z_prev, lambda);
 }
 

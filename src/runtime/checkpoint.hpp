@@ -35,9 +35,20 @@ struct AdmmCheckpoint {
   static AdmmCheckpoint capture(const dopf::core::SolverFreeAdmm& admm,
                                 int iteration, std::string label = {});
 
-  /// Push this state back into a solver over the same problem layout; its
-  /// next solve() resumes from iteration + 1.
-  void restore(dopf::core::SolverFreeAdmm* admm) const;
+  /// Check this checkpoint against the solver's problem layout BEFORE any
+  /// state is overwritten: x/z/z_prev/lambda dimensions must match, and —
+  /// when `expected_label` is non-empty and the checkpoint carries a label —
+  /// the labels must agree. A CRC-valid checkpoint recorded on a different
+  /// feeder fails here with a message naming both sides instead of silently
+  /// corrupting the run. Throws CheckpointError.
+  void validate_for(const dopf::core::SolverFreeAdmm& admm,
+                    const std::string& expected_label = {}) const;
+
+  /// Push this state back into a solver over the same problem layout
+  /// (validated via validate_for first); its next solve() resumes from
+  /// iteration + 1.
+  void restore(dopf::core::SolverFreeAdmm* admm,
+               const std::string& expected_label = {}) const;
 };
 
 void write_checkpoint(const AdmmCheckpoint& ck, std::ostream& out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace dopf::runtime {
@@ -49,13 +50,24 @@ std::vector<std::string> split(const std::string& s, char sep) {
 
 }  // namespace
 
+bool FaultEvent::active_at(int t) const {
+  if (persistent || kind == Kind::kStraggle) {
+    return t >= iteration && t <= until;
+  }
+  return t == iteration;
+}
+
 std::string FaultEvent::to_string() const {
   std::ostringstream out;
-  out << kind_name(kind) << ":device=" << device << ",iter=" << iteration;
+  out << kind_name(kind) << ":device=" << device
+      << (persistent ? ",from=" : ",iter=") << iteration;
   if (kind == Kind::kDropMessage && count != 1) out << ",count=" << count;
   if (kind == Kind::kCorruptMessage) out << ",scale=" << factor;
+  if (persistent && until != std::numeric_limits<int>::max()) {
+    out << ",until=" << until;
+  }
   if (kind == Kind::kStraggle) {
-    if (until > iteration) out << ",until=" << until;
+    if (!persistent && until > iteration) out << ",until=" << until;
     out << ",factor=" << factor;
   }
   return out.str();
@@ -85,7 +97,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       throw FaultError("fault spec: unknown fault kind '" + kind + "' in '" +
                        entry + "'");
     }
-    bool have_device = false, have_iter = false;
+    bool have_device = false, have_iter = false, have_until = false;
     for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
       if (kv.empty()) continue;
       const auto eq = kv.find('=');
@@ -99,11 +111,17 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         if (value < 0) throw FaultError("fault spec: negative device");
         ev.device = static_cast<std::size_t>(value);
         have_device = true;
-      } else if (key == "iter") {
+      } else if (key == "iter" || key == "from") {
+        if (have_iter) {
+          throw FaultError("fault spec: '" + entry +
+                           "' has both iter= and from= (pick one)");
+        }
         ev.iteration = static_cast<int>(value);
+        ev.persistent = key == "from";
         have_iter = true;
       } else if (key == "until") {
         ev.until = static_cast<int>(value);
+        have_until = true;
       } else if (key == "count") {
         ev.count = static_cast<int>(value);
       } else if (key == "scale" || key == "factor") {
@@ -115,19 +133,42 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     }
     if (!have_device || !have_iter) {
       throw FaultError("fault spec: '" + entry +
-                       "' needs at least device= and iter=");
+                       "' needs at least device= and iter= (or from=)");
+    }
+    if (ev.persistent && ev.kind == FaultEvent::Kind::kKillDevice) {
+      throw FaultError("fault spec: kill cannot be persistent (from=) in '" +
+                       entry + "' — a device dies once");
     }
     if (ev.iteration < 1) {
       throw FaultError("fault spec: iter must be >= 1 in '" + entry + "'");
+    }
+    if (ev.persistent && !have_until) {
+      ev.until = std::numeric_limits<int>::max();  // open-ended recurrence
     }
     if (ev.until < ev.iteration) ev.until = ev.iteration;
     if (ev.kind == FaultEvent::Kind::kDropMessage && ev.count < 1) {
       throw FaultError("fault spec: drop count must be >= 1 in '" + entry +
                        "'");
     }
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const FaultEvent& prev = plan.events[i];
+      if (prev.kind == ev.kind && prev.device == ev.device &&
+          prev.iteration == ev.iteration) {
+        throw FaultError("fault spec: entry " +
+                         std::to_string(plan.events.size() + 1) + " ('" +
+                         entry + "') duplicates entry " + std::to_string(i + 1) +
+                         " ('" + prev.to_string() +
+                         "'): same kind, device and iteration");
+      }
+    }
     plan.events.push_back(ev);
   }
   return plan;
+}
+
+bool FaultPlan::has_persistent() const {
+  return std::any_of(events.begin(), events.end(),
+                     [](const FaultEvent& ev) { return ev.persistent; });
 }
 
 std::string FaultPlan::to_string() const {
@@ -184,7 +225,7 @@ int FaultInjector::message_drops(std::size_t device, int iteration) const {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
     if (ev.kind == FaultEvent::Kind::kDropMessage && ev.device == device &&
-        ev.iteration == iteration && !is_consumed(i)) {
+        ev.active_at(iteration) && !is_consumed(i)) {
       drops += ev.count;
     }
   }
@@ -194,8 +235,8 @@ int FaultInjector::message_drops(std::size_t device, int iteration) const {
 void FaultInjector::consume_drops(std::size_t device, int iteration) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
-    if (ev.kind == FaultEvent::Kind::kDropMessage && ev.device == device &&
-        ev.iteration == iteration && !is_consumed(i)) {
+    if (ev.kind == FaultEvent::Kind::kDropMessage && !ev.persistent &&
+        ev.device == device && ev.active_at(iteration) && !is_consumed(i)) {
       mark_consumed(i);
     }
   }
@@ -206,7 +247,7 @@ const FaultEvent* FaultInjector::corruption(std::size_t device,
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
     if (ev.kind == FaultEvent::Kind::kCorruptMessage && ev.device == device &&
-        ev.iteration == iteration && !is_consumed(i)) {
+        ev.active_at(iteration) && !is_consumed(i)) {
       return &ev;
     }
   }
@@ -216,8 +257,8 @@ const FaultEvent* FaultInjector::corruption(std::size_t device,
 void FaultInjector::consume_corruption(std::size_t device, int iteration) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
-    if (ev.kind == FaultEvent::Kind::kCorruptMessage && ev.device == device &&
-        ev.iteration == iteration && !is_consumed(i)) {
+    if (ev.kind == FaultEvent::Kind::kCorruptMessage && !ev.persistent &&
+        ev.device == device && ev.active_at(iteration) && !is_consumed(i)) {
       mark_consumed(i);
       return;
     }
@@ -229,7 +270,7 @@ double FaultInjector::straggle_factor(std::size_t device,
   double factor = 1.0;
   for (const FaultEvent& ev : plan_.events) {
     if (ev.kind == FaultEvent::Kind::kStraggle && ev.device == device &&
-        iteration >= ev.iteration && iteration <= ev.until) {
+        ev.active_at(iteration)) {
       factor *= ev.factor;
     }
   }

@@ -32,6 +32,16 @@ struct FaultEvent {
   int until = 0;        ///< straggle end (inclusive; defaults to `iteration`)
   int count = 1;        ///< drop repetitions before the message gets through
   double factor = 0.0;  ///< straggle multiplier / corruption scale
+  /// Persistent (recurring) fault: fires on EVERY iteration of
+  /// [iteration, until] and is never consumed — the model of a chronically
+  /// lossy link or a permanently slow device, as opposed to the one-shot
+  /// transient semantics above. Parsed from `from=` instead of `iter=`.
+  bool persistent = false;
+
+  /// True when the event applies at `iteration` (persistent events cover
+  /// their whole window; one-shot events match the exact iteration only —
+  /// except straggle, whose [iter, until] window was always inclusive).
+  bool active_at(int t) const;
 
   std::string to_string() const;
 };
@@ -43,12 +53,24 @@ struct FaultEvent {
 ///   corrupt:device=D,iter=K[,scale=S]
 ///   straggle:device=D,iter=K[,until=L][,factor=F]
 ///
+/// drop/corrupt/straggle also accept `from=K` in place of `iter=K` for a
+/// PERSISTENT fault that recurs on every iteration from K on (optionally
+/// bounded by `until=L`), e.g. a permanent straggler
+/// "straggle:device=1,from=1,factor=8" or a link that goes bad mid-run
+/// "drop:device=2,from=200". Persistent events are never consumed.
+///
 /// Events are separated by ';'. Example:
 ///   "kill:device=1,iter=137;straggle:device=2,iter=10,until=40,factor=4"
+///
+/// Duplicate (kind, device, iteration) entries are rejected with an
+/// entry-numbered error: a duplicated event is almost always an editing
+/// mistake, and silently keeping both would double-fire the fault.
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
   bool empty() const { return events.empty(); }
+  /// True when any event is persistent (recurring).
+  bool has_persistent() const;
 
   /// Parse a spec string; throws FaultError with the offending token on
   /// malformed input. An empty/whitespace spec yields an empty plan.
@@ -83,7 +105,9 @@ double retry_cost_seconds(const RecoveryPolicy& policy, const CommModel& comm,
 
 /// Query-side view of a FaultPlan used inside the iteration loop. Kill
 /// events are consumed (a device dies once); everything else is a pure
-/// deterministic function of (device, iteration).
+/// deterministic function of (device, iteration). Persistent events are
+/// exempt from consumption: consume_* calls skip them, so they re-fire on
+/// every covered iteration (including post-failover replays).
 class FaultInjector {
  public:
   FaultInjector() = default;

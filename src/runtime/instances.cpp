@@ -18,6 +18,16 @@ Instance make_instance(const std::string& name,
     net = dopf::feeders::synthetic_feeder(dopf::feeders::ieee8500_spec());
   } else if (name == "ieee8500_mini") {
     net = dopf::feeders::synthetic_feeder(dopf::feeders::ieee8500_mini_spec());
+  } else if (name == "ieee13_overload") {
+    // ieee13 with every load scaled far past the generation and flow
+    // capacity: the OPF is infeasible, so ADMM's primal residual stays
+    // bounded away from zero. A deterministic stall for watchdog tests.
+    net = dopf::feeders::ieee13();
+    for (std::size_t i = 0; i < net.num_loads(); ++i) {
+      auto& load = net.load_mutable(static_cast<int>(i));
+      for (double& v : load.p_ref.values) v *= 50.0;
+      for (double& v : load.q_ref.values) v *= 50.0;
+    }
   } else {
     throw std::invalid_argument("make_instance: unknown instance '" + name +
                                 "'");

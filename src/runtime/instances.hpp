@@ -21,8 +21,10 @@ struct Instance {
 };
 
 /// Build one of the paper's instances (or the quick stand-in):
-/// "ieee13", "ieee123", "ieee8500", "ieee8500_mini".
-/// Throws std::invalid_argument for unknown names.
+/// "ieee13", "ieee123", "ieee8500", "ieee8500_mini". "ieee13_overload" is
+/// ieee13 with loads scaled 50x past capacity — deliberately infeasible,
+/// for stall/watchdog testing. Throws std::invalid_argument for unknown
+/// names.
 Instance make_instance(const std::string& name,
                        const dopf::opf::DecomposeOptions& options = {});
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/packed_kernels.hpp"
+#include "core/watchdog.hpp"
 #include "linalg/vector_ops.hpp"
 #include "runtime/checkpoint.hpp"
 
@@ -16,6 +17,8 @@ using dopf::core::LocalSolvers;
 using dopf::core::ResidualSums;
 using dopf::opf::DistributedProblem;
 using dopf::runtime::AdmmCheckpoint;
+using dopf::runtime::DeviceHealth;
+using dopf::runtime::DeviceState;
 using dopf::runtime::FaultError;
 using dopf::runtime::FaultEvent;
 using dopf::runtime::retry_cost_seconds;
@@ -31,6 +34,9 @@ MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
   devices_.assign(std::max<std::size_t>(1, options.num_devices),
                   Device(options.device_spec));
   alive_.assign(devices_.size(), 1);
+  health_.assign(devices_.size(), DeviceHealth(options.degrade));
+  quarantined_.assign(devices_.size(), 0);
+  stale_.assign(devices_.size(), 0);
   repartition();
 
   x_ = problem.x0;
@@ -55,7 +61,7 @@ std::size_t MultiGpuSolverFreeAdmm::alive_devices() const {
 void MultiGpuSolverFreeAdmm::repartition() {
   std::vector<std::size_t> live;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (alive_[d]) live.push_back(d);
+    if (alive_[d] && !quarantined_[d]) live.push_back(d);
   }
   if (live.empty()) {
     throw FaultError("multi-gpu: no surviving devices");
@@ -74,11 +80,22 @@ void MultiGpuSolverFreeAdmm::repartition() {
 }
 
 void MultiGpuSolverFreeAdmm::restore_state(const AdmmCheckpoint& checkpoint) {
+  if (!options_.label.empty() && !checkpoint.label.empty() &&
+      checkpoint.label != options_.label) {
+    throw FaultError("multi-gpu restore: checkpoint was recorded on '" +
+                     checkpoint.label + "' but this run solves '" +
+                     options_.label + "' — refusing to restore");
+  }
   if (checkpoint.x.size() != x_.size() ||
       checkpoint.z.size() != z_.size() ||
       checkpoint.z_prev.size() != z_prev_.size() ||
       checkpoint.lambda.size() != lambda_.size()) {
-    throw FaultError("multi-gpu restore: checkpoint size mismatch");
+    throw FaultError(
+        "multi-gpu restore: checkpoint does not fit this problem (x " +
+        std::to_string(checkpoint.x.size()) + "/" +
+        std::to_string(x_.size()) + ", z " +
+        std::to_string(checkpoint.z.size()) + "/" +
+        std::to_string(z_.size()) + " values) — wrong feeder?");
   }
   x_ = checkpoint.x;
   z_ = checkpoint.z;
@@ -145,7 +162,15 @@ void MultiGpuSolverFreeAdmm::local_update(int iteration) {
   double staging = 0.0;
   const bool multi = alive_devices() > 1;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (!alive_[d]) continue;
+    if (!alive_[d] || quarantined_[d]) continue;
+    if (stale_[d]) {
+      // Degraded: the aggregator stops waiting for this device. Its
+      // last-good contribution stays in the consensus state, and the only
+      // cost is the give-up timeout (no kernels, no staging, no retries).
+      keep_stale_contribution(d);
+      sim_degrade_ += options_.recovery.retry_timeout_s;
+      continue;
+    }
     double dev_span = launch_local_on(d);
     dev_span *= injector_.straggle_factor(d, iteration);
     span = std::max(span, dev_span);
@@ -218,11 +243,71 @@ double MultiGpuSolverFreeAdmm::launch_dual_on(std::size_t d) {
 void MultiGpuSolverFreeAdmm::dual_update(int iteration) {
   double span = 0.0;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (!alive_[d]) continue;
+    // A stale device's duals freeze along with its local solution (the
+    // device never received x, so it cannot have updated lambda).
+    if (!alive_[d] || quarantined_[d] || stale_[d]) continue;
     span = std::max(span,
                     launch_dual_on(d) * injector_.straggle_factor(d, iteration));
   }
   sim_dual_ += span;
+}
+
+void MultiGpuSolverFreeAdmm::keep_stale_contribution(std::size_t d) {
+  // local_update swapped z_prev_/z_, so the device's last-good solution
+  // lives in z_prev_; copy it back so z keeps the stale contribution.
+  for (std::size_t s : partition_[d]) {
+    const auto off = static_cast<std::size_t>(image_.comp_offset[s]);
+    const auto ns = static_cast<std::size_t>(image_.comp_nvars[s]);
+    std::copy(z_prev_.begin() + static_cast<std::ptrdiff_t>(off),
+              z_prev_.begin() + static_cast<std::ptrdiff_t>(off + ns),
+              z_.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+bool MultiGpuSolverFreeAdmm::degrade_step(int iteration) {
+  const std::size_t image_slice = image_.bytes() / devices_.size();
+  bool degraded = false;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    stale_[d] = 0;
+    if (!alive_[d]) continue;
+    const int drops = injector_.message_drops(d, iteration);
+    const FaultEvent* corr = injector_.corruption(d, iteration);
+    const int failures =
+        drops + ((corr && options_.recovery.verify_messages) ? 1 : 0);
+    health_[d].observe(injector_.straggle_factor(d, iteration), failures);
+
+    if (health_[d].quarantine_pending()) {
+      quarantined_[d] = 1;
+      health_[d].acknowledge();
+      repartition();  // survivors take over; NO rollback — state is global
+      sim_degrade_ += options_.staging.transfer_seconds(image_slice) +
+                      options_.comm.message_seconds(image_slice);
+      ++quarantines_;
+    } else if (health_[d].readmission_pending()) {
+      quarantined_[d] = 0;
+      health_[d].acknowledge();
+      repartition();
+      // The readmitted device re-uploads its slice of the problem image.
+      sim_degrade_ += options_.staging.transfer_seconds(image_slice) +
+                      options_.comm.message_seconds(image_slice);
+      devices_[d].record_transfer(image_slice);
+      ++readmissions_;
+    }
+
+    if (quarantined_[d]) {
+      degraded = true;
+      continue;
+    }
+    // Stale when the tracker degraded the device, or when this iteration's
+    // delivery failures exceed the retry budget (stop waiting instead of
+    // escalating to failover, which would livelock on a persistent fault).
+    if (health_[d].state() == DeviceState::kDegraded ||
+        drops > options_.recovery.max_retries) {
+      stale_[d] = 1;
+      degraded = true;
+    }
+  }
+  return degraded;
 }
 
 IterationRecord MultiGpuSolverFreeAdmm::compute_residuals(int iteration) {
@@ -309,7 +394,11 @@ bool MultiGpuSolverFreeAdmm::process_device_faults(int iteration,
   for (std::size_t d = 0; d < devices_.size(); ++d) {
     if (!alive_[d]) continue;
     const bool killed = injector_.kill_scheduled(d, iteration);
-    const bool link_lost = !killed && d != aggregator_ &&
+    // In degraded mode an exhausted retry budget makes the iteration stale
+    // (degrade_step) instead of escalating to a rollback failover — a
+    // persistent drop would otherwise replay the same window forever.
+    const bool link_lost = !killed && !options_.degrade.enabled &&
+                           d != aggregator_ &&
                            injector_.message_drops(d, iteration) >
                                options_.recovery.max_retries;
     if (!killed && !link_lost) continue;
@@ -341,12 +430,22 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
   // checkpointing (options_.checkpoint_every) refreshes it.
   take_checkpoint(start_iteration_, result, recorded);
 
+  // Watchdog state (inert unless opt.watchdog): mirror of the core solver.
+  dopf::core::ConvergenceWatchdog watchdog(opt.watchdog_window,
+                                           opt.watchdog_min_improvement,
+                                           opt.watchdog_max_restarts);
+  std::vector<double> best_x, best_z, best_z_prev, best_lambda;
+  double best_rho = rho_;
+
   int t = start_iteration_ + 1;
   while (t <= opt.max_iterations) {
     if (!injector_.empty() &&
         process_device_faults(t, &result, &recorded)) {
       t = checkpoint_.iteration + 1;  // rolled back: replay from the restart
       continue;
+    }
+    if (options_.degrade.enabled && degrade_step(t)) {
+      ++degraded_iterations_;
     }
     global_update();
     local_update(t);
@@ -370,6 +469,37 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
         result.status = AdmmStatus::kConverged;
         break;
       }
+      if (opt.watchdog) {
+        const auto decision = watchdog.observe(rec);
+        if (decision.new_best) {
+          best_x = x_;
+          best_z = z_;
+          best_z_prev = z_prev_;
+          best_lambda = lambda_;
+          best_rho = rho_;
+        }
+        using Action = dopf::core::ConvergenceWatchdog::Action;
+        if (decision.action == Action::kNudgeRho) {
+          if (rec.primal_residual > rec.dual_residual) {
+            rho_ *= opt.adaptive_factor;
+          } else {
+            rho_ /= opt.adaptive_factor;
+          }
+        } else if (decision.action == Action::kRestartFromBest) {
+          if (!best_x.empty()) {
+            x_ = best_x;
+            z_ = best_z;
+            z_prev_ = best_z_prev;
+            lambda_ = best_lambda;
+            rho_ = best_rho;
+          }
+        } else if (decision.action == Action::kStop) {
+          result.status = AdmmStatus::kStalled;
+          result.watchdog = watchdog.summary();
+          break;
+        }
+        result.watchdog = watchdog.summary();
+      }
     }
     if (options_.checkpoint_every > 0 &&
         t % options_.checkpoint_every == 0) {
@@ -384,7 +514,9 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
   result.timing.local_update = sim_local_;
   result.timing.dual_update = sim_dual_;
   result.timing.recovery = sim_recovery_;
+  result.timing.degrade = sim_degrade_;
   result.timing.iterations = iterations_run_;
+  result.timing.degraded_iterations = degraded_iterations_;
   return result;
 }
 

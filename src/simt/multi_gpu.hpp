@@ -6,6 +6,7 @@
 #include "runtime/checkpoint.hpp"
 #include "runtime/comm_model.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/health.hpp"
 #include "runtime/partition.hpp"
 #include "simt/gpu_admm.hpp"
 
@@ -31,6 +32,13 @@ struct MultiGpuOptions {
   std::string checkpoint_path;
   /// Label written into persisted checkpoints (e.g. "ieee13").
   std::string label;
+
+  /// Graceful degradation under persistent faults (runtime/health.hpp):
+  /// per-device health tracking with bounded-staleness consensus,
+  /// quarantine past the staleness bound, and probation-based readmission.
+  /// Off by default, and strictly opt-in at the bit level: a run whose
+  /// devices never trip the policy is byte-identical to one without it.
+  dopf::runtime::DegradePolicy degrade;
 };
 
 /// Functional multi-GPU execution of Algorithm 1 (the paper's Sec. IV-E /
@@ -51,6 +59,21 @@ struct MultiGpuOptions {
 /// last checkpoint, and the run resumes deterministically, so a recovered
 /// run's trace is byte-identical to the fault-free one. Recovery cost is
 /// reported in TimingBreakdown::recovery.
+///
+/// Degraded mode (options.degrade.enabled): persistent pathologies that
+/// would livelock the transient machinery (a chronic straggler, a link
+/// whose uploads keep failing) are absorbed instead of retried forever. A
+/// per-device DeviceHealth tracker (EWMA straggle + consecutive delivery
+/// failures) decides when the aggregator stops waiting for a device; the
+/// global update then proceeds on that device's last-good contribution
+/// (its z / lambda slices freeze) for up to `staleness_bound` iterations.
+/// Past the bound the device is quarantined — its components re-partition
+/// onto the survivors with NO rollback — and it is readmitted after a
+/// clean probation streak. Degraded iterations are counted in
+/// TimingBreakdown::degraded_iterations and their cost (give-up timeouts,
+/// re-partition traffic) priced in TimingBreakdown::degrade. Traces of a
+/// degraded run legitimately diverge bitwise from the fault-free one, but
+/// must converge to the same solution within tolerance.
 class MultiGpuSolverFreeAdmm {
  public:
   MultiGpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
@@ -79,6 +102,18 @@ class MultiGpuSolverFreeAdmm {
   /// Simulated seconds spent in failover recovery.
   double recovery_seconds() const { return sim_recovery_; }
 
+  /// Degraded-mode counters for the last solve() (all zero unless
+  /// options.degrade.enabled and the policy tripped).
+  int degraded_iterations() const { return degraded_iterations_; }
+  int quarantines() const { return quarantines_; }
+  int readmissions() const { return readmissions_; }
+  /// Simulated seconds spent on degradation (give-up timeouts on stale
+  /// devices, quarantine/readmission re-partition traffic).
+  double degrade_seconds() const { return sim_degrade_; }
+  const dopf::runtime::DeviceHealth& device_health(std::size_t d) const {
+    return health_[d];
+  }
+
   /// Average simulated seconds per iteration, by phase (Fig. 3 middle row).
   struct IterationAverages {
     double global_update = 0.0;
@@ -104,10 +139,19 @@ class MultiGpuSolverFreeAdmm {
   int failovers_ = 0;
   int retries_ = 0;
 
+  // Degraded-mode state (all inert unless options_.degrade.enabled).
+  std::vector<dopf::runtime::DeviceHealth> health_;  // per device
+  std::vector<char> quarantined_;  // per device; re-partitioned away
+  std::vector<char> stale_;        // per device, this iteration only
+  int degraded_iterations_ = 0;
+  int quarantines_ = 0;
+  int readmissions_ = 0;
+
   double sim_global_ = 0.0;
   double sim_local_ = 0.0;
   double sim_dual_ = 0.0;
   double sim_recovery_ = 0.0;
+  double sim_degrade_ = 0.0;
 
   std::vector<double> x_, z_, z_prev_, lambda_, y_scratch_;
 
@@ -130,6 +174,14 @@ class MultiGpuSolverFreeAdmm {
                              int* recorded);
   void fail_over(std::size_t device, dopf::core::AdmmResult* result,
                  int* recorded);
+  /// Degraded-mode health pass for `iteration`: feed every device's
+  /// observations to its tracker, mark stale devices, and execute pending
+  /// quarantines/readmissions. Returns true when this iteration runs
+  /// degraded (some device stale or quarantined).
+  bool degrade_step(int iteration);
+  /// Freeze a stale device's contribution: restore its z slices to the
+  /// previous iterate (called after z_prev_/z_ swapped).
+  void keep_stale_contribution(std::size_t d);
 };
 
 }  // namespace dopf::simt

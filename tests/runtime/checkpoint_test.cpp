@@ -13,6 +13,7 @@
 
 #include "core/admm.hpp"
 #include "feeders/ieee13.hpp"
+#include "feeders/synthetic.hpp"
 #include "opf/decompose.hpp"
 
 namespace dopf::runtime {
@@ -104,7 +105,38 @@ TEST(CheckpointTest, GarbageRejected) {
 TEST(CheckpointTest, RestoreSizeMismatchThrows) {
   dopf::core::SolverFreeAdmm admm(problem(), {});
   AdmmCheckpoint ck = awkward_checkpoint();  // wrong layout for ieee13
-  EXPECT_THROW(ck.restore(&admm), std::invalid_argument);
+  EXPECT_THROW(ck.restore(&admm), CheckpointError);
+}
+
+TEST(CheckpointTest, WrongFeederCheckpointRefusedBeforeStateTouched) {
+  // A CRC-valid checkpoint from a different feeder must be rejected with a
+  // message naming the mismatch — and the solver state must be untouched.
+  static const auto net123 =
+      dopf::feeders::synthetic_feeder(dopf::feeders::ieee123_spec());
+  static const auto p123 = dopf::opf::decompose(net123);
+  dopf::core::SolverFreeAdmm other(p123, {});
+  const AdmmCheckpoint foreign =
+      AdmmCheckpoint::capture(other, 50, "ieee123");
+
+  dopf::core::SolverFreeAdmm admm(problem(), {});
+  const std::vector<double> x_before(admm.x().begin(), admm.x().end());
+  try {
+    foreign.restore(&admm);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does not fit"), std::string::npos) << what;
+    EXPECT_NE(what.find("ieee123"), std::string::npos) << what;
+  }
+  expect_bitwise_equal(std::vector<double>(admm.x().begin(), admm.x().end()),
+                       x_before, "x untouched");
+  EXPECT_EQ(admm.start_iteration(), 0);
+
+  // Label mismatch alone (same feeder, different declared instance) is also
+  // refused when the caller states what it expects.
+  const AdmmCheckpoint same_shape = AdmmCheckpoint::capture(admm, 0, "ieee13");
+  EXPECT_NO_THROW(same_shape.validate_for(admm, "ieee13"));
+  EXPECT_THROW(same_shape.validate_for(admm, "ieee13_mod"), CheckpointError);
 }
 
 TEST(CheckpointTest, CaptureRestoreResumesBitExactly) {

@@ -83,12 +83,74 @@ TEST(FaultInjectorTest, KillIsConsumedOnce) {
 }
 
 TEST(FaultInjectorTest, DropsAccumulateAndConsume) {
-  FaultInjector inj(
-      FaultPlan::parse("drop:device=2,iter=4,count=2;drop:device=2,iter=4"));
+  // Two drop events covering the same iteration (one as a persistent
+  // window) accumulate; consuming clears the one-shot but never the
+  // persistent one.
+  FaultInjector inj(FaultPlan::parse(
+      "drop:device=2,iter=4,count=2;drop:device=2,from=3,until=4"));
   EXPECT_EQ(inj.message_drops(2, 4), 3);
   EXPECT_EQ(inj.message_drops(2, 5), 0);
   inj.consume_drops(2, 4);
-  EXPECT_EQ(inj.message_drops(2, 4), 0);
+  EXPECT_EQ(inj.message_drops(2, 4), 1);  // persistent event survives
+}
+
+TEST(FaultPlanTest, DuplicateEntriesRejectedWithEntryNumbers) {
+  try {
+    FaultPlan::parse(
+        "drop:device=2,iter=4,count=2;kill:device=0,iter=9;"
+        "drop:device=2,iter=4");
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("entry 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("entry 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicates"), std::string::npos) << what;
+  }
+  // Same (kind, iteration) on a different device is NOT a duplicate.
+  EXPECT_NO_THROW(
+      FaultPlan::parse("drop:device=1,iter=4;drop:device=2,iter=4"));
+  // Same (device, iteration) with a different kind is NOT a duplicate.
+  EXPECT_NO_THROW(
+      FaultPlan::parse("drop:device=2,iter=4;corrupt:device=2,iter=4"));
+}
+
+TEST(FaultPlanTest, PersistentSpecsParse) {
+  const FaultPlan plan = FaultPlan::parse(
+      "straggle:device=1,from=30,factor=8;drop:device=2,from=200,until=250");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_TRUE(plan.events[0].persistent);
+  EXPECT_EQ(plan.events[0].iteration, 30);
+  EXPECT_TRUE(plan.events[0].active_at(30));
+  EXPECT_TRUE(plan.events[0].active_at(100000));  // open-ended
+  EXPECT_FALSE(plan.events[0].active_at(29));
+  EXPECT_TRUE(plan.events[1].persistent);
+  EXPECT_TRUE(plan.events[1].active_at(250));
+  EXPECT_FALSE(plan.events[1].active_at(251));
+  EXPECT_TRUE(plan.has_persistent());
+  EXPECT_FALSE(FaultPlan::parse("drop:device=2,iter=4").has_persistent());
+
+  // Persistent specs survive a to_string round trip.
+  const FaultPlan replayed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(plan.to_string(), replayed.to_string());
+  EXPECT_TRUE(replayed.events[0].persistent);
+
+  // iter= and from= are mutually exclusive; kills cannot recur.
+  EXPECT_THROW(FaultPlan::parse("drop:device=2,iter=4,from=4"), FaultError);
+  EXPECT_THROW(FaultPlan::parse("kill:device=2,from=4"), FaultError);
+}
+
+TEST(FaultInjectorTest, PersistentEventsAreNeverConsumed) {
+  FaultInjector inj(FaultPlan::parse(
+      "drop:device=1,from=10;corrupt:device=0,from=5,scale=4"));
+  for (int t : {10, 11, 500}) {
+    EXPECT_EQ(inj.message_drops(1, t), 1) << "iteration " << t;
+    inj.consume_drops(1, t);
+    EXPECT_EQ(inj.message_drops(1, t), 1) << "consume must not clear";
+  }
+  ASSERT_NE(inj.corruption(0, 7), nullptr);
+  inj.consume_corruption(0, 7);
+  EXPECT_NE(inj.corruption(0, 7), nullptr);
+  EXPECT_EQ(inj.corruption(0, 4), nullptr);  // before the window
 }
 
 TEST(FaultInjectorTest, CorruptionConsumed) {

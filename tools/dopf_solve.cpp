@@ -20,6 +20,13 @@
 //                         until=20,factor=4" (see runtime/fault.hpp)
 //   --no-recovery         disable failover + message verification (faults
 //                         then corrupt or abort the run — for testing)
+//   --degrade             enable graceful degradation (multigpu only):
+//                         bounded-staleness consensus + device quarantine
+//                         instead of blocking on persistent faults
+//   --staleness-bound S   iterations a degraded device may stay stale
+//                         before quarantine (default 8; implies --degrade)
+//   --watchdog            enable the convergence watchdog (stall detection,
+//                         rho nudge, restart-from-best, kStalled)
 //   --checkpoint-every N  capture a restart checkpoint every N iterations
 //   --checkpoint FILE     checkpoint file to (over)write
 //   --resume FILE         restore state from FILE before solving
@@ -27,8 +34,8 @@
 //   --residuals FILE      dump residual history as CSV
 //   --output FILE         dump the solution (per-variable CSV)
 //
-// Exit code 0 on convergence/optimality, 1 on usage or input errors,
-// 2 otherwise.
+// Exit codes (scriptable): 0 converged/optimal, 1 usage or input errors,
+// 2 iteration/time limit, 3 diverged, 4 stalled (watchdog gave up).
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +67,7 @@ namespace {
       "  --backend serial|threaded|simt|multigpu  --threads N  --devices N\n"
       "  --rho R  --eps E  --max-iters N  --relaxation A  --quantize-bits B\n"
       "  --faults SPEC  --no-recovery\n"
+      "  --degrade  --staleness-bound S  --watchdog\n"
       "  --checkpoint-every N  --checkpoint FILE  --resume FILE\n"
       "  --report  --residuals FILE  --output FILE\n",
       argv0);
@@ -102,7 +110,8 @@ int main(int argc, char** argv) {
   int threads = 0;  // 0 = hardware concurrency
   int devices = 2;
   int checkpoint_every = 0;
-  bool report = false, no_recovery = false;
+  int staleness_bound = -1;  // -1 = policy default
+  bool report = false, no_recovery = false, degrade = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
 
@@ -137,6 +146,13 @@ int main(int argc, char** argv) {
       fault_spec = next();
     } else if (arg == "--no-recovery") {
       no_recovery = true;
+    } else if (arg == "--degrade") {
+      degrade = true;
+    } else if (arg == "--staleness-bound") {
+      staleness_bound = parse_int(next(), "--staleness-bound");
+      degrade = true;
+    } else if (arg == "--watchdog") {
+      opt.watchdog = true;
     } else if (arg == "--checkpoint-every") {
       checkpoint_every = parse_int(next(), "--checkpoint-every");
     } else if (arg == "--checkpoint") {
@@ -167,6 +183,12 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
+  if (degrade && backend != "multigpu") {
+    std::fprintf(stderr,
+                 "%s: --degrade/--staleness-bound require --backend multigpu\n",
+                 argv[0]);
+    return 1;
+  }
   if (checkpoint_every > 0 && checkpoint_file.empty() &&
       backend != "multigpu") {
     // multigpu keeps an in-memory restart point; other backends need a file.
@@ -189,6 +211,7 @@ int main(int argc, char** argv) {
 
     std::vector<double> x;
     bool ok = false;
+    int fail_code = 2;  // iteration/time limit; 3 = diverged, 4 = stalled
     std::vector<dopf::core::IterationRecord> history;
 
     if (algorithm == "reference") {
@@ -224,6 +247,8 @@ int main(int argc, char** argv) {
         mo.checkpoint_every = checkpoint_every;
         mo.checkpoint_path = checkpoint_file;
         mo.label = input;
+        mo.degrade.enabled = degrade;
+        if (staleness_bound >= 0) mo.degrade.staleness_bound = staleness_bound;
         backend_label = "multigpu(" + std::to_string(mo.num_devices) + ")";
         dopf::simt::MultiGpuSolverFreeAdmm admm(problem, mo);
         if (!resume_file.empty()) {
@@ -238,6 +263,13 @@ int main(int argc, char** argv) {
               admm.failovers(), admm.message_retries(),
               admm.message_retries() == 1 ? "y" : "ies", admm.alive_devices(),
               admm.num_devices(), admm.recovery_seconds());
+        }
+        if (admm.degraded_iterations() > 0) {
+          std::printf(
+              "degraded mode: %d degraded iteration(s), %d quarantine(s), "
+              "%d readmission(s), %.2e simulated degrade seconds\n",
+              admm.degraded_iterations(), admm.quarantines(),
+              admm.readmissions(), admm.degrade_seconds());
         }
       } else if (algorithm == "solver-free" && backend == "simt") {
         dopf::simt::GpuAdmmOptions gpu_opt;
@@ -286,6 +318,16 @@ int main(int argc, char** argv) {
           res.timing.total(), res.timing.global_update,
           res.timing.local_update, res.timing.dual_update,
           res.timing.precompute);
+      if (opt.watchdog && res.watchdog.stalls > 0) {
+        std::printf(
+            "watchdog: %d stall(s)%s, %d rho nudge(s), %d restart(s) from "
+            "best iterate\n",
+            res.watchdog.stalls,
+            res.watchdog.oscillation_detected ? " (oscillating)" : "",
+            res.watchdog.rho_nudges, res.watchdog.restarts);
+      }
+      if (res.status == dopf::core::AdmmStatus::kDiverged) fail_code = 3;
+      if (res.status == dopf::core::AdmmStatus::kStalled) fail_code = 4;
       x = res.x;
       ok = res.converged;
       history = res.history;
@@ -315,7 +357,7 @@ int main(int argc, char** argv) {
       const dopf::opf::SolutionView view(net, model, x);
       std::printf("\n%s", view.report().c_str());
     }
-    return ok ? 0 : 2;
+    return ok ? 0 : fail_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

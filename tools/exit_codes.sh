@@ -1,0 +1,41 @@
+#!/bin/sh
+# Exit-code contract for dopf_solve. Scripts and CI dispatch on these, so
+# each documented code is pinned here:
+#   0  converged / reference optimal
+#   1  usage or input errors
+#   2  iteration or time limit without convergence
+#   3  divergence (non-finite iterates)
+#   4  stalled (watchdog gave up on a persistent stall)
+#
+# usage: exit_codes.sh <path-to-dopf_solve>
+set -u
+
+solve="$1"
+failures=0
+
+expect() {
+  want="$1"; label="$2"; shift 2
+  "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $label -> $got"
+  fi
+}
+
+expect 0 "converged" \
+  "$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000
+expect 1 "usage error" \
+  "$solve" --frobnicate builtin:ieee13
+expect 1 "bad input" \
+  "$solve" /nonexistent.feeder
+expect 2 "iteration limit" \
+  "$solve" builtin:ieee13 --max-iters 5
+expect 3 "diverged" \
+  "$solve" builtin:ieee13 --rho 1e308 --max-iters 1000
+expect 4 "stalled" \
+  "$solve" builtin:ieee13_overload --max-iters 20000 --watchdog
+
+exit "$failures"
