@@ -55,7 +55,8 @@ SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
       backend_(make_serial_backend()),
       rho_(options.rho) {
   const auto start = Clock::now();
-  const LocalSolvers solvers = LocalSolvers::precompute(problem);
+  const LocalSolvers solvers =
+      LocalSolvers::precompute(problem, options.projector);
   packed_ = PackedLocalSolvers::build(problem, solvers);
   timing_.precompute = seconds_since(start);
   init_storage();

@@ -79,6 +79,13 @@ struct AdmmOptions {
   int watchdog_window = 1000;  ///< stall window, counted in iterations
   double watchdog_min_improvement = 1e-3;  ///< relative merit improvement
   int watchdog_max_restarts = 2;  ///< restart-from-best budget before kStalled
+
+  /// Local-solver factorization policy (the preflight remediation knob,
+  /// robust::Preflight): default builds exact projectors and raises
+  /// opf::ConditioningError on a non-SPD Gram matrix; with
+  /// `projector.auto_regularize` set, a reported Tikhonov ridge is applied
+  /// instead. Precompute-only — does not affect the per-iteration kernels.
+  dopf::linalg::ProjectorOptions projector;
 };
 
 /// One sampled point of the residual trajectories (Fig. 2).

@@ -1,15 +1,29 @@
 #include "core/packed_solvers.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace dopf::core {
 
 using dopf::opf::Component;
 using dopf::opf::DistributedProblem;
 
-LocalSolvers LocalSolvers::precompute(const DistributedProblem& problem) {
+LocalSolvers LocalSolvers::precompute(
+    const DistributedProblem& problem,
+    const dopf::linalg::ProjectorOptions& options) {
   LocalSolvers solvers;
   solvers.projectors.reserve(problem.components.size());
   for (const Component& comp : problem.components) {
-    solvers.projectors.emplace_back(comp.a, comp.b);
+    dopf::linalg::ProjectorStatus status;
+    std::optional<dopf::linalg::AffineProjector> proj =
+        dopf::linalg::AffineProjector::try_build(comp.a, comp.b, options,
+                                                 &status);
+    if (!proj) {
+      throw dopf::opf::ConditioningError(comp.name, status.pivot_index,
+                                         status.pivot_value);
+    }
+    solvers.max_ridge = std::max(solvers.max_ridge, status.ridge);
+    solvers.projectors.push_back(std::move(*proj));
   }
   return solvers;
 }

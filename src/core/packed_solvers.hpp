@@ -15,8 +15,17 @@ namespace dopf::core {
 /// per-iteration machinery consumes the packed form below.
 struct LocalSolvers {
   std::vector<dopf::linalg::AffineProjector> projectors;
+  /// Largest Tikhonov ridge any projector needed (0 = all exact). Nonzero
+  /// only when `options.auto_regularize` was set (preflight remediation).
+  double max_ridge = 0.0;
 
-  static LocalSolvers precompute(const dopf::opf::DistributedProblem& problem);
+  /// Build one projector per component. A component whose Gram matrix is
+  /// not SPD (and that the `options` policy cannot regularize) raises
+  /// opf::ConditioningError with component/row provenance instead of a
+  /// bare SingularMatrixError from deep inside the factorization.
+  static LocalSolvers precompute(
+      const dopf::opf::DistributedProblem& problem,
+      const dopf::linalg::ProjectorOptions& options = {});
 };
 
 /// Packed structure-of-arrays image of everything the per-iteration updates

@@ -57,14 +57,20 @@ class Tokens {
     const std::string t = word(what);
     if (t == "inf") return kInfinity;
     if (t == "-inf") return -kInfinity;
+    double v = 0.0;
     try {
       std::size_t pos = 0;
-      const double v = std::stod(t, &pos);
+      v = std::stod(t, &pos);
       if (pos != t.size()) throw std::invalid_argument(t);
-      return v;
     } catch (const std::exception&) {
       fail(std::string("bad number '") + t + "' for " + what);
     }
+    // Raw IEEE specials are always corrupt input: unboundedness is
+    // spelled "inf"/"-inf" and mapped to the kInfinity sentinel above.
+    if (!std::isfinite(v)) {
+      fail(std::string("non-finite number '") + t + "' for " + what);
+    }
+    return v;
   }
 
   PhaseSet phases(const char* what) {

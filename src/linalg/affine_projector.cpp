@@ -1,20 +1,16 @@
 #include "linalg/affine_projector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/cholesky.hpp"
 
 namespace dopf::linalg {
 
-AffineProjector::AffineProjector(const Matrix& a, std::span<const double> b)
-    : m_(a.rows()) {
-  if (a.rows() != b.size()) {
-    throw std::invalid_argument("AffineProjector: b size must match rows");
-  }
+void AffineProjector::assemble(const Matrix& a, std::span<const double> b,
+                               const Cholesky& gram) {
   const std::size_t n = a.cols();
-  // Gram matrix A A^T is SPD iff A has full row rank.
-  const Cholesky gram(gram_aat(a));
-
   // Abar = A^T (A A^T)^{-1} A - I, built column-block-wise:
   // solve (A A^T) Y = A  (Y is m x n), then Abar = A^T Y - I.
   Matrix y(m_, n);
@@ -30,6 +26,68 @@ AffineProjector::AffineProjector(const Matrix& a, std::span<const double> b)
   // bbar = A^T (A A^T)^{-1} b.
   const std::vector<double> gb = gram.solve(b);
   bbar_ = multiply_transpose(a, gb);
+}
+
+AffineProjector::AffineProjector(const Matrix& a, std::span<const double> b)
+    : m_(a.rows()) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("AffineProjector: b size must match rows");
+  }
+  // Gram matrix A A^T is SPD iff A has full row rank.
+  const Cholesky gram(gram_aat(a));
+  assemble(a, b, gram);
+}
+
+std::optional<AffineProjector> AffineProjector::try_build(
+    const Matrix& a, std::span<const double> b,
+    const ProjectorOptions& options, ProjectorStatus* status) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("AffineProjector: b size must match rows");
+  }
+  ProjectorStatus local;
+  ProjectorStatus& st = status != nullptr ? *status : local;
+  st = ProjectorStatus{};
+
+  Matrix gram = gram_aat(a);
+  CholeskyStatus chol_status;
+  std::optional<Cholesky> chol =
+      Cholesky::try_factor(gram, options.chol_tol, &chol_status);
+
+  double ridge = 0.0;
+  if (!chol && options.auto_regularize) {
+    // Ridge scale relative to the Gram diagonal: deterministic, and
+    // reported so callers can surface the perturbation they accepted.
+    double max_diag = 1.0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+      max_diag = std::max(max_diag, std::abs(gram(i, i)));
+    }
+    ridge = options.ridge_rel * max_diag;
+    for (int attempt = 0; attempt <= options.max_ridge_doublings && !chol;
+         ++attempt) {
+      Matrix ridged = gram;
+      for (std::size_t i = 0; i < ridged.rows(); ++i) {
+        ridged(i, i) += ridge;
+      }
+      chol = Cholesky::try_factor(ridged, options.chol_tol, &chol_status);
+      if (!chol) ridge *= 2.0;
+    }
+  }
+
+  if (!chol) {
+    st.ok = false;
+    st.ridge = 0.0;
+    st.pivot_index = chol_status.pivot_index;
+    st.pivot_value = chol_status.pivot_value;
+    return std::nullopt;
+  }
+
+  AffineProjector proj;
+  proj.m_ = a.rows();
+  proj.ridge_ = ridge;
+  proj.assemble(a, b, *chol);
+  st.ok = true;
+  st.ridge = ridge;
+  return proj;
 }
 
 std::vector<double> AffineProjector::apply_paper_form(

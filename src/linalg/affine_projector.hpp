@@ -1,11 +1,36 @@
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace dopf::linalg {
+
+/// Policy for building an AffineProjector when `A A^T` turns out not to be
+/// numerically SPD (near-duplicate constraint rows that survived the RREF
+/// tolerance). This is the preflight remediation knob: with
+/// `auto_regularize` off the build fails with a status (strict behaviour);
+/// with it on, a Tikhonov ridge `sigma I` is added to the Gram matrix —
+/// starting at `ridge_rel * max(1, max diag(A A^T))` and doubling up to
+/// `max_ridge_doublings` times — and the applied perturbation is reported.
+struct ProjectorOptions {
+  double chol_tol = 1e-12;
+  bool auto_regularize = false;
+  double ridge_rel = 1e-10;
+  int max_ridge_doublings = 24;
+};
+
+/// Outcome of try_build: whether the projector exists, the Tikhonov ridge
+/// that was applied (0 = exact projector), and on failure the offending
+/// Cholesky pivot for row-level provenance.
+struct ProjectorStatus {
+  bool ok = false;
+  double ridge = 0.0;
+  std::size_t pivot_index = 0;
+  double pivot_value = 0.0;
+};
 
 /// Precomputed orthogonal projector onto the affine set {x : A x = b} for a
 /// full-row-rank A.
@@ -15,7 +40,7 @@ namespace dopf::linalg {
 ///   bbar = A^T (A A^T)^{-1} b           (15c)
 ///   x_s^{t+1} = (1/rho) * Abar * d + bbar,   d = -rho*v - lambda   (15a)
 /// which algebraically equals the projection P(v + lambda/rho) with
-///   P(y) = (I - A^T (A A^T)^{-1} A) y + bbar = -Abar y + bbar ... note the
+///   P(y) = (I - A^T (A A^T)^{-1} A) y + bbar = -Abar y + ... note the
 /// sign: Abar = A^T(AA^T)^{-1}A - I so P(y) = -Abar*y + ... Careful readers:
 /// (1/rho)*Abar*(-rho*y) + bbar = -Abar*y + bbar = (I - A^T(AA^T)^{-1}A) y + bbar.
 ///
@@ -28,8 +53,19 @@ class AffineProjector {
   /// Throws SingularMatrixError if A A^T is numerically singular.
   AffineProjector(const Matrix& a, std::span<const double> b);
 
+  /// Status-returning construction. Returns nullopt (with `status->ok`
+  /// false) when `A A^T` is not SPD and regularization is off or
+  /// exhausted; otherwise the built projector, with `status->ridge`
+  /// recording any Tikhonov perturbation that was needed.
+  static std::optional<AffineProjector> try_build(
+      const Matrix& a, std::span<const double> b,
+      const ProjectorOptions& options = {}, ProjectorStatus* status = nullptr);
+
   std::size_t dim() const noexcept { return abar_.rows(); }
   std::size_t num_constraints() const noexcept { return m_; }
+
+  /// Tikhonov ridge baked into this projector (0 for an exact projector).
+  double ridge() const noexcept { return ridge_; }
 
   /// The paper's (15a): x = (1/rho) * Abar * d + bbar.
   std::vector<double> apply_paper_form(std::span<const double> d,
@@ -48,7 +84,15 @@ class AffineProjector {
   std::span<const double> bbar() const noexcept { return bbar_; }
 
  private:
+  AffineProjector() = default;  // for try_build
+
+  /// Build Abar/bbar from `a`, `b` and the already-factored (possibly
+  /// ridged) Gram matrix.
+  void assemble(const Matrix& a, std::span<const double> b,
+                const class Cholesky& gram);
+
   std::size_t m_ = 0;
+  double ridge_ = 0.0;
   Matrix abar_;                // (15b), n x n
   std::vector<double> bbar_;   // (15c), n
 };

@@ -1,21 +1,27 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace dopf::linalg {
 
-Cholesky::Cholesky(const Matrix& a, double tol) : l_(a.rows(), a.cols()) {
+bool Cholesky::factor(const Matrix& a, double tol, CholeskyStatus* status) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("Cholesky: matrix must be square");
   }
+  l_ = Matrix(a.rows(), a.cols());
   const std::size_t n = a.rows();
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (diag <= tol) {
-      throw SingularMatrixError(
-          "Cholesky: matrix is not positive definite (pivot " +
-          std::to_string(diag) + " at " + std::to_string(j) + ")");
+    if (!(diag > tol)) {  // catches NaN pivots too
+      if (status != nullptr) {
+        status->ok = false;
+        status->pivot_index = j;
+        status->pivot_value = diag;
+      }
+      return false;
     }
     const double ljj = std::sqrt(diag);
     l_(j, j) = ljj;
@@ -25,6 +31,28 @@ Cholesky::Cholesky(const Matrix& a, double tol) : l_(a.rows(), a.cols()) {
       l_(i, j) = sum / ljj;
     }
   }
+  if (status != nullptr) status->ok = true;
+  return true;
+}
+
+Cholesky::Cholesky(const Matrix& a, double tol) {
+  CholeskyStatus status;
+  if (!factor(a, tol, &status)) {
+    throw SingularMatrixError(
+        "Cholesky: matrix is not positive definite (pivot " +
+        std::to_string(status.pivot_value) + " at " +
+        std::to_string(status.pivot_index) + ")");
+  }
+}
+
+std::optional<Cholesky> Cholesky::try_factor(const Matrix& a, double tol,
+                                             CholeskyStatus* status) {
+  Cholesky chol;
+  CholeskyStatus local;
+  if (!chol.factor(a, tol, status != nullptr ? status : &local)) {
+    return std::nullopt;
+  }
+  return chol;
 }
 
 std::vector<double> Cholesky::solve(std::span<const double> b) const {

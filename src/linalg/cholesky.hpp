@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -17,6 +18,16 @@ class SingularMatrixError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Outcome of a non-throwing factorization attempt (try_factor). When a
+/// pivot fell at or below tolerance, `pivot_index`/`pivot_value` name the
+/// offending column so callers can report row-level provenance instead of
+/// surfacing a NaN much later.
+struct CholeskyStatus {
+  bool ok = false;
+  std::size_t pivot_index = 0;
+  double pivot_value = 0.0;
+};
+
 /// Dense Cholesky factorization of a symmetric positive definite matrix.
 ///
 /// Used for the per-component Gram matrices `A_s A_s^T` in the local-update
@@ -27,6 +38,14 @@ class Cholesky {
   /// Factor the SPD matrix `a` (only the lower triangle is read).
   /// Throws SingularMatrixError if a pivot falls below `tol`.
   explicit Cholesky(const Matrix& a, double tol = 1e-12);
+
+  /// Status-returning factorization: returns nullopt (and fills `status`,
+  /// if given) instead of throwing when `a` is not SPD within `tol`. This
+  /// is the failure channel the preflight conditioning analyzer and the
+  /// regularized-projector fallback are built on.
+  static std::optional<Cholesky> try_factor(const Matrix& a,
+                                            double tol = 1e-12,
+                                            CholeskyStatus* status = nullptr);
 
   std::size_t dim() const noexcept { return l_.rows(); }
 
@@ -42,6 +61,12 @@ class Cholesky {
   const Matrix& lower() const noexcept { return l_; }
 
  private:
+  Cholesky() = default;  // for try_factor
+
+  /// Shared factorization core; returns false (filling `status`) on a
+  /// non-positive pivot instead of throwing.
+  bool factor(const Matrix& a, double tol, CholeskyStatus* status);
+
   Matrix l_;
 };
 

@@ -83,4 +83,25 @@ RrefResult row_reduce(const Matrix& a_in, std::vector<double> b,
   return result;
 }
 
+std::vector<double> equilibrate_rows(Matrix* a, std::vector<double>* b) {
+  if (a == nullptr || b == nullptr || a->rows() != b->size()) {
+    throw std::invalid_argument("equilibrate_rows: b size must match rows");
+  }
+  const std::size_t m = a->rows();
+  const std::size_t n = a->cols();
+  std::vector<double> scale(m, 1.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      norm = std::max(norm, std::abs((*a)(r, j)));
+    }
+    if (norm == 0.0) continue;  // zero row: nothing to scale
+    const double s = 1.0 / norm;
+    scale[r] = s;
+    for (std::size_t j = 0; j < n; ++j) (*a)(r, j) *= s;
+    (*b)[r] *= s;
+  }
+  return scale;
+}
+
 }  // namespace dopf::linalg

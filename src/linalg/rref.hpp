@@ -36,4 +36,13 @@ struct RrefResult {
 RrefResult row_reduce(const Matrix& a, std::vector<double> b,
                       double tol = 1e-10);
 
+/// Scale each row of the augmented system [A | b] to unit infinity norm
+/// (rows that are exactly zero are left untouched). Row scaling is an exact
+/// remediation: it does not change the solution set {x : A x = b}, only the
+/// conditioning of the Gram matrix `A A^T` the projector is built from —
+/// mixed-unit feeder data (impedances spanning many decades) otherwise
+/// drives `cond(A A^T)` beyond what the Cholesky tolerance survives.
+/// Returns the applied per-row scale factors (1/row_inf_norm).
+std::vector<double> equilibrate_rows(Matrix* a, std::vector<double>* b);
+
 }  // namespace dopf::linalg

@@ -9,6 +9,19 @@ namespace dopf::opf {
 
 using network::Network;
 
+ConditioningError::ConditioningError(std::string component,
+                                     std::size_t pivot_index,
+                                     double pivot_value)
+    : ModelError("component '" + component +
+                 "' is numerically rank-deficient: Gram pivot " +
+                 std::to_string(pivot_value) + " at row " +
+                 std::to_string(pivot_index) +
+                 " (near-duplicate constraint rows survived the RREF "
+                 "tolerance; enable preflight remediation or fix the input)"),
+      component_(std::move(component)),
+      pivot_index_(pivot_index),
+      pivot_value_(pivot_value) {}
+
 std::size_t DistributedProblem::total_local_vars() const {
   return std::accumulate(components.begin(), components.end(), std::size_t{0},
                          [](std::size_t acc, const Component& comp) {
@@ -58,6 +71,10 @@ Component assemble(std::string name,
   // Reset the scratch map for the next component.
   for (int g : comp.global) scratch_local_of_global[g] = -1;
   (void)num_global;
+
+  if (options.equilibrate_rows) {
+    dopf::linalg::equilibrate_rows(&a, &b);
+  }
 
   if (options.row_reduce) {
     dopf::linalg::RrefResult red =

@@ -8,6 +8,26 @@
 
 namespace dopf::opf {
 
+/// Thrown when a component block is numerically unusable: its Gram matrix
+/// `A_s A_s^T` is not SPD within tolerance, so the closed-form projector
+/// (15b)-(15c) does not exist. Carries component provenance so the failure
+/// is actionable at the feeder level instead of surfacing as a NaN (or a
+/// bare SingularMatrixError) deep inside the solver precompute.
+class ConditioningError : public ModelError {
+ public:
+  ConditioningError(std::string component, std::size_t pivot_index,
+                    double pivot_value);
+
+  const std::string& component() const noexcept { return component_; }
+  std::size_t pivot_index() const noexcept { return pivot_index_; }
+  double pivot_value() const noexcept { return pivot_value_; }
+
+ private:
+  std::string component_;
+  std::size_t pivot_index_ = 0;
+  double pivot_value_ = 0.0;
+};
+
 /// One component subproblem s of the distributed model (9):
 /// local feasible set  { x_s : A_s x_s = b_s }  plus the consensus map B_s.
 ///
@@ -54,6 +74,12 @@ struct DecomposeOptions {
   /// rank and will throw on rank-deficient components.
   bool row_reduce = true;
   double rref_tol = 1e-9;
+  /// Scale every raw constraint row to unit infinity norm before the row
+  /// reduction (preflight remediation for mixed-unit feeder data). Exact:
+  /// the solution set of each A_s x = b_s is unchanged, but the relative
+  /// pivot tolerance and the Gram conditioning both improve. Off by
+  /// default so existing runs stay bit-identical.
+  bool equilibrate_rows = false;
 };
 
 /// Split the model into per-component subproblems. Throws ModelError if a

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/affine_projector.hpp"
+#include "opf/decompose.hpp"
+
+namespace dopf::robust {
+
+/// Classification of one component block's numerical health.
+enum class BlockHealth { kHealthy, kMarginal, kDegenerate };
+
+const char* to_string(BlockHealth health);
+
+/// Conditioning estimate for one component's equality block A_s (after the
+/// RREF preprocessing of Sec. IV-B). `rank` is the numerical row rank the
+/// pivoted reduction found; `cond` estimates cond(A_s A_s^T) — the matrix
+/// whose Cholesky factorization the closed-form projector (15b)-(15c)
+/// stands on. `ridge` is the Tikhonov perturbation the remediation policy
+/// would need (0 when the exact factorization succeeds).
+struct BlockConditioning {
+  std::string component;
+  std::size_t rows = 0;                   ///< m_s after reduction
+  std::size_t cols = 0;                   ///< n_s
+  std::size_t rows_before_reduction = 0;
+  std::size_t rank = 0;
+  double cond = 1.0;
+  double ridge = 0.0;
+  BlockHealth health = BlockHealth::kHealthy;
+};
+
+struct ConditioningOptions {
+  /// cond(A_s A_s^T) thresholds for the marginal / degenerate verdicts.
+  double cond_marginal = 1e8;
+  double cond_degenerate = 1e12;
+  /// Power-iteration steps for the extreme-eigenvalue estimates. The
+  /// iteration is deterministic (fixed start vector), so preflight output
+  /// is reproducible across runs and backends.
+  int power_iterations = 48;
+  /// Factorization policy used to probe whether the projector exists and
+  /// what ridge the remediation path would apply.
+  dopf::linalg::ProjectorOptions projector;
+};
+
+/// Estimate cond(G) for the SPD-candidate Gram matrix of `a` via power
+/// iteration (largest eigenvalue) and inverse iteration through the
+/// Cholesky factor (smallest). Returns +inf when G is numerically
+/// indefinite. Exposed for tests.
+double estimate_gram_cond(const dopf::linalg::Matrix& a,
+                          const ConditioningOptions& options = {});
+
+/// Analyze one component block.
+BlockConditioning analyze_component(const dopf::opf::Component& comp,
+                                    const ConditioningOptions& options = {});
+
+/// Analyze every component of a decomposed problem.
+std::vector<BlockConditioning> analyze_conditioning(
+    const dopf::opf::DistributedProblem& problem,
+    const ConditioningOptions& options = {});
+
+}  // namespace dopf::robust

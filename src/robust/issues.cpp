@@ -1,0 +1,57 @@
+#include "robust/issues.hpp"
+
+namespace dopf::robust {
+
+const char* to_string(IssueCode code) {
+  switch (code) {
+    case IssueCode::kNonFiniteData: return "non-finite-data";
+    case IssueCode::kInvertedBounds: return "inverted-bounds";
+    case IssueCode::kDegenerateBox: return "degenerate-box";
+    case IssueCode::kPhaseMismatch: return "phase-mismatch";
+    case IssueCode::kOrphanPhase: return "orphan-phase";
+    case IssueCode::kEmptyPhases: return "empty-phases";
+    case IssueCode::kBadScalar: return "bad-scalar";
+    case IssueCode::kNoGenerator: return "no-generator";
+    case IssueCode::kDisconnected: return "disconnected";
+    case IssueCode::kRowScaleDisparity: return "row-scale-disparity";
+    case IssueCode::kNearDuplicateRows: return "near-duplicate-rows";
+    case IssueCode::kInconsistentRows: return "inconsistent-rows";
+    case IssueCode::kRankDeficient: return "rank-deficient";
+    case IssueCode::kIllConditioned: return "ill-conditioned";
+    case IssueCode::kEquilibrated: return "equilibrated";
+    case IssueCode::kRegularized: return "regularized";
+  }
+  return "unknown";
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Issue::to_string() const {
+  std::string out = "[";
+  out += robust::to_string(severity);
+  out += "] ";
+  out += robust::to_string(code);
+  out += " at ";
+  out += site;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+std::size_t count_severity(const std::vector<Issue>& issues,
+                           Severity severity) {
+  std::size_t n = 0;
+  for (const Issue& issue : issues) {
+    if (issue.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace dopf::robust

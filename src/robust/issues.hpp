@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dopf::robust {
+
+/// Typed taxonomy of everything the preflight sanitizer can object to.
+/// Structural codes come from the feeder/network data itself; numerical
+/// codes come from the assembled model / component blocks. Each issue
+/// carries component/row provenance in `site` so a rejection is actionable
+/// at the input level instead of surfacing as a NaN downstream.
+enum class IssueCode {
+  // Structural (feeder / network level).
+  kNonFiniteData,       ///< NaN or raw IEEE infinity in a numeric field
+  kInvertedBounds,      ///< lb > ub on an active phase
+  kDegenerateBox,       ///< lb == ub (legal but pins the variable)
+  kPhaseMismatch,       ///< component phases not a subset of its bus phases
+  kOrphanPhase,         ///< bus phase served by no incident line
+  kEmptyPhases,         ///< line carrying no phase at all
+  kBadScalar,           ///< non-positive tap ratio / flow limit, negative ZIP
+  kNoGenerator,         ///< nothing can produce power
+  kDisconnected,        ///< bus unreachable from the feeder head
+  // Numerical (model / component-block level).
+  kRowScaleDisparity,   ///< coefficient magnitudes in one equation span decades
+  kNearDuplicateRows,   ///< two constraint rows nearly parallel
+  kInconsistentRows,    ///< RREF found 0 = nonzero within a component
+  kRankDeficient,       ///< Gram matrix not SPD, projector does not exist
+  kIllConditioned,      ///< cond(A_s A_s^T) beyond the marginal threshold
+  // Remediation records (only emitted when a fix was applied).
+  kEquilibrated,        ///< rows rescaled to unit infinity norm
+  kRegularized,         ///< Tikhonov ridge added to a Gram matrix
+};
+
+enum class Severity : int { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* to_string(IssueCode code);
+const char* to_string(Severity severity);
+
+/// One finding: what, how bad, where (e.g. "bus:632", "line:L7 row 3",
+/// "equation pbal:671:a"), and a human-readable explanation.
+struct Issue {
+  IssueCode code = IssueCode::kNonFiniteData;
+  Severity severity = Severity::kError;
+  std::string site;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Count issues at exactly `severity`.
+std::size_t count_severity(const std::vector<Issue>& issues,
+                           Severity severity);
+
+}  // namespace dopf::robust

@@ -1,0 +1,208 @@
+#include "robust/preflight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace dopf::robust {
+
+const char* to_string(PreflightPolicy policy) {
+  switch (policy) {
+    case PreflightPolicy::kWarn: return "warn";
+    case PreflightPolicy::kRemediate: return "remediate";
+    case PreflightPolicy::kStrict: return "strict";
+  }
+  return "unknown";
+}
+
+PreflightPolicy parse_policy(const std::string& text) {
+  if (text == "warn") return PreflightPolicy::kWarn;
+  if (text == "auto" || text == "remediate") return PreflightPolicy::kRemediate;
+  if (text == "strict") return PreflightPolicy::kStrict;
+  throw std::invalid_argument("unknown preflight policy '" + text +
+                              "' (expected warn, auto, or strict)");
+}
+
+std::size_t PreflightReport::count_health(BlockHealth health) const {
+  std::size_t n = 0;
+  for (const BlockConditioning& b : blocks) {
+    if (b.health == health) ++n;
+  }
+  return n;
+}
+
+double PreflightReport::worst_cond() const {
+  double worst = 1.0;
+  for (const BlockConditioning& b : blocks) {
+    worst = std::max(worst, b.cond);
+  }
+  return worst;
+}
+
+dopf::linalg::ProjectorOptions PreflightReport::projector_options() const {
+  dopf::linalg::ProjectorOptions opts;
+  opts.auto_regularize = policy == PreflightPolicy::kRemediate;
+  return opts;
+}
+
+std::string PreflightReport::summary() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "preflight[policy=%s]: %zu components, %zu error(s), %zu "
+                "warning(s), %zu note(s)\n",
+                robust::to_string(policy), blocks.size(), num_errors(),
+                num_warnings(), count_severity(issues, Severity::kInfo));
+  out += line;
+  for (const Issue& issue : issues) {
+    out += "  " + issue.to_string() + "\n";
+  }
+  const BlockConditioning* worst = nullptr;
+  for (const BlockConditioning& b : blocks) {
+    if (worst == nullptr || b.cond > worst->cond) worst = &b;
+  }
+  std::snprintf(line, sizeof(line),
+                "conditioning: %zu healthy, %zu marginal, %zu degenerate",
+                count_health(BlockHealth::kHealthy),
+                count_health(BlockHealth::kMarginal),
+                count_health(BlockHealth::kDegenerate));
+  out += line;
+  if (worst != nullptr) {
+    std::snprintf(line, sizeof(line), "; worst cond %.3e (%s)",
+                  worst->cond, worst->component.c_str());
+    out += line;
+  }
+  out += "\n";
+  if (equilibrated || max_ridge > 0.0) {
+    out += "remediation:";
+    if (equilibrated) out += " rows equilibrated;";
+    std::snprintf(line, sizeof(line), " max Tikhonov ridge %.3e\n", max_ridge);
+    out += line;
+  }
+  out += accepted ? "verdict: accepted\n" : "verdict: REJECTED: " + rejection +
+                                                "\n";
+  return out;
+}
+
+PreflightReport run_preflight(const dopf::network::Network& net,
+                              const dopf::opf::OpfModel& model,
+                              dopf::opf::DistributedProblem* problem_out,
+                              const PreflightOptions& options) {
+  PreflightReport report;
+  report.policy = options.policy;
+
+  // 1. Structural sanitation of the feeder, then numerical sanitation of
+  //    the assembled model. Collect everything before judging.
+  report.issues = sanitize_network(net, options.sanitize);
+  {
+    std::vector<Issue> model_issues = sanitize_model(model, options.sanitize);
+    report.issues.insert(report.issues.end(),
+                         std::make_move_iterator(model_issues.begin()),
+                         std::make_move_iterator(model_issues.end()));
+  }
+  if (options.policy == PreflightPolicy::kStrict) {
+    // Strict refuses raw models whose constraint rows are nearly parallel
+    // even when RREF would recover a well-conditioned block: the Gram
+    // matrix of the *input* is on the edge of losing positive definiteness,
+    // and strict mode exists to surface that instead of relying on the
+    // elimination order to save it.
+    for (Issue& issue : report.issues) {
+      if (issue.code == IssueCode::kNearDuplicateRows &&
+          issue.severity == Severity::kWarning) {
+        issue.severity = Severity::kError;
+      }
+    }
+  }
+
+  // 2. Decompose. Under the remediation policy, equilibrate the raw rows
+  //    first (exact: the feasible sets are unchanged). An inconsistent
+  //    component surfaces here as ModelError and becomes a typed issue
+  //    rather than an exception escaping preflight.
+  dopf::opf::DecomposeOptions dec = options.decompose;
+  if (options.policy == PreflightPolicy::kRemediate) {
+    dec.equilibrate_rows = true;
+  }
+  dopf::opf::DistributedProblem problem;
+  bool decomposed = false;
+  const bool sanitation_clean =
+      count_severity(report.issues, Severity::kError) == 0;
+  if (sanitation_clean) {
+    try {
+      problem = dopf::opf::decompose(net, model, dec);
+      decomposed = true;
+      report.equilibrated = dec.equilibrate_rows;
+    } catch (const dopf::opf::ModelError& e) {
+      report.issues.push_back(Issue{IssueCode::kInconsistentRows,
+                                    Severity::kError, "decompose", e.what()});
+    }
+  }
+
+  // 3. Conditioning analysis of each component block.
+  if (decomposed) {
+    ConditioningOptions cond = options.conditioning;
+    report.blocks = analyze_conditioning(problem, cond);
+    for (const BlockConditioning& block : report.blocks) {
+      char msg[192];
+      if (std::isinf(block.cond)) {
+        // The exact projector does not exist. Under remediation a probed
+        // ridge (if any) rescues it; otherwise this is fatal in every
+        // policy — proceeding would only defer to a ConditioningError.
+        if (options.policy == PreflightPolicy::kRemediate &&
+            block.ridge > 0.0) {
+          std::snprintf(msg, sizeof(msg),
+                        "Gram matrix not SPD; remediated with Tikhonov "
+                        "ridge %.3e (solution perturbed accordingly)",
+                        block.ridge);
+          report.issues.push_back(Issue{IssueCode::kRegularized,
+                                        Severity::kWarning, block.component,
+                                        msg});
+          report.max_ridge = std::max(report.max_ridge, block.ridge);
+        } else {
+          std::snprintf(msg, sizeof(msg),
+                        "Gram matrix not SPD within tolerance: the "
+                        "closed-form projector (15) does not exist "
+                        "(%zu rows kept of %zu)",
+                        block.rows, block.rows_before_reduction);
+          report.issues.push_back(Issue{IssueCode::kRankDeficient,
+                                        Severity::kError, block.component,
+                                        msg});
+        }
+      } else if (block.health == BlockHealth::kDegenerate) {
+        std::snprintf(msg, sizeof(msg),
+                      "cond(A_s A_s') ~ %.3e exceeds the degenerate "
+                      "threshold %.1e",
+                      block.cond, options.conditioning.cond_degenerate);
+        report.issues.push_back(
+            Issue{IssueCode::kIllConditioned,
+                  options.policy == PreflightPolicy::kStrict
+                      ? Severity::kError
+                      : Severity::kWarning,
+                  block.component, msg});
+      } else if (block.health == BlockHealth::kMarginal) {
+        std::snprintf(msg, sizeof(msg), "cond(A_s A_s') ~ %.3e is marginal",
+                      block.cond);
+        report.issues.push_back(Issue{IssueCode::kIllConditioned,
+                                      Severity::kInfo, block.component, msg});
+      }
+    }
+  }
+
+  // 4. Verdict. Errors reject under every policy; strict additionally
+  //    refuses any block that is not healthy-or-marginal (handled above by
+  //    upgrading degenerate conditioning to an error).
+  for (const Issue& issue : report.issues) {
+    if (issue.severity == Severity::kError) {
+      report.accepted = false;
+      report.rejection = issue.to_string();
+      break;
+    }
+  }
+
+  if (report.accepted && problem_out != nullptr) {
+    *problem_out = std::move(problem);
+  }
+  return report;
+}
+
+}  // namespace dopf::robust

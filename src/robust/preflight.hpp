@@ -1,0 +1,107 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "robust/conditioning.hpp"
+#include "robust/issues.hpp"
+#include "robust/sanitize.hpp"
+
+namespace dopf::robust {
+
+/// What preflight is allowed to do about what it finds.
+///
+///   kWarn      analyze and report; reject only hard structural errors
+///              (non-finite data, inverted bounds, disconnection, ...).
+///              Numerically marginal/degenerate blocks proceed unchanged —
+///              the run is byte-identical to one without preflight.
+///   kRemediate like kWarn, plus automatic repair of the numerical issues:
+///              rows are equilibrated before RREF, and a projector whose
+///              Gram matrix fails Cholesky falls back to a reported
+///              Tikhonov ridge instead of failing.
+///   kStrict    refuse anything not perfectly healthy: structural errors,
+///              degenerate component blocks, AND nearly-parallel constraint
+///              rows in the raw model are rejections. No remediation is
+///              applied.
+enum class PreflightPolicy { kWarn, kRemediate, kStrict };
+
+const char* to_string(PreflightPolicy policy);
+/// Parse "warn" / "auto" / "remediate" / "strict". Throws
+/// std::invalid_argument otherwise ("off" is handled by callers).
+PreflightPolicy parse_policy(const std::string& text);
+
+struct PreflightOptions {
+  PreflightPolicy policy = PreflightPolicy::kWarn;
+  SanitizeOptions sanitize;
+  ConditioningOptions conditioning;
+  /// Decomposition profile preflight analyzes (and, under kRemediate,
+  /// amends with row equilibration). Must match what the solve will use so
+  /// the verdict talks about the actual blocks.
+  dopf::opf::DecomposeOptions decompose;
+};
+
+/// Everything preflight determined, in one consumable report.
+struct PreflightReport {
+  PreflightPolicy policy = PreflightPolicy::kWarn;
+  std::vector<Issue> issues;
+  std::vector<BlockConditioning> blocks;
+
+  /// Remediation actually applied (kRemediate only).
+  bool equilibrated = false;
+  double max_ridge = 0.0;
+
+  bool accepted = true;
+  /// Non-empty exactly when !accepted: the first rejection reason, with
+  /// component/row provenance.
+  std::string rejection;
+
+  std::size_t num_errors() const {
+    return count_severity(issues, Severity::kError);
+  }
+  std::size_t num_warnings() const {
+    return count_severity(issues, Severity::kWarning);
+  }
+  std::size_t count_health(BlockHealth health) const;
+  double worst_cond() const;
+
+  /// Multi-line human-readable report (one line per issue + a conditioning
+  /// summary + the verdict).
+  std::string summary() const;
+  /// The projector policy a solve consuming this report must use so that
+  /// the solver applies exactly the remediation the report describes.
+  dopf::linalg::ProjectorOptions projector_options() const;
+};
+
+/// Thrown by entry points when a preflighted input is rejected; carries the
+/// full report for diagnostics.
+class PreflightError : public std::runtime_error {
+ public:
+  explicit PreflightError(PreflightReport report)
+      : std::runtime_error(report.rejection), report_(std::move(report)) {}
+
+  const PreflightReport& report() const noexcept { return report_; }
+
+ private:
+  PreflightReport report_;
+};
+
+/// Run the full preflight pipeline over a loaded network + built model:
+/// structural sanitation, numerical model sanitation, decomposition (with
+/// row equilibration under kRemediate), and per-component conditioning
+/// analysis. On acceptance `problem_out` (if non-null) receives the
+/// decomposition the solve should use — identical to a plain decompose()
+/// under kWarn/kStrict, equilibrated under kRemediate.
+///
+/// Never throws on findings (the verdict is in the report); throws only on
+/// infrastructure misuse (e.g. model/net mismatch propagating out of
+/// decompose as ModelError).
+PreflightReport run_preflight(const dopf::network::Network& net,
+                              const dopf::opf::OpfModel& model,
+                              dopf::opf::DistributedProblem* problem_out,
+                              const PreflightOptions& options = {});
+
+}  // namespace dopf::robust

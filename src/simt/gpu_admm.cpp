@@ -22,7 +22,8 @@ GpuSolverFreeAdmm::GpuSolverFreeAdmm(const DistributedProblem& problem,
                SimtBackend::Config{options.threads_per_block,
                                    options.elementwise_block}),
       rho_(options.admm.rho) {
-  const LocalSolvers solvers = LocalSolvers::precompute(problem);
+  const LocalSolvers solvers =
+      LocalSolvers::precompute(problem, options.admm.projector);
   image_ = DeviceProblem::build(problem, solvers);
 
   x_ = problem.x0;

@@ -29,7 +29,8 @@ MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
     : problem_(&problem),
       options_(options),
       rho_(options.gpu.admm.rho) {
-  const LocalSolvers solvers = LocalSolvers::precompute(problem);
+  const LocalSolvers solvers =
+      LocalSolvers::precompute(problem, options.gpu.admm.projector);
   image_ = DeviceProblem::build(problem, solvers);
   devices_.assign(std::max<std::size_t>(1, options.num_devices),
                   Device(options.device_spec));

@@ -1,0 +1,305 @@
+#include "verify/adversarial.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <random>
+#include <utility>
+
+#include "feeders/synthetic.hpp"
+#include "linalg/cholesky.hpp"
+#include "network/network.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace dopf::verify {
+
+using dopf::core::AdmmOptions;
+using dopf::core::AdmmResult;
+using dopf::core::SolverFreeAdmm;
+using dopf::network::Network;
+using dopf::network::Phase;
+using dopf::network::PhaseSet;
+using dopf::opf::OpfModel;
+using dopf::robust::PreflightPolicy;
+
+const char* to_string(AdversarialMutation mutation) {
+  switch (mutation) {
+    case AdversarialMutation::kScaleBlowup: return "scale-blowup";
+    case AdversarialMutation::kScaleCollapse: return "scale-collapse";
+    case AdversarialMutation::kMixedUnits: return "mixed-units";
+    case AdversarialMutation::kDuplicateRow: return "duplicate-row";
+    case AdversarialMutation::kNearDuplicateRow: return "near-duplicate-row";
+    case AdversarialMutation::kInvertedBox: return "inverted-box";
+    case AdversarialMutation::kDegenerateBox: return "degenerate-box";
+    case AdversarialMutation::kOrphanPhase: return "orphan-phase";
+    case AdversarialMutation::kNanLoad: return "nan-load";
+    case AdversarialMutation::kInfImpedance: return "inf-impedance";
+    case AdversarialMutation::kNegativeTap: return "negative-tap";
+    case AdversarialMutation::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* to_string(AdversarialOutcome outcome) {
+  switch (outcome) {
+    case AdversarialOutcome::kSolved: return "solved";
+    case AdversarialOutcome::kRejected: return "rejected";
+    case AdversarialOutcome::kDiverged: return "diverged";
+    case AdversarialOutcome::kFailed: return "FAILED";
+  }
+  return "unknown";
+}
+
+AdversarialOptions::AdversarialOptions() {
+  // The corpus cares about "finite result or typed rejection", not tight
+  // convergence: a small budget keeps 200 cases inside a CI slice.
+  admm.eps_rel = 1e-2;
+  admm.max_iterations = 4000;
+  admm.check_every = 10;
+}
+
+namespace {
+
+/// Deliberately corrupt the feeder (network-stage mutations).
+void mutate_network(Network* net, AdversarialMutation mutation,
+                    std::mt19937_64* rng) {
+  auto pick = [&](std::size_t n) {
+    return static_cast<int>(
+        std::uniform_int_distribution<std::size_t>(0, n - 1)(*rng));
+  };
+  switch (mutation) {
+    case AdversarialMutation::kScaleBlowup:
+    case AdversarialMutation::kScaleCollapse: {
+      const double s =
+          mutation == AdversarialMutation::kScaleBlowup ? 1e12 : 1e-12;
+      auto& line = net->line_mutable(pick(net->num_lines()));
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+          line.r(i, j) *= s;
+          line.x(i, j) *= s;
+        }
+      }
+      break;
+    }
+    case AdversarialMutation::kMixedUnits: {
+      // Column-scale the impedance blocks so single flow equations mix
+      // coefficients 12 decades apart — the "ohms in one column, micro-ohms
+      // in another" data-entry accident.
+      static const double kScale[3] = {1.0, 1e8, 1e12};
+      auto& line = net->line_mutable(pick(net->num_lines()));
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+          line.r(i, j) *= kScale[j];
+          line.x(i, j) *= kScale[j];
+        }
+      }
+      break;
+    }
+    case AdversarialMutation::kInvertedBox: {
+      auto& bus = net->bus_mutable(pick(net->num_buses()));
+      const Phase p = *bus.phases.phases().begin();
+      std::swap(bus.w_min[p], bus.w_max[p]);
+      bus.w_min[p] += 0.05;  // ensure strictly inverted even if equal
+      break;
+    }
+    case AdversarialMutation::kDegenerateBox: {
+      auto& bus = net->bus_mutable(pick(net->num_buses()));
+      for (Phase p : bus.phases.phases()) bus.w_max[p] = bus.w_min[p];
+      break;
+    }
+    case AdversarialMutation::kOrphanPhase: {
+      // Claim all three phases on some bus whose service is narrower; if
+      // every bus is already three-phase, narrow a line instead (orphaning
+      // whatever it used to deliver downstream).
+      const std::size_t n = net->num_buses();
+      const std::size_t start = static_cast<std::size_t>(pick(n));
+      for (std::size_t k = 0; k < n; ++k) {
+        auto& bus = net->bus_mutable(static_cast<int>((start + k) % n));
+        if (bus.phases.count() < 3) {
+          bus.phases = PhaseSet::abc();
+          return;
+        }
+      }
+      auto& line = net->line_mutable(pick(net->num_lines()));
+      line.phases = PhaseSet::single(*line.phases.phases().begin());
+      break;
+    }
+    case AdversarialMutation::kNanLoad: {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      if (net->num_loads() > 0) {
+        auto& load = net->load_mutable(pick(net->num_loads()));
+        load.p_ref[*load.phases.phases().begin()] = nan;
+      } else {
+        auto& bus = net->bus_mutable(pick(net->num_buses()));
+        bus.w_max[*bus.phases.phases().begin()] = nan;
+      }
+      break;
+    }
+    case AdversarialMutation::kInfImpedance: {
+      auto& line = net->line_mutable(pick(net->num_lines()));
+      line.r(0, 0) = std::numeric_limits<double>::infinity();
+      break;
+    }
+    case AdversarialMutation::kNegativeTap: {
+      auto& line = net->line_mutable(pick(net->num_lines()));
+      const Phase p = *line.phases.phases().begin();
+      line.tap_ratio[p] = -line.tap_ratio[p];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Model-stage mutations: constraint-row damage the feeder format cannot
+/// express directly.
+void mutate_model(OpfModel* model, AdversarialMutation mutation,
+                  std::mt19937_64* rng) {
+  if (model->equations.empty()) return;
+  const std::size_t k = std::uniform_int_distribution<std::size_t>(
+      0, model->equations.size() - 1)(*rng);
+  dopf::opf::Equation dup = model->equations[k];
+  dup.name += "~dup";
+  if (mutation == AdversarialMutation::kNearDuplicateRow) {
+    // Consistent but nearly parallel: survives the RREF tolerance (1e-9)
+    // yet drives the Gram pivot below the Cholesky tolerance — the
+    // motivating failure for the conditioning analyzer.
+    const double s = 1.0 + 1e-8;
+    for (auto& term : dup.terms) term.second *= s;
+    dup.rhs *= s;
+  }
+  model->equations.push_back(std::move(dup));
+}
+
+bool is_model_stage(AdversarialMutation mutation) {
+  return mutation == AdversarialMutation::kDuplicateRow ||
+         mutation == AdversarialMutation::kNearDuplicateRow;
+}
+
+AdversarialCase run_case(std::uint64_t seed, AdversarialMutation mutation,
+                         PreflightPolicy policy, const AdmmOptions& admm_opt) {
+  AdversarialCase result;
+  result.seed = seed;
+  result.mutation = mutation;
+  result.policy = policy;
+  std::mt19937_64 rng(seed ^ 0xc0ffee123456789ull);
+
+  try {
+    Network net = dopf::feeders::synthetic_feeder(random_spec(seed));
+    if (!is_model_stage(mutation)) mutate_network(&net, mutation, &rng);
+    OpfModel model = dopf::opf::build_model(net);
+    if (is_model_stage(mutation)) mutate_model(&model, mutation, &rng);
+
+    dopf::robust::PreflightOptions popt;
+    popt.policy = policy;
+    dopf::opf::DistributedProblem problem;
+    const dopf::robust::PreflightReport report =
+        dopf::robust::run_preflight(net, model, &problem, popt);
+    if (!report.accepted) {
+      result.outcome = AdversarialOutcome::kRejected;
+      result.detail = report.rejection;
+      return result;
+    }
+
+    AdmmOptions opt = admm_opt;
+    opt.projector = report.projector_options();
+    SolverFreeAdmm admm(problem, opt);
+    const AdmmResult res = admm.solve();
+    if (res.converged) {
+      bool finite = std::isfinite(res.objective);
+      for (double v : admm.x()) finite = finite && std::isfinite(v);
+      for (double v : admm.z()) finite = finite && std::isfinite(v);
+      if (!finite) {
+        result.outcome = AdversarialOutcome::kFailed;
+        result.detail = "converged result contains non-finite entries";
+        return result;
+      }
+      result.outcome = AdversarialOutcome::kSolved;
+    } else {
+      result.outcome = AdversarialOutcome::kDiverged;
+    }
+    result.detail = dopf::core::to_string(res.status);
+    return result;
+  } catch (const dopf::robust::PreflightError& e) {
+    result.outcome = AdversarialOutcome::kRejected;
+    result.detail = e.what();
+  } catch (const dopf::opf::ModelError& e) {
+    result.outcome = AdversarialOutcome::kRejected;
+    result.detail = e.what();
+  } catch (const dopf::network::NetworkError& e) {
+    result.outcome = AdversarialOutcome::kRejected;
+    result.detail = e.what();
+  } catch (const dopf::linalg::SingularMatrixError& e) {
+    result.outcome = AdversarialOutcome::kRejected;
+    result.detail = e.what();
+  } catch (const std::invalid_argument& e) {
+    result.outcome = AdversarialOutcome::kRejected;
+    result.detail = e.what();
+  } catch (const std::exception& e) {
+    result.outcome = AdversarialOutcome::kFailed;
+    result.detail = std::string("untyped exception escaped: ") + e.what();
+  }
+  return result;
+}
+
+}  // namespace
+
+int AdversarialReport::num_failed() const {
+  int failed = 0;
+  for (const AdversarialCase& c : cases) {
+    if (!c.acceptable()) ++failed;
+  }
+  return failed;
+}
+
+std::size_t AdversarialReport::count_outcome(AdversarialOutcome outcome) const {
+  std::size_t n = 0;
+  for (const AdversarialCase& c : cases) {
+    if (c.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::string AdversarialReport::summary() const {
+  std::string out;
+  for (const AdversarialCase& c : cases) {
+    if (c.acceptable()) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "seed %llu [%s, policy=%s]: %s — %s\n",
+                  static_cast<unsigned long long>(c.seed),
+                  verify::to_string(c.mutation),
+                  dopf::robust::to_string(c.policy),
+                  verify::to_string(c.outcome), c.detail.c_str());
+    out += line;
+  }
+  char verdict[192];
+  std::snprintf(verdict, sizeof(verdict),
+                "adversarial: %zu cases — %zu solved, %zu rejected, "
+                "%zu diverged, %d FAILED\n",
+                cases.size(), count_outcome(AdversarialOutcome::kSolved),
+                count_outcome(AdversarialOutcome::kRejected),
+                count_outcome(AdversarialOutcome::kDiverged), num_failed());
+  out += verdict;
+  return out;
+}
+
+AdversarialReport run_adversarial(const AdversarialOptions& options) {
+  static const PreflightPolicy kPolicies[3] = {PreflightPolicy::kWarn,
+                                               PreflightPolicy::kRemediate,
+                                               PreflightPolicy::kStrict};
+  const int num_mutations = static_cast<int>(AdversarialMutation::kCount);
+  AdversarialReport report;
+  report.cases.reserve(static_cast<std::size_t>(options.num_cases));
+  for (int i = 0; i < options.num_cases; ++i) {
+    report.cases.push_back(
+        run_case(options.base_seed + static_cast<std::uint64_t>(i),
+                 static_cast<AdversarialMutation>(i % num_mutations),
+                 kPolicies[i % 3], options.admm));
+  }
+  return report;
+}
+
+}  // namespace dopf::verify

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "robust/preflight.hpp"
+
+namespace dopf::verify {
+
+/// The adversarial corpus: seeded random feeders, each deliberately damaged
+/// in one of the ways the preflight layer exists to catch. Every case must
+/// end in exactly one of two acceptable states — solved (finite iterate,
+/// typed status) or rejected with a typed diagnostic. A NaN escaping into a
+/// "solved" result, or an untyped exception, is a harness failure.
+enum class AdversarialMutation {
+  kScaleBlowup,      ///< one line's impedance block scaled by 1e12
+  kScaleCollapse,    ///< one line's impedance block scaled by 1e-12
+  kMixedUnits,       ///< impedance entries re-scaled per-phase by 1..1e12
+  kDuplicateRow,     ///< one model equation duplicated verbatim
+  kNearDuplicateRow, ///< duplicated with coefficients scaled by 1 + 1e-8
+  kInvertedBox,      ///< a bus voltage box with w_min > w_max
+  kDegenerateBox,    ///< a bus voltage box pinned to lb == ub
+  kOrphanPhase,      ///< a bus claims a phase no incident line carries
+  kNanLoad,          ///< a load reference becomes IEEE NaN
+  kInfImpedance,     ///< an impedance entry becomes IEEE +inf
+  kNegativeTap,      ///< a transformer tap ratio goes non-positive
+  kCount             ///< number of mutations (not a mutation)
+};
+
+const char* to_string(AdversarialMutation mutation);
+
+/// How one adversarial case ended.
+enum class AdversarialOutcome {
+  kSolved,    ///< preflight accepted; ADMM returned a finite iterate
+  kRejected,  ///< preflight (or a typed exception) diagnosed the damage
+  kDiverged,  ///< accepted but ADMM reported diverged/stalled/iter-limit
+  kFailed     ///< NaN/inf in a "solved" result, or an untyped escape
+};
+
+const char* to_string(AdversarialOutcome outcome);
+
+struct AdversarialOptions {
+  int num_cases = 200;
+  std::uint64_t base_seed = 20260807;
+  /// Small-budget ADMM profile for the solve leg (the corpus cares about
+  /// "finite and typed", not tight convergence).
+  dopf::core::AdmmOptions admm;
+
+  AdversarialOptions();
+};
+
+struct AdversarialCase {
+  std::uint64_t seed = 0;
+  AdversarialMutation mutation = AdversarialMutation::kScaleBlowup;
+  dopf::robust::PreflightPolicy policy = dopf::robust::PreflightPolicy::kWarn;
+  AdversarialOutcome outcome = AdversarialOutcome::kFailed;
+  /// Rejection diagnostic, solve status, or failure description.
+  std::string detail;
+
+  bool acceptable() const {
+    return outcome != AdversarialOutcome::kFailed;
+  }
+};
+
+struct AdversarialReport {
+  std::vector<AdversarialCase> cases;
+
+  int num_failed() const;
+  std::size_t count_outcome(AdversarialOutcome outcome) const;
+  bool ok() const { return num_failed() == 0; }
+  /// One line per failed case plus an outcome histogram and verdict.
+  std::string summary() const;
+};
+
+/// Run the corpus. Case i uses seed base_seed + i, mutation i % kCount, and
+/// preflight policy i % 3 (warn / remediate / strict), so a full run covers
+/// every (mutation, policy) pair. Never throws on case outcomes.
+AdversarialReport run_adversarial(const AdversarialOptions& options = {});
+
+}  // namespace dopf::verify

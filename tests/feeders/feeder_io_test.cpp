@@ -143,6 +143,52 @@ TEST(FeederIoTest, BadNumberReportsLine) {
   }
 }
 
+TEST(FeederIoTest, NanValueReportsLineAndField) {
+  // Raw IEEE NaN is always corrupt input ("inf" is the only sanctioned
+  // non-finite spelling, mapped to the kInfinity sentinel); the parser must
+  // reject it with the line number instead of letting it poison the model.
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1 1 1 0 0 0 0 0 0\n"
+      "load d a abc wye 0 0 0 0 0 0 nan 0 0 0 0 0\n");
+  try {
+    read_feeder(in);
+    FAIL() << "expected FeederFormatError";
+  } catch (const FeederFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  }
+}
+
+TEST(FeederIoTest, UppercaseNanRejectedToo) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 NAN 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
+TEST(FeederIoTest, OverflowingLiteralReportsLine) {
+  // 1e999 overflows to infinity during parsing; it must be rejected like
+  // any other malformed number, with provenance.
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1e999 1 1 0 0 0 0 0 0\n");
+  try {
+    read_feeder(in);
+    FAIL() << "expected FeederFormatError";
+  } catch (const FeederFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FeederIoTest, TrailingGarbageOnNumberRejected) {
+  std::stringstream in(
+      "feeder v1\n"
+      "bus a abc 1 1 1 1.5x 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_feeder(in), FeederFormatError);
+}
+
 TEST(FeederIoTest, BadConnectionKeywordThrows) {
   std::stringstream in(
       "feeder v1\n"

@@ -70,6 +70,37 @@ TEST(CholeskyTest, SolveSizeMismatchThrows) {
   EXPECT_THROW(chol.solve(wrong), std::invalid_argument);
 }
 
+TEST(CholeskyTest, TryFactorMatchesThrowingConstructor) {
+  const Matrix a = random_spd(7, 13);
+  const auto chol = Cholesky::try_factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_TRUE(chol->lower().approx_equal(Cholesky(a).lower(), 0.0));
+}
+
+TEST(CholeskyTest, TryFactorFillsStatusOnSuccess) {
+  CholeskyStatus status;
+  const auto chol = Cholesky::try_factor(random_spd(4, 5), 1e-12, &status);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_TRUE(status.ok);
+}
+
+TEST(CholeskyTest, TryFactorIndefiniteReturnsPivotProvenance) {
+  // SPD in the leading 1x1 block, indefinite overall: the failure must name
+  // column 1 and report its (non-positive) pivot value instead of throwing.
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};
+  CholeskyStatus status;
+  const auto chol = Cholesky::try_factor(a, 1e-12, &status);
+  EXPECT_FALSE(chol.has_value());
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(status.pivot_index, 1u);
+  EXPECT_LE(status.pivot_value, 1e-12);
+}
+
+TEST(CholeskyTest, TryFactorSingularReturnsNullopt) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(Cholesky::try_factor(a).has_value());
+}
+
 class CholeskySizeSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CholeskySizeSweep, RandomSpdRoundTrip) {

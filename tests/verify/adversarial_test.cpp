@@ -1,0 +1,81 @@
+// The adversarial robustness gate (tier2): every seeded mutant feeder must
+// be either solved or rejected with a typed diagnostic — never a NaN, a
+// crash, or an untyped exception escaping the pipeline.
+#include "verify/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dopf::verify {
+namespace {
+
+TEST(AdversarialTest, FullCorpusSolvedOrDiagnosed) {
+  AdversarialOptions options;  // 200 cases, fixed base seed
+  const AdversarialReport report = run_adversarial(options);
+  ASSERT_EQ(report.cases.size(), options.num_cases);
+  EXPECT_EQ(report.num_failed(), 0u) << report.summary();
+  EXPECT_TRUE(report.ok());
+  for (const AdversarialCase& c : report.cases) {
+    EXPECT_TRUE(c.acceptable())
+        << "seed " << c.seed << ": " << c.detail;
+  }
+}
+
+TEST(AdversarialTest, CorpusCoversEveryMutationAndPolicy) {
+  AdversarialOptions options;
+  options.num_cases = 33;  // lcm(11 mutations, 3 policies)
+  const AdversarialReport report = run_adversarial(options);
+  std::set<AdversarialMutation> mutations;
+  std::set<dopf::robust::PreflightPolicy> policies;
+  std::set<std::pair<int, int>> pairs;
+  for (const AdversarialCase& c : report.cases) {
+    mutations.insert(c.mutation);
+    policies.insert(c.policy);
+    pairs.insert({static_cast<int>(c.mutation), static_cast<int>(c.policy)});
+  }
+  EXPECT_EQ(mutations.size(),
+            static_cast<std::size_t>(AdversarialMutation::kCount));
+  EXPECT_EQ(policies.size(), 3u);
+  EXPECT_EQ(pairs.size(), 33u);  // every (mutation, policy) pair exactly once
+}
+
+TEST(AdversarialTest, RunsAreDeterministic) {
+  AdversarialOptions options;
+  options.num_cases = 33;
+  const AdversarialReport first = run_adversarial(options);
+  const AdversarialReport second = run_adversarial(options);
+  ASSERT_EQ(first.cases.size(), second.cases.size());
+  for (std::size_t i = 0; i < first.cases.size(); ++i) {
+    EXPECT_EQ(first.cases[i].outcome, second.cases[i].outcome) << i;
+    EXPECT_EQ(first.cases[i].detail, second.cases[i].detail) << i;
+  }
+}
+
+TEST(AdversarialTest, RejectionsCarryDiagnostics) {
+  AdversarialOptions options;
+  options.num_cases = 33;
+  const AdversarialReport report = run_adversarial(options);
+  std::size_t rejected = 0;
+  for (const AdversarialCase& c : report.cases) {
+    if (c.outcome == AdversarialOutcome::kRejected) {
+      ++rejected;
+      EXPECT_FALSE(c.detail.empty()) << "seed " << c.seed;
+    }
+  }
+  // The corpus includes hard structural corruption (NaN loads, infinite
+  // impedance); some rejections must occur.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(AdversarialTest, SummaryReportsAllOutcomeBuckets) {
+  AdversarialOptions options;
+  options.num_cases = 11;
+  const std::string summary = run_adversarial(options).summary();
+  EXPECT_NE(summary.find("solved"), std::string::npos);
+  EXPECT_NE(summary.find("rejected"), std::string::npos);
+  EXPECT_NE(summary.find("FAILED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dopf::verify

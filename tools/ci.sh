@@ -35,6 +35,15 @@ run_pass() {
 
 # Release: the full suite, tier1 + tier2 (golden traces, fuzzing).
 run_pass build "" -DCMAKE_BUILD_TYPE=Release -DDOPF_SANITIZE=OFF
+
+# Preflight gate: every builtin feeder — including the deliberately
+# stressed ieee13_overload — must clear input sanitation + conditioning
+# analysis (exit 0 from --preflight-only) before it is allowed to anchor
+# benchmarks or golden traces.
+echo "=== preflight smoke (all builtin feeders) ==="
+for feeder in ieee13 ieee123 ieee8500_mini ieee8500 ieee13_overload; do
+  ./build/tools/dopf_solve "builtin:${feeder}" --preflight-only
+done
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 

@@ -30,12 +30,22 @@
 //   --checkpoint-every N  capture a restart checkpoint every N iterations
 //   --checkpoint FILE     checkpoint file to (over)write
 //   --resume FILE         restore state from FILE before solving
+//   --preflight MODE      input sanitation + conditioning analysis before
+//                         solving: off | warn (default) | auto | strict.
+//                         warn reports and rejects only hard errors; auto
+//                         additionally remediates (row equilibration +
+//                         reported Tikhonov ridge); strict also refuses
+//                         numerically degenerate component blocks
+//   --strict              shorthand for --preflight strict
+//   --preflight-only      run preflight, print the report, and exit without
+//                         solving (0 accepted, 5 rejected)
 //   --report              print the full dispatch/voltage report
 //   --residuals FILE      dump residual history as CSV
 //   --output FILE         dump the solution (per-variable CSV)
 //
 // Exit codes (scriptable): 0 converged/optimal, 1 usage or input errors,
-// 2 iteration/time limit, 3 diverged, 4 stalled (watchdog gave up).
+// 2 iteration/time limit, 3 diverged, 4 stalled (watchdog gave up),
+// 5 preflight rejected the input (see src/robust/preflight.hpp).
 
 #include <algorithm>
 #include <cstdio>
@@ -52,6 +62,7 @@
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/instances.hpp"
+#include "robust/preflight.hpp"
 #include "runtime/threaded_backend.hpp"
 #include "simt/gpu_admm.hpp"
 #include "simt/multi_gpu.hpp"
@@ -69,6 +80,7 @@ namespace {
       "  --faults SPEC  --no-recovery\n"
       "  --degrade  --staleness-bound S  --watchdog\n"
       "  --checkpoint-every N  --checkpoint FILE  --resume FILE\n"
+      "  --preflight off|warn|auto|strict  --strict  --preflight-only\n"
       "  --report  --residuals FILE  --output FILE\n",
       argv0);
   std::exit(1);
@@ -112,6 +124,8 @@ int main(int argc, char** argv) {
   int checkpoint_every = 0;
   int staleness_bound = -1;  // -1 = policy default
   bool report = false, no_recovery = false, degrade = false;
+  std::string preflight_mode = "warn";
+  bool preflight_only = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
 
@@ -159,6 +173,12 @@ int main(int argc, char** argv) {
       checkpoint_file = next();
     } else if (arg == "--resume") {
       resume_file = next();
+    } else if (arg == "--preflight") {
+      preflight_mode = next();
+    } else if (arg == "--strict") {
+      preflight_mode = "strict";
+    } else if (arg == "--preflight-only") {
+      preflight_only = true;
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--residuals") {
@@ -209,6 +229,26 @@ int main(int argc, char** argv) {
     std::printf("model: %zu equations, %zu variables\n",
                 model.num_equations(), model.num_vars());
 
+    // Preflight: sanitize + analyze conditioning before any solve work.
+    // On acceptance the preflighted decomposition is reused below (under
+    // warn/strict it is identical to a plain decompose, so traces stay
+    // byte-for-byte); on rejection the report is the output and the exit
+    // code is the pinned 5.
+    dopf::opf::DistributedProblem preflighted;
+    bool have_preflighted = false;
+    if (preflight_only && preflight_mode == "off") preflight_mode = "warn";
+    if (preflight_mode != "off") {
+      dopf::robust::PreflightOptions popt;
+      popt.policy = dopf::robust::parse_policy(preflight_mode);
+      const dopf::robust::PreflightReport pre =
+          dopf::robust::run_preflight(net, model, &preflighted, popt);
+      std::printf("%s", pre.summary().c_str());
+      if (!pre.accepted) return 5;
+      have_preflighted = true;
+      opt.projector = pre.projector_options();
+    }
+    if (preflight_only) return 0;
+
     std::vector<double> x;
     bool ok = false;
     int fail_code = 2;  // iteration/time limit; 3 = diverged, 4 = stalled
@@ -222,7 +262,9 @@ int main(int argc, char** argv) {
       x = sol.x;
       ok = sol.status == dopf::solver::LpStatus::kOptimal;
     } else {
-      const auto problem = dopf::opf::decompose(net, model);
+      const auto problem = have_preflighted
+                               ? std::move(preflighted)
+                               : dopf::opf::decompose(net, model);
       std::printf("decomposition: %zu components\n",
                   problem.num_components());
       if (backend != "serial" && algorithm != "solver-free") {

@@ -10,6 +10,11 @@
 //     proves the harness has teeth.
 //   --fuzz N: property-based differential fuzzing over seeded random
 //     feeders (see src/verify/fuzzer.hpp).
+//   --adversarial N: run N seeded adversarial mutants (scale disparity,
+//     duplicated/near-duplicate rows, inverted/degenerate boxes, orphaned
+//     phases, non-finite data) through preflight + solve; every case must
+//     end solved or rejected-with-diagnostic, never NaN/crash (see
+//     src/verify/adversarial.hpp).
 //   --backend multigpu [--faults SPEC]: run the simulated multi-device
 //     solver — optionally under an injected fault schedule — and require the
 //     recovered run to reproduce the fault-free golden trace byte-for-byte.
@@ -48,6 +53,10 @@
 //   --tol T               tolerance for --reference checks (default 5e-2)
 //   --mutate              inject the kernel perturbation self-test
 //   --fuzz N --seed S     run N fuzz cases starting at seed S
+//   --adversarial N       run N adversarial mutants starting at seed S
+//   --preflight MODE      preflight policy before golden runs: off | warn
+//                         (default) | auto | strict. A rejection is an
+//                         input error (exit 1) with the full report
 //
 // Exit codes: 0 = verified, 1 = usage/infrastructure error,
 //             2 = verification failure (divergence or invariant violation).
@@ -69,7 +78,9 @@
 #include "runtime/threaded_backend.hpp"
 #include "simt/multi_gpu.hpp"
 #include "simt/simt_backend.hpp"
+#include "robust/preflight.hpp"
 #include "solver/reference.hpp"
+#include "verify/adversarial.hpp"
 #include "verify/fuzzer.hpp"
 #include "verify/invariants.hpp"
 #include "verify/mutation.hpp"
@@ -90,7 +101,8 @@ const char* g_argv0 = "dopf_verify";
       "  --resume FILE  --record-checkpoint K\n"
       "  --golden FILE | --golden-dir DIR  --record\n"
       "  --reference  --tol T  --mutate\n"
-      "  --fuzz N  --seed S\n",
+      "  --fuzz N  --adversarial N  --seed S\n"
+      "  --preflight off|warn|auto|strict\n",
       argv0);
   std::exit(1);
 }
@@ -136,7 +148,8 @@ bool file_exists(const std::string& path) {
 }
 
 bool is_builtin(const std::string& name) {
-  for (const char* b : {"ieee13", "ieee123", "ieee8500", "ieee8500_mini"}) {
+  for (const char* b : {"ieee13", "ieee123", "ieee8500", "ieee8500_mini",
+                        "ieee13_overload"}) {
     if (name == b) return true;
   }
   return false;
@@ -180,7 +193,10 @@ int main(int argc, char** argv) {
   bool record = false, reference = false, mutate = false, no_recovery = false;
   bool degrade = false, watchdog = false;
   int fuzz_cases = 0;
+  int adversarial_cases = 0;
   std::uint64_t seed = 20250807;
+  bool seed_set = false;
+  std::string preflight_mode = "warn";
   double tol = 5e-2;
 
   for (int i = 1; i < argc; ++i) {
@@ -231,8 +247,13 @@ int main(int argc, char** argv) {
       mutate = true;
     } else if (arg == "--fuzz") {
       fuzz_cases = parse_int(next(), "--fuzz");
+    } else if (arg == "--adversarial") {
+      adversarial_cases = parse_int(next(), "--adversarial");
+    } else if (arg == "--preflight") {
+      preflight_mode = next();
     } else if (arg == "--seed") {
       seed = parse_u64(next(), "--seed");
+      seed_set = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -272,6 +293,16 @@ int main(int argc, char** argv) {
       return report.ok() ? 0 : 2;
     }
 
+    if (adversarial_cases > 0) {
+      dopf::verify::AdversarialOptions options;
+      options.num_cases = adversarial_cases;
+      if (seed_set) options.base_seed = seed;
+      const dopf::verify::AdversarialReport report =
+          dopf::verify::run_adversarial(options);
+      std::printf("%s", report.summary().c_str());
+      return report.ok() ? 0 : 2;
+    }
+
     // --- Golden-trace mode.
     dopf::network::Network net;
     std::string label = network;
@@ -283,8 +314,25 @@ int main(int argc, char** argv) {
       label = slash == std::string::npos ? network : network.substr(slash + 1);
     }
     const dopf::opf::OpfModel model = dopf::opf::build_model(net);
-    const dopf::opf::DistributedProblem problem =
-        dopf::opf::decompose(net, model);
+
+    // Preflight gate (default warn): an input failing sanitation or — under
+    // strict — conditioning never reaches the golden comparison; that is an
+    // input error, not a verification failure. Under warn/strict the
+    // accepted decomposition is identical to a plain decompose(), so golden
+    // traces stay byte-for-byte.
+    dopf::opf::DistributedProblem problem;
+    if (preflight_mode != "off") {
+      dopf::robust::PreflightOptions popt;
+      popt.policy = dopf::robust::parse_policy(preflight_mode);
+      const dopf::robust::PreflightReport pre =
+          dopf::robust::run_preflight(net, model, &problem, popt);
+      if (!pre.accepted) {
+        std::fprintf(stderr, "%s", pre.summary().c_str());
+        return 1;
+      }
+    } else {
+      problem = dopf::opf::decompose(net, model);
+    }
 
     if (golden_dir.empty()) golden_dir = default_golden_dir();
     if (golden_file.empty()) golden_file = golden_dir + "/" + label + ".trace";

@@ -6,12 +6,40 @@
 #   2  iteration or time limit without convergence
 #   3  divergence (non-finite iterates)
 #   4  stalled (watchdog gave up on a persistent stall)
+#   5  preflight rejected the input (sanitation or conditioning)
 #
 # usage: exit_codes.sh <path-to-dopf_solve>
 set -u
 
 solve="$1"
 failures=0
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# A numerically degenerate (but structurally valid and feasible) feeder:
+# line l1's impedance is constructed so its two voltage-coupling rows are
+# nearly parallel (1 - |cos| ~ 1e-13) — the raw Gram matrix is on the edge
+# of losing positive definiteness. Strict preflight must refuse it with row
+# provenance (exit 5); warn/auto must solve it (exit 0) since RREF recovers
+# a well-conditioned block.
+degenerate="$tmpdir/degenerate.feeder"
+cat > "$degenerate" <<'EOF'
+feeder v1
+bus src ab 1 1 1 1 1 1 0 0 0 0 0 0
+bus b1 ab 0.9025 0.9025 0.9025 1.1025 1.1025 1.1025 0 0 0 0 0 0
+bus b2 ab 0.9025 0.9025 0.9025 1.1025 1.1025 1.1025 0 0 0 0 0 0
+gen g1 src ab 0 0 0 inf inf inf -inf -inf -inf inf inf inf 1
+load d1 b2 ab wye 0 0 0 0 0 0 1e-8 1e-8 0 0 0 0
+line l1 src b1 ab 0 1 1 1 inf inf inf 866025 0 0 0 866025 0 0 0 0 500000 1000000 0 -1000000 -500000 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0
+line l2 b1 b2 ab 0 1 1 1 inf inf inf 0.01 0 0 0 0.01 0 0 0 0 0.01 0 0 0 0.01 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0
+EOF
+
+# And a structurally corrupt one: NaN load data must be rejected by every
+# preflight policy (and by the feeder parser's non-finite gate, exit 1,
+# before preflight even sees it).
+corrupt="$tmpdir/corrupt.feeder"
+sed 's/1e-8 1e-8 0/nan 1e-8 0/' "$degenerate" > "$corrupt"
 
 expect() {
   want="$1"; label="$2"; shift 2
@@ -37,5 +65,15 @@ expect 3 "diverged" \
   "$solve" builtin:ieee13 --rho 1e308 --max-iters 1000
 expect 4 "stalled" \
   "$solve" builtin:ieee13_overload --max-iters 20000 --watchdog
+expect 5 "preflight strict rejection" \
+  "$solve" "$degenerate" --strict
+expect 5 "preflight strict rejection (preflight-only)" \
+  "$solve" "$degenerate" --strict --preflight-only
+expect 0 "preflight auto remediation solves the degenerate feeder" \
+  "$solve" "$degenerate" --preflight auto --eps 1e-2 --max-iters 20000
+expect 0 "default warn policy also solves it" \
+  "$solve" "$degenerate" --eps 1e-2 --max-iters 20000
+expect 1 "non-finite feeder data rejected by the parser" \
+  "$solve" "$corrupt" --preflight off
 
 exit "$failures"
