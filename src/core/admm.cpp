@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/packed_kernels.hpp"
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
 #include "core/watchdog.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -50,35 +52,50 @@ const char* to_string(AdmmStatus status) {
 
 SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
                                AdmmOptions options)
-    : problem_(&problem),
-      options_(options),
-      backend_(make_serial_backend()),
-      rho_(options.rho) {
-  const auto start = Clock::now();
-  const LocalSolvers solvers =
-      LocalSolvers::precompute(problem, options.projector);
-  packed_ = PackedLocalSolvers::build(problem, solvers);
-  timing_.precompute = seconds_since(start);
+    : options_(options), backend_(make_serial_backend()), rho_(options.rho) {
+  // Thin wrapper over the session layers: model (factorize) + binding
+  // (pack) in one call. The pack bytes match the historical fused
+  // precompute exactly, so golden traces are unaffected.
+  owned_model_ = std::make_unique<SolveModel>(problem, options.projector);
+  owned_binding_ = std::make_unique<ScenarioBinding>(*owned_model_);
+  problem_ = &owned_model_->problem();
+  pack_ = &owned_binding_->pack();
+  timing_.precompute =
+      owned_model_->precompute_seconds() + owned_binding_->bind_seconds();
   init_storage();
 }
 
 SolverFreeAdmm::SolverFreeAdmm(const DistributedProblem& problem,
                                AdmmOptions options, LocalSolvers solvers)
-    : problem_(&problem),
-      options_(options),
-      packed_(PackedLocalSolvers::build(problem, solvers)),
-      backend_(make_serial_backend()),
-      rho_(options.rho) {
+    : options_(options), backend_(make_serial_backend()), rho_(options.rho) {
+  owned_model_ = std::make_unique<SolveModel>(problem, options.projector,
+                                              std::move(solvers));
+  owned_binding_ = std::make_unique<ScenarioBinding>(*owned_model_);
+  problem_ = &owned_model_->problem();
+  pack_ = &owned_binding_->pack();
   init_storage();
 }
+
+SolverFreeAdmm::SolverFreeAdmm(ScenarioBinding& binding, AdmmOptions options)
+    : problem_(&binding.model().problem()),
+      options_(options),
+      pack_(&binding.pack()),
+      backend_(make_serial_backend()),
+      rho_(options.rho) {
+  timing_.precompute =
+      binding.model().precompute_seconds() + binding.bind_seconds();
+  init_storage();
+}
+
+SolverFreeAdmm::~SolverFreeAdmm() = default;
 
 void SolverFreeAdmm::set_backend(std::unique_ptr<ExecutionBackend> backend) {
   backend_ = backend ? std::move(backend) : make_serial_backend();
 }
 
 void SolverFreeAdmm::init_storage() {
-  total_local_ = packed_.total_local();
-  x_.assign(problem_->num_vars, 0.0);
+  total_local_ = pack_->total_local();
+  x_.assign(pack_->num_global(), 0.0);
   z_.assign(total_local_, 0.0);
   z_prev_.assign(total_local_, 0.0);
   lambda_.assign(total_local_, 0.0);
@@ -108,16 +125,16 @@ bool SolverFreeAdmm::plain_path() const {
 void SolverFreeAdmm::reset() {
   rho_ = options_.rho;
   start_iteration_ = 0;
-  active_.assign(packed_.num_components(), 1);
+  active_.assign(pack_->num_components(), 1);
   async_rng_.seed(options_.async_seed);
-  x_ = problem_->x0;
+  x_ = pack_->x0;
   std::fill(lambda_.begin(), lambda_.end(), 0.0);
   // z_s = B_s x0 (the paper's per-element initial values are encoded in x0).
   for (std::size_t pos = 0; pos < total_local_; ++pos) {
-    z_[pos] = problem_->x0[packed_.global_idx[pos]];
+    z_[pos] = pack_->x0[pack_->global_idx[pos]];
   }
   z_prev_ = z_;
-  component_seconds_.assign(packed_.num_components(), 0.0);
+  component_seconds_.assign(pack_->num_components(), 0.0);
   timing_.global_update = timing_.local_update = timing_.dual_update =
       timing_.residuals = 0.0;
   timing_.iterations = 0;
@@ -125,7 +142,7 @@ void SolverFreeAdmm::reset() {
 
 void SolverFreeAdmm::warm_start(std::span<const double> x,
                                 std::span<const double> lambda) {
-  if (x.size() != problem_->num_vars) {
+  if (x.size() != pack_->num_global()) {
     throw std::invalid_argument("warm_start: x size mismatch");
   }
   if (!lambda.empty() && lambda.size() != total_local_) {
@@ -133,7 +150,7 @@ void SolverFreeAdmm::warm_start(std::span<const double> x,
   }
   std::copy(x.begin(), x.end(), x_.begin());
   for (std::size_t pos = 0; pos < total_local_; ++pos) {
-    z_[pos] = x_[packed_.global_idx[pos]];
+    z_[pos] = x_[pack_->global_idx[pos]];
   }
   z_prev_ = z_;
   if (lambda.empty()) {
@@ -151,7 +168,7 @@ void SolverFreeAdmm::restore_state(int iteration, double rho,
   if (iteration < 0) {
     throw std::invalid_argument("restore_state: negative iteration");
   }
-  if (x.size() != problem_->num_vars || z.size() != total_local_ ||
+  if (x.size() != pack_->num_global() || z.size() != total_local_ ||
       z_prev.size() != total_local_ || lambda.size() != total_local_) {
     throw std::invalid_argument("restore_state: state size mismatch");
   }
@@ -172,14 +189,14 @@ void SolverFreeAdmm::global_update() {
   // (18) runs on the backend unconditionally: the extensions only alter the
   // local/dual messages, never the operator-side consensus step.
   PackedState st = packed_state();
-  backend_->global_update(packed_, st);
+  backend_->global_update(*pack_, st);
 }
 
 void SolverFreeAdmm::local_update() {
   z_prev_.swap(z_);
   PackedState st = packed_state();
   if (plain_path()) {
-    backend_->local_update(packed_, st);
+    backend_->local_update(*pack_, st);
     return;
   }
   local_update_extension();
@@ -200,9 +217,9 @@ void SolverFreeAdmm::local_update_extension() {
       a = unit(async_rng_) < options_.async_fraction ? 1 : 0;
     }
   }
-  for (std::size_t s = 0; s < packed_.num_components(); ++s) {
-    const std::size_t ns = static_cast<std::size_t>(packed_.comp_nvars[s]);
-    const std::size_t off = static_cast<std::size_t>(packed_.comp_offset[s]);
+  for (std::size_t s = 0; s < pack_->num_components(); ++s) {
+    const std::size_t ns = static_cast<std::size_t>(pack_->comp_nvars[s]);
+    const std::size_t off = static_cast<std::size_t>(pack_->comp_offset[s]);
     if (async && !active_[s]) {
       // Straggler: keep the stale local solution.
       std::copy(z_prev_.begin() + static_cast<std::ptrdiff_t>(off),
@@ -218,11 +235,11 @@ void SolverFreeAdmm::local_update_extension() {
     const auto start = timed ? Clock::now() : Clock::time_point{};
     if (alpha == 1.0) {
       for (std::size_t j = 0; j < ns; ++j) {
-        y[j] = x_[packed_.global_idx[off + j]];
+        y[j] = x_[pack_->global_idx[off + j]];
       }
     } else {
       for (std::size_t j = 0; j < ns; ++j) {
-        y[j] = alpha * x_[packed_.global_idx[off + j]] +
+        y[j] = alpha * x_[pack_->global_idx[off + j]] +
                (1.0 - alpha) * zp[j];
       }
     }
@@ -234,7 +251,7 @@ void SolverFreeAdmm::local_update_extension() {
     for (std::size_t j = 0; j < ns; ++j) {
       y[j] += ls[j] / rho_;
     }
-    kernels::project_component(packed_, s, y_scratch_.data(), z_.data());
+    kernels::project_component(*pack_, s, y_scratch_.data(), z_.data());
     if (qbits > 0) {
       // The agent -> operator reply (x_s) is compressed symmetrically.
       quantize_message({zs, ns}, qbits);
@@ -246,7 +263,7 @@ void SolverFreeAdmm::local_update_extension() {
 void SolverFreeAdmm::dual_update() {
   if (plain_path()) {
     PackedState st = packed_state();
-    backend_->dual_update(packed_, st);
+    backend_->dual_update(*pack_, st);
     return;
   }
   dual_update_extension();
@@ -257,21 +274,21 @@ void SolverFreeAdmm::dual_update_extension() {
   // same relaxed combination the local update saw.
   const double alpha = options_.relaxation;
   const bool async = options_.async_fraction < 1.0;
-  for (std::size_t s = 0; s < packed_.num_components(); ++s) {
+  for (std::size_t s = 0; s < pack_->num_components(); ++s) {
     if (async && !active_[s]) continue;  // straggler keeps stale duals
-    const std::size_t ns = static_cast<std::size_t>(packed_.comp_nvars[s]);
-    const std::size_t off = static_cast<std::size_t>(packed_.comp_offset[s]);
+    const std::size_t ns = static_cast<std::size_t>(pack_->comp_nvars[s]);
+    const std::size_t off = static_cast<std::size_t>(pack_->comp_offset[s]);
     double* ls = lambda_.data() + off;
     const double* zs = z_.data() + off;
     const double* zp = z_prev_.data() + off;
     if (alpha == 1.0) {
       for (std::size_t j = 0; j < ns; ++j) {
-        ls[j] += rho_ * (x_[packed_.global_idx[off + j]] - zs[j]);
+        ls[j] += rho_ * (x_[pack_->global_idx[off + j]] - zs[j]);
       }
     } else {
       for (std::size_t j = 0; j < ns; ++j) {
         const double relaxed =
-            alpha * x_[packed_.global_idx[off + j]] + (1.0 - alpha) * zp[j];
+            alpha * x_[pack_->global_idx[off + j]] + (1.0 - alpha) * zp[j];
         ls[j] += rho_ * (relaxed - zs[j]);
       }
     }
@@ -290,7 +307,7 @@ IterationRecord SolverFreeAdmm::compute_residuals(int iteration) {
   rec.iteration = iteration;
   rec.rho = rho_;
   const PackedState st = packed_state();
-  const ResidualSums sums = backend_->residual_sums(packed_, st);
+  const ResidualSums sums = backend_->residual_sums(*pack_, st);
   rec.primal_residual = std::sqrt(sums.pres2);
   rec.dual_residual = rho_ * std::sqrt(sums.dz2);
   rec.eps_primal = options_.eps_rel * std::sqrt(std::max(sums.bx2, sums.z2));
@@ -304,10 +321,18 @@ bool SolverFreeAdmm::termination_satisfied(const IterationRecord& rec) const {
 }
 
 double SolverFreeAdmm::objective() const {
-  return dopf::linalg::dot(problem_->c, x_);
+  return dopf::linalg::dot(pack_->c, x_);
 }
 
 AdmmResult SolverFreeAdmm::solve() {
+  if (solves_run_ > 0) {
+    // A repeat run reuses the factorization: zero the one-time precompute
+    // (it used to be re-reported — and re-summed — on every run) and count
+    // the reuse instead.
+    timing_.precompute = 0.0;
+    ++timing_.precompute_reuse_count;
+  }
+  ++solves_run_;
   AdmmResult result;
   int recorded = 0;
   const auto wall_start = Clock::now();

@@ -12,6 +12,9 @@
 
 namespace dopf::core {
 
+class SolveModel;
+class ScenarioBinding;
+
 /// Options shared by the solver-free ADMM and the benchmark ADMM.
 /// The extension fields (adaptive_rho, relaxation, quantize_bits) are
 /// honoured by core::SolverFreeAdmm only; the benchmark ADMM reproduces the
@@ -118,6 +121,15 @@ struct TimingBreakdown {
   /// Iterations where at least one device's contribution was stale or
   /// quarantined (degraded-mode consensus); 0 on healthy runs.
   int degraded_iterations = 0;
+  /// How many times this solve reused an existing precompute instead of
+  /// paying it: bumped when solve() runs again on the same solver (the
+  /// precompute field is zeroed then, fixing the old double-count) and for
+  /// every warm session solve that needed no factorization work.
+  int precompute_reuse_count = 0;
+  /// Single-component projector re-derivations performed for this solve
+  /// (topology edits routed through ScenarioBinding); 0 for load-only
+  /// rebinds and single-shot runs.
+  int refactorizations = 0;
 
   /// Per-iteration update time only: the one-time `precompute` (local-solver
   /// factorization + packing) is deliberately EXCLUDED, because the paper's
@@ -155,6 +167,9 @@ struct AdmmResult {
   std::vector<double> x;  ///< global solution (clipped to bounds)
   AdmmStatus status = AdmmStatus::kIterationLimit;
   bool converged = false;
+  /// True when this solve started from retained session state rather than
+  /// the paper's initial point (set by core::SolveSession).
+  bool warm_started = false;
   int iterations = 0;
   double objective = 0.0;
   double primal_residual = 0.0;
@@ -188,12 +203,20 @@ struct AdmmResult {
 /// solvers and the virtual-cluster harness can drive one step at a time.
 class SolverFreeAdmm {
  public:
-  /// `problem` must outlive the solver. Precomputes the local solvers
-  /// unless a precomputed set is supplied.
+  /// Single-shot entry points: thin wrappers that build an owned
+  /// SolveModel + ScenarioBinding internally (model+bind+solve in one
+  /// call) — byte-identical to the historical fused precompute.
+  /// Precomputes the local solvers unless a precomputed set is supplied.
   SolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
                  AdmmOptions options);
   SolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
                  AdmmOptions options, LocalSolvers solvers);
+  /// Session entry point: iterate over an externally owned binding's pack
+  /// (zero precompute here; the model already paid it). `binding` must
+  /// outlive the solver; its in-place scenario rebinds are picked up by
+  /// the next solve automatically.
+  SolverFreeAdmm(ScenarioBinding& binding, AdmmOptions options);
+  ~SolverFreeAdmm();
 
   /// Replace the execution backend (nullptr restores the serial backend).
   /// The iterate state is untouched, so backends may even be swapped
@@ -221,10 +244,10 @@ class SolverFreeAdmm {
   std::span<const double> lambda() const { return lambda_; }
   double rho() const { return rho_; }
   /// The packed per-iteration problem image shared by every backend.
-  const PackedLocalSolvers& packed() const { return packed_; }
+  const PackedLocalSolvers& packed() const { return *pack_; }
   /// Start offset of component s within z / lambda.
   std::size_t offset(std::size_t s) const {
-    return static_cast<std::size_t>(packed_.comp_offset[s]);
+    return static_cast<std::size_t>(pack_->comp_offset[s]);
   }
 
   /// Reset iterates to the paper's initial point (Sec. V-A).
@@ -279,11 +302,16 @@ class SolverFreeAdmm {
   void local_update_extension();
   void dual_update_extension();
 
-  const dopf::opf::DistributedProblem* problem_;
+  const dopf::opf::DistributedProblem* problem_ = nullptr;
   AdmmOptions options_;
-  PackedLocalSolvers packed_;
+  // Owned only on the single-shot wrapper paths; the session path borrows
+  // an external binding. Either way the iteration loop sees one pack.
+  std::unique_ptr<SolveModel> owned_model_;
+  std::unique_ptr<ScenarioBinding> owned_binding_;
+  const PackedLocalSolvers* pack_ = nullptr;
   std::unique_ptr<ExecutionBackend> backend_;
   double rho_;
+  int solves_run_ = 0;
   int start_iteration_ = 0;
   int checkpoint_every_ = 0;
   CheckpointHook checkpoint_hook_;

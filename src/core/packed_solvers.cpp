@@ -32,8 +32,8 @@ std::size_t PackedLocalSolvers::bytes() const {
   return sizeof(std::int64_t) * (comp_offset.size() + abar_offset.size() +
                                  gather_ptr.size() + gather_pos.size()) +
          sizeof(int) * (comp_nvars.size() + global_idx.size()) +
-         sizeof(double) *
-             (abar.size() + bbar.size() + c.size() + lb.size() + ub.size());
+         sizeof(double) * (abar.size() + bbar.size() + c.size() + lb.size() +
+                           ub.size() + x0.size());
 }
 
 PackedLocalSolvers PackedLocalSolvers::build(const DistributedProblem& problem,
@@ -75,6 +75,7 @@ PackedLocalSolvers PackedLocalSolvers::build(const DistributedProblem& problem,
   pack.c = problem.c;
   pack.lb = problem.lb;
   pack.ub = problem.ub;
+  pack.x0 = problem.x0;
   // Gather lists: z positions per global variable, in ascending z order so
   // per-variable summation matches the component-order scatter bit-for-bit.
   pack.gather_ptr.assign(n + 1, 0);

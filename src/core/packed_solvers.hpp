@@ -57,6 +57,7 @@ struct PackedLocalSolvers {
   std::vector<std::int64_t> gather_ptr;
   std::vector<std::int64_t> gather_pos;
   std::vector<double> c, lb, ub;
+  std::vector<double> x0;  ///< global initial iterate (scenario data)
 
   std::size_t num_components() const { return comp_nvars.size(); }
   std::size_t num_global() const { return c.size(); }

@@ -85,9 +85,28 @@ std::optional<AffineProjector> AffineProjector::try_build(
   proj.m_ = a.rows();
   proj.ridge_ = ridge;
   proj.assemble(a, b, *chol);
+  if (options.keep_factorization) {
+    proj.gram_ = std::move(*chol);
+    proj.a_ = a;
+  }
   st.ok = true;
   st.ridge = ridge;
   return proj;
+}
+
+void AffineProjector::rebind_rhs(std::span<const double> b) {
+  if (!gram_.has_value()) {
+    throw std::logic_error(
+        "AffineProjector::rebind_rhs: projector was built without "
+        "keep_factorization");
+  }
+  if (b.size() != m_) {
+    throw std::invalid_argument("AffineProjector::rebind_rhs: b size mismatch");
+  }
+  // Exactly the bbar lines of assemble(), replayed through the retained
+  // factor: bit-identical to a cold build with the same A and this b.
+  const std::vector<double> gb = gram_->solve(b);
+  bbar_ = multiply_transpose(a_, gb);
 }
 
 std::vector<double> AffineProjector::apply_paper_form(

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 
 namespace dopf::linalg {
@@ -20,6 +21,11 @@ struct ProjectorOptions {
   bool auto_regularize = false;
   double ridge_rel = 1e-10;
   int max_ridge_doublings = 24;
+  /// Retain A and the (possibly ridged) Cholesky factor of the Gram matrix
+  /// so rebind_rhs() can re-derive bbar for a new b without refactorizing —
+  /// the mechanism behind scenario rebinding (core::ScenarioBinding). Off
+  /// by default: single-shot projectors keep today's memory footprint.
+  bool keep_factorization = false;
 };
 
 /// Outcome of try_build: whether the projector exists, the Tikhonov ridge
@@ -67,6 +73,18 @@ class AffineProjector {
   /// Tikhonov ridge baked into this projector (0 for an exact projector).
   double ridge() const noexcept { return ridge_; }
 
+  /// True when the factorization was retained (keep_factorization), i.e.
+  /// rebind_rhs() is available.
+  bool can_rebind_rhs() const noexcept { return gram_.has_value(); }
+
+  /// Recompute bbar (15c) for a new right-hand side through the retained
+  /// factorization: bit-identical to a cold build with the same A and the
+  /// new b, at the cost of one triangular solve instead of a full
+  /// refactorization. Throws std::logic_error unless the projector was
+  /// built with keep_factorization, std::invalid_argument on a size
+  /// mismatch.
+  void rebind_rhs(std::span<const double> b);
+
   /// The paper's (15a): x = (1/rho) * Abar * d + bbar.
   std::vector<double> apply_paper_form(std::span<const double> d,
                                        double rho) const;
@@ -89,12 +107,15 @@ class AffineProjector {
   /// Build Abar/bbar from `a`, `b` and the already-factored (possibly
   /// ridged) Gram matrix.
   void assemble(const Matrix& a, std::span<const double> b,
-                const class Cholesky& gram);
+                const Cholesky& gram);
 
   std::size_t m_ = 0;
   double ridge_ = 0.0;
   Matrix abar_;                // (15b), n x n
   std::vector<double> bbar_;   // (15c), n
+  // Retained only under keep_factorization (scenario rebinding).
+  std::optional<Cholesky> gram_;
+  Matrix a_;
 };
 
 }  // namespace dopf::linalg

@@ -205,4 +205,149 @@ PreflightReport run_preflight(const dopf::network::Network& net,
   return report;
 }
 
+namespace {
+
+bool same_block(const dopf::linalg::Matrix& a, const dopf::linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const std::span<const double> da = a.data();
+  const std::span<const double> db = b.data();
+  return std::equal(da.begin(), da.end(), db.begin());
+}
+
+/// Emit kNonFiniteData errors for every NaN/inf entry of `v` (objective,
+/// initial point, and right-hand sides must be finite; bounds may be
+/// infinite and are checked separately).
+void check_finite(std::span<const double> v, const std::string& site,
+                  std::vector<Issue>* issues) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      issues->push_back(Issue{IssueCode::kNonFiniteData, Severity::kError,
+                              site + "[" + std::to_string(i) + "]",
+                              "non-finite value in scenario data"});
+    }
+  }
+}
+
+}  // namespace
+
+PreflightReport run_scenario_preflight(
+    const dopf::opf::DistributedProblem& base,
+    const dopf::opf::DistributedProblem& scenario,
+    const PreflightOptions& options) {
+  PreflightReport report;
+  report.policy = options.policy;
+
+  // 1. Layout gate: a scenario must decompose to exactly the bound model's
+  //    shape. Anything else is a new model, not a rebind.
+  if (scenario.num_vars != base.num_vars ||
+      scenario.components.size() != base.components.size()) {
+    report.accepted = false;
+    report.rejection =
+        "scenario decomposition shape differs from the bound model (" +
+        std::to_string(scenario.num_vars) + "/" +
+        std::to_string(base.num_vars) + " variables, " +
+        std::to_string(scenario.components.size()) + "/" +
+        std::to_string(base.components.size()) +
+        " components) — rebuild the SolveModel instead of rebinding";
+    return report;
+  }
+  for (std::size_t s = 0; s < base.components.size(); ++s) {
+    if (scenario.components[s].global != base.components[s].global) {
+      report.accepted = false;
+      report.rejection = "scenario component '" +
+                         scenario.components[s].name +
+                         "' covers a different variable set than the bound "
+                         "model — rebuild the SolveModel instead of rebinding";
+      return report;
+    }
+  }
+
+  // 2. Scenario-surface sanitation: only the data a rebind touches. The
+  //    unchanged topology was sanitized when the model was built and is
+  //    deliberately NOT re-checked — that is the point of this entry point.
+  check_finite(scenario.c, "scenario:c", &report.issues);
+  check_finite(scenario.x0, "scenario:x0", &report.issues);
+  for (std::size_t i = 0; i < scenario.lb.size(); ++i) {
+    if (std::isnan(scenario.lb[i]) || std::isnan(scenario.ub[i])) {
+      report.issues.push_back(Issue{IssueCode::kNonFiniteData,
+                                    Severity::kError,
+                                    "scenario:bounds[" + std::to_string(i) +
+                                        "]",
+                                    "NaN bound in scenario data"});
+    } else if (scenario.lb[i] > scenario.ub[i]) {
+      report.issues.push_back(
+          Issue{IssueCode::kInvertedBounds, Severity::kError,
+                "scenario:bounds[" + std::to_string(i) + "]",
+                "lower bound exceeds upper bound in scenario data"});
+    }
+  }
+
+  // 3. Per-component dirty check: conditioning analysis only where the
+  //    equality block actually changed; everything else reuses the base
+  //    verdict (and its factorization).
+  for (std::size_t s = 0; s < base.components.size(); ++s) {
+    const auto& sc = scenario.components[s];
+    const auto& bc = base.components[s];
+    const bool a_changed = !same_block(sc.a, bc.a);
+    if (!a_changed) {
+      ++report.scenario_components_reused;
+      if (sc.b != bc.b) {
+        check_finite(sc.b, "scenario:" + sc.name + ":b", &report.issues);
+      }
+      continue;
+    }
+    check_finite(sc.b, "scenario:" + sc.name + ":b", &report.issues);
+    const BlockConditioning block =
+        analyze_component(sc, options.conditioning);
+    report.blocks.push_back(block);
+    char msg[192];
+    if (std::isinf(block.cond)) {
+      if (options.policy == PreflightPolicy::kRemediate && block.ridge > 0.0) {
+        std::snprintf(msg, sizeof(msg),
+                      "Gram matrix not SPD; remediated with Tikhonov "
+                      "ridge %.3e (solution perturbed accordingly)",
+                      block.ridge);
+        report.issues.push_back(Issue{IssueCode::kRegularized,
+                                      Severity::kWarning, block.component,
+                                      msg});
+        report.max_ridge = std::max(report.max_ridge, block.ridge);
+      } else {
+        std::snprintf(msg, sizeof(msg),
+                      "scenario edit makes the Gram matrix non-SPD: the "
+                      "closed-form projector (15) does not exist");
+        report.issues.push_back(Issue{IssueCode::kRankDeficient,
+                                      Severity::kError, block.component,
+                                      msg});
+      }
+    } else if (block.health == BlockHealth::kDegenerate) {
+      std::snprintf(msg, sizeof(msg),
+                    "cond(A_s A_s') ~ %.3e exceeds the degenerate "
+                    "threshold %.1e after the scenario edit",
+                    block.cond, options.conditioning.cond_degenerate);
+      report.issues.push_back(Issue{IssueCode::kIllConditioned,
+                                    options.policy == PreflightPolicy::kStrict
+                                        ? Severity::kError
+                                        : Severity::kWarning,
+                                    block.component, msg});
+    } else if (block.health == BlockHealth::kMarginal) {
+      std::snprintf(msg, sizeof(msg),
+                    "cond(A_s A_s') ~ %.3e is marginal after the scenario "
+                    "edit",
+                    block.cond);
+      report.issues.push_back(Issue{IssueCode::kIllConditioned,
+                                    Severity::kInfo, block.component, msg});
+    }
+  }
+
+  // 4. Verdict: same rule as the full preflight.
+  for (const Issue& issue : report.issues) {
+    if (issue.severity == Severity::kError) {
+      report.accepted = false;
+      report.rejection = issue.to_string();
+      break;
+    }
+  }
+  return report;
+}
+
 }  // namespace dopf::robust

@@ -54,6 +54,11 @@ struct PreflightReport {
   bool equilibrated = false;
   double max_ridge = 0.0;
 
+  /// Scenario preflight only (run_scenario_preflight): components whose
+  /// equality block is unchanged from the base, i.e. whose factorization —
+  /// and whose sanitation/conditioning verdict — is reused, not re-derived.
+  std::size_t scenario_components_reused = 0;
+
   bool accepted = true;
   /// Non-empty exactly when !accepted: the first rejection reason, with
   /// component/row provenance.
@@ -103,5 +108,19 @@ PreflightReport run_preflight(const dopf::network::Network& net,
                               const dopf::opf::OpfModel& model,
                               dopf::opf::DistributedProblem* problem_out,
                               const PreflightOptions& options = {});
+
+/// Validate a ScenarioBinding delta WITHOUT re-sanitizing the unchanged
+/// topology: `scenario` is a re-decomposition of the same network under
+/// edited loads/costs/bounds, about to be rebound against a model built
+/// from `base`. Checks that the decomposition layout matches (a shape
+/// change is rejected — that is a new model, not a scenario), that the
+/// scenario surface (c, bounds, x0, changed b_s) is finite and ordered,
+/// and runs conditioning analysis ONLY on components whose equality block
+/// actually changed; untouched components are counted in
+/// `scenario_components_reused` and skipped entirely.
+PreflightReport run_scenario_preflight(
+    const dopf::opf::DistributedProblem& base,
+    const dopf::opf::DistributedProblem& scenario,
+    const PreflightOptions& options = {});
 
 }  // namespace dopf::robust

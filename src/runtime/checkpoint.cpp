@@ -2,9 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "core/solve_model.hpp"
 #include "verify/codec.hpp"
 
 namespace dopf::runtime {
@@ -54,11 +56,25 @@ double parse_number(const std::string& token, int line_no) {
   return v;
 }
 
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
 std::string payload_string(const AdmmCheckpoint& ck) {
   std::ostringstream body;
   body << "label " << (ck.label.empty() ? "-" : ck.label) << '\n';
   body << "iteration " << ck.iteration << '\n';
   body << "rho " << hex_double(ck.rho) << '\n';
+  // Fingerprint lines are emitted only when known, so a legacy-shaped
+  // checkpoint (both zero) round-trips byte-for-byte.
+  if (ck.model_fingerprint != 0) {
+    body << "model_fp " << hex_u64(ck.model_fingerprint) << '\n';
+  }
+  if (ck.scenario_fingerprint != 0) {
+    body << "scenario_fp " << hex_u64(ck.scenario_fingerprint) << '\n';
+  }
   write_vector(body, "x", ck.x);
   write_vector(body, "z", ck.z);
   write_vector(body, "z_prev", ck.z_prev);
@@ -74,6 +90,8 @@ AdmmCheckpoint AdmmCheckpoint::capture(const dopf::core::SolverFreeAdmm& admm,
   ck.label = std::move(label);
   ck.iteration = iteration;
   ck.rho = admm.rho();
+  ck.model_fingerprint = dopf::core::topology_fingerprint(admm.packed());
+  ck.scenario_fingerprint = dopf::core::scenario_fingerprint(admm.packed());
   ck.x.assign(admm.x().begin(), admm.x().end());
   ck.z.assign(admm.z().begin(), admm.z().end());
   ck.z_prev.assign(admm.z_prev().begin(), admm.z_prev().end());
@@ -101,6 +119,21 @@ void AdmmCheckpoint::validate_for(const dopf::core::SolverFreeAdmm& admm,
   check("z", z.size(), admm.z().size());
   check("z_prev", z_prev.size(), admm.z_prev().size());
   check("lambda", lambda.size(), admm.lambda().size());
+  if (model_fingerprint != 0 &&
+      model_fingerprint != dopf::core::topology_fingerprint(admm.packed())) {
+    throw CheckpointError(
+        "checkpoint model fingerprint does not match the solver's bound "
+        "topology — the model was edited (or is a different feeder) since "
+        "this checkpoint was recorded; refusing to restore");
+  }
+  if (scenario_fingerprint != 0 &&
+      scenario_fingerprint !=
+          dopf::core::scenario_fingerprint(admm.packed())) {
+    throw CheckpointError(
+        "checkpoint scenario fingerprint does not match the solver's bound "
+        "scenario data — loads/costs/bounds were rebound since this "
+        "checkpoint was recorded; refusing to restore");
+  }
 }
 
 void AdmmCheckpoint::restore(dopf::core::SolverFreeAdmm* admm,
@@ -171,14 +204,14 @@ AdmmCheckpoint read_checkpoint(std::istream& in) {
                             " value(s)");
     }
   };
-  auto read_vector = [&](const char* name, std::vector<double>* out) {
-    auto tokens = lines.next();
-    expect(tokens, name, 1);
+  auto read_vector = [&](std::vector<std::string> header, const char* name,
+                         std::vector<double>* out) {
+    expect(header, name, 1);
     const auto count =
-        static_cast<std::size_t>(parse_number(tokens[1], lines.line_no()));
+        static_cast<std::size_t>(parse_number(header[1], lines.line_no()));
     out->reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      tokens = lines.next();
+      const auto tokens = lines.next();
       expect(tokens, "v", 1);
       out->push_back(parse_number(tokens[1], lines.line_no()));
     }
@@ -194,10 +227,26 @@ AdmmCheckpoint read_checkpoint(std::istream& in) {
   tokens = lines.next();
   expect(tokens, "rho", 1);
   ck.rho = parse_number(tokens[1], lines.line_no());
-  read_vector("x", &ck.x);
-  read_vector("z", &ck.z);
-  read_vector("z_prev", &ck.z_prev);
-  read_vector("lambda", &ck.lambda);
+  // Optional fingerprint lines (absent in legacy v1 files: 0 = unknown).
+  tokens = lines.next();
+  auto parse_fp = [&](const char* key, std::uint64_t* out) {
+    if (tokens.empty() || tokens[0] != key) return;
+    expect(tokens, key, 1);
+    char* end = nullptr;
+    *out = std::strtoull(tokens[1].c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      throw CheckpointError("checkpoint line " +
+                            std::to_string(lines.line_no()) +
+                            ": bad fingerprint '" + tokens[1] + "'");
+    }
+    tokens = lines.next();
+  };
+  parse_fp("model_fp", &ck.model_fingerprint);
+  parse_fp("scenario_fp", &ck.scenario_fingerprint);
+  read_vector(tokens, "x", &ck.x);
+  read_vector(lines.next(), "z", &ck.z);
+  read_vector(lines.next(), "z_prev", &ck.z_prev);
+  read_vector(lines.next(), "lambda", &ck.lambda);
   return ck;
 }
 

@@ -23,6 +23,14 @@ class CheckpointError : public std::runtime_error {
 /// detected at load time instead of silently corrupting a resumed run.
 struct AdmmCheckpoint {
   std::string label;  ///< instance label (informational, e.g. "ieee13")
+  /// FNV-1a fingerprint of the model topology (Abar pool, gather
+  /// structure) the checkpoint was recorded against; 0 = unknown (legacy
+  /// file). See core::topology_fingerprint.
+  std::uint64_t model_fingerprint = 0;
+  /// FNV-1a fingerprint of the bound scenario data (bbar, c, bounds, x0);
+  /// 0 = unknown. A resume against edited loads fails validation loudly
+  /// instead of silently continuing on the wrong scenario.
+  std::uint64_t scenario_fingerprint = 0;
   int iteration = 0;  ///< the state is AFTER this iteration's dual update
   double rho = 0.0;
   std::vector<double> x;       ///< global iterate
@@ -38,9 +46,12 @@ struct AdmmCheckpoint {
   /// Check this checkpoint against the solver's problem layout BEFORE any
   /// state is overwritten: x/z/z_prev/lambda dimensions must match, and —
   /// when `expected_label` is non-empty and the checkpoint carries a label —
-  /// the labels must agree. A CRC-valid checkpoint recorded on a different
-  /// feeder fails here with a message naming both sides instead of silently
-  /// corrupting the run. Throws CheckpointError.
+  /// the labels must agree. When the checkpoint carries fingerprints
+  /// (non-zero), the solver's bound model topology AND scenario data must
+  /// fingerprint-match too, so a warm-session resume against edited loads
+  /// is rejected. A CRC-valid checkpoint recorded on a different feeder or
+  /// scenario fails here with a message naming both sides instead of
+  /// silently corrupting the run. Throws CheckpointError.
   void validate_for(const dopf::core::SolverFreeAdmm& admm,
                     const std::string& expected_label = {}) const;
 

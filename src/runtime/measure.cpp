@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "core/solve_session.hpp"
+
 namespace dopf::runtime {
 
 namespace {
@@ -46,9 +50,13 @@ IterationCosts measure_solver_free(
   options.record_component_times = true;
   options.max_iterations = iterations;
   options.check_every = iterations + 1;  // never terminate early
-  dopf::core::SolverFreeAdmm admm(problem, options);
-  if (backend) admm.set_backend(std::move(backend));
-  const auto result = admm.solve();
+  // Measurement runs through the session layers explicitly: the model owns
+  // the factorizations, the binding the pack, the session the solve.
+  dopf::core::SolveModel model(problem, options.projector);
+  dopf::core::ScenarioBinding binding(model);
+  dopf::core::SolveSession session(binding, options);
+  if (backend) session.set_backend(std::move(backend));
+  const auto result = session.solve();
   return finalize(problem, result.component_seconds, result.timing,
                   result.iterations);
 }

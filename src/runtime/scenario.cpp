@@ -1,0 +1,149 @@
+#include "runtime/scenario.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "network/phase.hpp"
+
+namespace dopf::runtime {
+
+using dopf::network::Load;
+using dopf::network::Network;
+using dopf::network::Phase;
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+  throw ScenarioError("scenario file line " + std::to_string(line_no) + ": " +
+                      message);
+}
+
+double parse_factor(const std::string& token, int line_no) {
+  std::istringstream ss(token);
+  double v = 0.0;
+  char trailing = 0;
+  if (!(ss >> v) || ss >> trailing) {
+    fail(line_no, "bad factor '" + token + "'");
+  }
+  if (!std::isfinite(v) || v <= 0.0) {
+    fail(line_no, "factor must be finite and positive, got '" + token + "'");
+  }
+  return v;
+}
+
+constexpr Phase kPhases[] = {Phase::kA, Phase::kB, Phase::kC};
+
+}  // namespace
+
+bool is_constant_power(const Load& load) {
+  for (Phase p : kPhases) {
+    if (load.alpha[p] != 0.0 || load.beta[p] != 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<Scenario> parse_scenarios(std::istream& in) {
+  std::vector<Scenario> scenarios;
+  bool open = false;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ss(raw);
+    std::vector<std::string> tokens;
+    std::string t;
+    while (ss >> t) tokens.push_back(t);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "scenario") {
+      if (open) fail(line_no, "missing 'end' before new scenario");
+      if (tokens.size() != 2) fail(line_no, "expected: scenario <name>");
+      scenarios.push_back(Scenario{tokens[1], {}});
+      open = true;
+    } else if (tokens[0] == "end") {
+      if (!open) fail(line_no, "'end' outside a scenario block");
+      if (tokens.size() != 1) fail(line_no, "expected: end");
+      open = false;
+    } else if (tokens[0] == "load") {
+      if (!open) fail(line_no, "override outside a scenario block");
+      if (tokens.size() != 4 || tokens[2] != "scale") {
+        fail(line_no, "expected: load <name|*|constant> scale <factor>");
+      }
+      scenarios.back().overrides.push_back(
+          {ScenarioOverride::Kind::kLoadScale, tokens[1],
+           parse_factor(tokens[3], line_no)});
+    } else if (tokens[0] == "gen") {
+      if (!open) fail(line_no, "override outside a scenario block");
+      if (tokens.size() != 4 ||
+          (tokens[2] != "cost-scale" && tokens[2] != "pmax-scale")) {
+        fail(line_no,
+             "expected: gen <name|*> cost-scale|pmax-scale <factor>");
+      }
+      const auto kind = tokens[2] == "cost-scale"
+                            ? ScenarioOverride::Kind::kGenCostScale
+                            : ScenarioOverride::Kind::kGenPmaxScale;
+      scenarios.back().overrides.push_back(
+          {kind, tokens[1], parse_factor(tokens[3], line_no)});
+    } else {
+      fail(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (open) {
+    throw ScenarioError("scenario file: unterminated scenario '" +
+                        scenarios.back().name + "' (missing 'end')");
+  }
+  if (scenarios.empty()) {
+    throw ScenarioError("scenario file: no scenarios defined");
+  }
+  return scenarios;
+}
+
+std::vector<Scenario> load_scenarios(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file: " + path);
+  return parse_scenarios(in);
+}
+
+Network apply_scenario(const Network& base, const Scenario& scenario) {
+  Network net = base;
+  for (const ScenarioOverride& ov : scenario.overrides) {
+    bool matched = false;
+    if (ov.kind == ScenarioOverride::Kind::kLoadScale) {
+      for (std::size_t i = 0; i < net.num_loads(); ++i) {
+        Load& load = net.load_mutable(static_cast<int>(i));
+        if (ov.target == "constant") {
+          if (!is_constant_power(load)) continue;
+        } else if (ov.target != "*" && load.name != ov.target) {
+          continue;
+        }
+        for (Phase p : kPhases) {
+          load.p_ref[p] *= ov.factor;
+          load.q_ref[p] *= ov.factor;
+        }
+        matched = true;
+      }
+    } else {
+      for (std::size_t i = 0; i < net.num_generators(); ++i) {
+        auto& gen = net.generator_mutable(static_cast<int>(i));
+        if (ov.target != "*" && gen.name != ov.target) continue;
+        if (ov.kind == ScenarioOverride::Kind::kGenCostScale) {
+          gen.cost *= ov.factor;
+        } else {
+          for (Phase p : kPhases) gen.p_max[p] *= ov.factor;
+        }
+        matched = true;
+      }
+    }
+    if (!matched) {
+      throw ScenarioError("scenario '" + scenario.name +
+                          "': no component matches target '" + ov.target +
+                          "'");
+    }
+  }
+  return net;
+}
+
+}  // namespace dopf::runtime

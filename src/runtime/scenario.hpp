@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace dopf::runtime {
+
+/// Thrown on malformed scenario files or overrides that reference unknown
+/// network components.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One override line of a scenario file.
+struct ScenarioOverride {
+  enum class Kind {
+    kLoadScale,     ///< load <target> scale <factor>   (p_ref and q_ref)
+    kGenCostScale,  ///< gen <target> cost-scale <factor>
+    kGenPmaxScale,  ///< gen <target> pmax-scale <factor>
+  };
+  Kind kind = Kind::kLoadScale;
+  /// Component name, "*" (all), or — for loads — "constant" (only loads
+  /// with alpha = beta = 0 on every phase; scaling those is rhs-only, so a
+  /// sweep over them needs zero projector refactorizations).
+  std::string target = "*";
+  double factor = 1.0;
+};
+
+/// A named scenario: a list of overrides applied to the BASE network (each
+/// scenario is independent; they do not compose with one another).
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioOverride> overrides;
+};
+
+/// Parse the scenario-sweep format consumed by `dopf_solve --scenarios`:
+///
+///   # comment
+///   scenario peak
+///   load * scale 1.08
+///   gen dg675 cost-scale 1.5
+///   end
+///
+///   scenario pv-surge
+///   load constant scale 0.95
+///   gen * pmax-scale 2.0
+///   end
+///
+/// Throws ScenarioError with line provenance on malformed input.
+std::vector<Scenario> parse_scenarios(std::istream& in);
+std::vector<Scenario> load_scenarios(const std::string& path);
+
+/// Apply `scenario` to a copy of `base` and return it. Unknown component
+/// names, non-finite or non-positive factors raise ScenarioError.
+dopf::network::Network apply_scenario(const dopf::network::Network& base,
+                                      const Scenario& scenario);
+
+/// True when the load is constant-power on every phase (alpha = beta = 0),
+/// i.e. its scaling only moves equation right-hand sides.
+bool is_constant_power(const dopf::network::Load& load);
+
+}  // namespace dopf::runtime

@@ -22,17 +22,33 @@ GpuSolverFreeAdmm::GpuSolverFreeAdmm(const DistributedProblem& problem,
                SimtBackend::Config{options.threads_per_block,
                                    options.elementwise_block}),
       rho_(options.admm.rho) {
-  const LocalSolvers solvers =
-      LocalSolvers::precompute(problem, options.admm.projector);
-  image_ = DeviceProblem::build(problem, solvers);
+  // Single-shot wrapper: precompute through a throwaway SolveModel (same
+  // factorization path as the session layers, byte-identical image).
+  const dopf::core::SolveModel model(problem, options.admm.projector);
+  image_ = model.make_pack();
+  init_state();
+}
 
-  x_ = problem.x0;
+GpuSolverFreeAdmm::GpuSolverFreeAdmm(const dopf::core::SolveModel& model,
+                                     GpuAdmmOptions options, Device device)
+    : problem_(&model.problem()),
+      options_(options),
+      backend_(std::move(device),
+               SimtBackend::Config{options.threads_per_block,
+                                   options.elementwise_block}),
+      rho_(options.admm.rho) {
+  image_ = model.make_pack();
+  init_state();
+}
+
+void GpuSolverFreeAdmm::init_state() {
+  x_ = image_.x0;
   z_.assign(image_.total_local(), 0.0);
   z_prev_.assign(image_.total_local(), 0.0);
   lambda_.assign(image_.total_local(), 0.0);
   y_scratch_.assign(image_.total_local(), 0.0);
   for (std::size_t pos = 0; pos < z_.size(); ++pos) {
-    z_[pos] = problem.x0[image_.global_idx[pos]];
+    z_[pos] = image_.x0[image_.global_idx[pos]];
   }
   z_prev_ = z_;
   upload();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/admm.hpp"
+#include "core/solve_model.hpp"
 #include "opf/decompose.hpp"
 #include "simt/device.hpp"
 #include "simt/simt_backend.hpp"
@@ -37,7 +38,12 @@ struct GpuAdmmOptions {
 /// the simulated ledger provides the per-kernel timing for Figs. 3-4.
 class GpuSolverFreeAdmm {
  public:
+  /// Single-shot wrapper: precomputes through an internal SolveModel.
   GpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
+                    GpuAdmmOptions options, Device device = Device());
+  /// Session path: upload an existing model's precompute (no
+  /// factorization here). `model` must outlive the solver.
+  GpuSolverFreeAdmm(const dopf::core::SolveModel& model,
                     GpuAdmmOptions options, Device device = Device());
 
   dopf::core::AdmmResult solve();
@@ -67,6 +73,7 @@ class GpuSolverFreeAdmm {
 
  private:
   dopf::core::PackedState packed_state();
+  void init_state();
 
   const dopf::opf::DistributedProblem* problem_;
   GpuAdmmOptions options_;

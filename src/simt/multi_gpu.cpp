@@ -29,23 +29,37 @@ MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
     : problem_(&problem),
       options_(options),
       rho_(options.gpu.admm.rho) {
-  const LocalSolvers solvers =
-      LocalSolvers::precompute(problem, options.gpu.admm.projector);
-  image_ = DeviceProblem::build(problem, solvers);
-  devices_.assign(std::max<std::size_t>(1, options.num_devices),
-                  Device(options.device_spec));
+  // Single-shot wrapper: precompute through a throwaway SolveModel (same
+  // factorization path as the session layers, byte-identical image).
+  const dopf::core::SolveModel model(problem, options.gpu.admm.projector);
+  image_ = model.make_pack();
+  init_state();
+}
+
+MultiGpuSolverFreeAdmm::MultiGpuSolverFreeAdmm(
+    const dopf::core::SolveModel& model, MultiGpuOptions options)
+    : problem_(&model.problem()),
+      options_(options),
+      rho_(options.gpu.admm.rho) {
+  image_ = model.make_pack();
+  init_state();
+}
+
+void MultiGpuSolverFreeAdmm::init_state() {
+  devices_.assign(std::max<std::size_t>(1, options_.num_devices),
+                  Device(options_.device_spec));
   alive_.assign(devices_.size(), 1);
-  health_.assign(devices_.size(), DeviceHealth(options.degrade));
+  health_.assign(devices_.size(), DeviceHealth(options_.degrade));
   quarantined_.assign(devices_.size(), 0);
   stale_.assign(devices_.size(), 0);
   repartition();
 
-  x_ = problem.x0;
+  x_ = image_.x0;
   z_.assign(image_.total_local(), 0.0);
   lambda_.assign(image_.total_local(), 0.0);
   y_scratch_.assign(image_.total_local(), 0.0);
   for (std::size_t pos = 0; pos < z_.size(); ++pos) {
-    z_[pos] = problem.x0[image_.global_idx[pos]];
+    z_[pos] = image_.x0[image_.global_idx[pos]];
   }
   z_prev_ = z_;
   // Each device uploads its slice of the problem image once.
@@ -97,6 +111,20 @@ void MultiGpuSolverFreeAdmm::restore_state(const AdmmCheckpoint& checkpoint) {
         std::to_string(x_.size()) + ", z " +
         std::to_string(checkpoint.z.size()) + "/" +
         std::to_string(z_.size()) + " values) — wrong feeder?");
+  }
+  if (checkpoint.model_fingerprint != 0 &&
+      checkpoint.model_fingerprint !=
+          dopf::core::topology_fingerprint(image_)) {
+    throw FaultError(
+        "multi-gpu restore: checkpoint model fingerprint does not match "
+        "this run's topology — refusing to restore");
+  }
+  if (checkpoint.scenario_fingerprint != 0 &&
+      checkpoint.scenario_fingerprint !=
+          dopf::core::scenario_fingerprint(image_)) {
+    throw FaultError(
+        "multi-gpu restore: checkpoint scenario fingerprint does not match "
+        "this run's bound loads/costs/bounds — refusing to restore");
   }
   x_ = checkpoint.x;
   z_ = checkpoint.z;
@@ -342,6 +370,8 @@ void MultiGpuSolverFreeAdmm::take_checkpoint(int iteration,
                                              const AdmmResult& result,
                                              int recorded) {
   checkpoint_.label = options_.label;
+  checkpoint_.model_fingerprint = dopf::core::topology_fingerprint(image_);
+  checkpoint_.scenario_fingerprint = dopf::core::scenario_fingerprint(image_);
   checkpoint_.iteration = iteration;
   checkpoint_.rho = rho_;
   checkpoint_.x = x_;

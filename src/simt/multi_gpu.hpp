@@ -76,7 +76,13 @@ struct MultiGpuOptions {
 /// must converge to the same solution within tolerance.
 class MultiGpuSolverFreeAdmm {
  public:
+  /// Single-shot wrapper: precomputes through an internal SolveModel.
   MultiGpuSolverFreeAdmm(const dopf::opf::DistributedProblem& problem,
+                         MultiGpuOptions options);
+  /// Session path: distribute an existing model's precompute across the
+  /// simulated devices (no factorization here). `model` must outlive the
+  /// solver.
+  MultiGpuSolverFreeAdmm(const dopf::core::SolveModel& model,
                          MultiGpuOptions options);
 
   dopf::core::AdmmResult solve();
@@ -124,6 +130,8 @@ class MultiGpuSolverFreeAdmm {
   IterationAverages iteration_averages() const;
 
  private:
+  void init_state();
+
   const dopf::opf::DistributedProblem* problem_;
   MultiGpuOptions options_;
   DeviceProblem image_;

@@ -1,0 +1,258 @@
+#include "core/solve_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/admm.hpp"
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "runtime/instances.hpp"
+#include "runtime/scenario.hpp"
+
+namespace dopf::core {
+namespace {
+
+using dopf::opf::DistributedProblem;
+
+struct Fixture {
+  dopf::network::Network net = dopf::feeders::ieee13();
+  dopf::opf::OpfModel model = dopf::opf::build_model(net);
+  DistributedProblem problem = dopf::opf::decompose(net, model);
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+/// A load-only variant of the fixture: every constant-power load scaled by
+/// `factor`, re-decomposed. Against the base model this must diff as
+/// rhs/c/bounds-only — zero refactorizations.
+DistributedProblem constant_load_scenario(double factor) {
+  const dopf::runtime::Scenario sc{
+      "scale",
+      {{dopf::runtime::ScenarioOverride::Kind::kLoadScale, "constant",
+        factor}}};
+  const auto net_s = dopf::runtime::apply_scenario(fixture().net, sc);
+  return dopf::opf::decompose(net_s);
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// --- Layer 1+2: the model/binding pack must be bit-identical to the
+// single-shot wrapper's, or backends would diverge from golden traces.
+
+TEST(SolveModelTest, PackBitwiseEquivalentToLegacyPath) {
+  AdmmOptions opt;
+  SolverFreeAdmm legacy(fixture().problem, opt);
+
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  const PackedLocalSolvers& pack = binding.pack();
+
+  const PackedLocalSolvers& ref = legacy.packed();
+  EXPECT_EQ(ref.comp_offset, pack.comp_offset);
+  EXPECT_EQ(ref.abar_offset, pack.abar_offset);
+  EXPECT_EQ(ref.comp_nvars, pack.comp_nvars);
+  EXPECT_EQ(ref.global_idx, pack.global_idx);
+  EXPECT_EQ(ref.gather_ptr, pack.gather_ptr);
+  EXPECT_EQ(ref.gather_pos, pack.gather_pos);
+  EXPECT_TRUE(bitwise_equal(ref.abar, pack.abar));
+  EXPECT_TRUE(bitwise_equal(ref.bbar, pack.bbar));
+  EXPECT_TRUE(bitwise_equal(ref.c, pack.c));
+  EXPECT_TRUE(bitwise_equal(ref.lb, pack.lb));
+  EXPECT_TRUE(bitwise_equal(ref.ub, pack.ub));
+  EXPECT_TRUE(bitwise_equal(ref.x0, pack.x0));
+  EXPECT_EQ(topology_fingerprint(ref), topology_fingerprint(pack));
+  EXPECT_EQ(scenario_fingerprint(ref), scenario_fingerprint(pack));
+}
+
+// --- Load-only rebind: zero refactorizations, and the rhs re-derivation
+// through the retained factor is bit-identical to a cold build.
+
+TEST(ScenarioBindingTest, LoadOnlyRebindNeedsZeroRefactorizations) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+
+  const auto scenario = constant_load_scenario(1.1);
+  const RebindStats st = binding.rebind(scenario);
+
+  EXPECT_EQ(st.refactorizations, 0);
+  EXPECT_GT(st.rhs_rebinds, 0);
+  EXPECT_EQ(model.refactorizations(), 0);
+  EXPECT_EQ(st.unchanged + st.rhs_rebinds,
+            static_cast<int>(fixture().problem.num_components()));
+
+  // The rebound pack must match a cold build of the scenario problem bit
+  // for bit: rebind_rhs replays exactly the assemble-time bbar arithmetic.
+  SolveModel cold_model(scenario, opt.projector);
+  ScenarioBinding cold(cold_model);
+  EXPECT_TRUE(bitwise_equal(cold.pack().bbar, binding.pack().bbar));
+  EXPECT_TRUE(bitwise_equal(cold.pack().c, binding.pack().c));
+  EXPECT_TRUE(bitwise_equal(cold.pack().lb, binding.pack().lb));
+  EXPECT_TRUE(bitwise_equal(cold.pack().ub, binding.pack().ub));
+  EXPECT_TRUE(bitwise_equal(cold.pack().x0, binding.pack().x0));
+  EXPECT_EQ(cold.scenario_fingerprint(), binding.scenario_fingerprint());
+  // Topology untouched.
+  EXPECT_EQ(cold.model_fingerprint(), binding.model_fingerprint());
+}
+
+TEST(ScenarioBindingTest, RebindBackToBaseRestoresScenarioFingerprint) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  const std::uint64_t base_fp = binding.scenario_fingerprint();
+
+  binding.rebind(constant_load_scenario(0.9));
+  EXPECT_NE(binding.scenario_fingerprint(), base_fp);
+  binding.rebind(fixture().problem);
+  EXPECT_EQ(binding.scenario_fingerprint(), base_fp);
+  EXPECT_EQ(model.refactorizations(), 0);
+}
+
+// --- Topology edit: exactly the touched component is refactorized.
+
+TEST(ScenarioBindingTest, TopologyEditRefactorizesExactlyThatComponent) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+
+  // Scale one component's equality block (rows of A_s and b_s together):
+  // same solution set, different bytes — a genuine A_s change.
+  DistributedProblem edited = fixture().problem;
+  const std::size_t target = edited.components.size() / 2;
+  auto& comp = edited.components[target];
+  dopf::linalg::Matrix a2 = comp.a;
+  for (std::size_t r = 0; r < a2.rows(); ++r) {
+    for (std::size_t cidx = 0; cidx < a2.cols(); ++cidx) {
+      a2(r, cidx) *= 2.0;
+    }
+  }
+  comp.a = a2;
+  for (double& v : comp.b) v *= 2.0;
+
+  const RebindStats st = binding.rebind(edited);
+  EXPECT_EQ(st.refactorizations, 1);
+  EXPECT_EQ(model.refactorizations(), 1);
+  EXPECT_EQ(st.unchanged,
+            static_cast<int>(edited.components.size()) - 1);
+  EXPECT_EQ(st.rhs_rebinds, 0);
+
+  // The refreshed component must equal a cold build of the edited problem.
+  SolveModel cold_model(edited, opt.projector);
+  ScenarioBinding cold(cold_model);
+  EXPECT_TRUE(bitwise_equal(cold.pack().abar, binding.pack().abar));
+  EXPECT_TRUE(bitwise_equal(cold.pack().bbar, binding.pack().bbar));
+  EXPECT_EQ(cold.model_fingerprint(), binding.model_fingerprint());
+}
+
+TEST(ScenarioBindingTest, DifferentLayoutIsRejected) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+
+  // Decomposing without leaf merging yields a different component layout —
+  // that is a new model, not a scenario.
+  dopf::opf::DecomposeOptions dec;
+  dec.merge_leaves = false;
+  const auto other = dopf::opf::decompose(fixture().net, fixture().model, dec);
+  EXPECT_THROW(binding.rebind(other), std::invalid_argument);
+}
+
+// --- Layer 3: warm starts converge to the same answer in fewer
+// iterations, and the precompute is reused (counter-asserted).
+
+TEST(SolveSessionTest, WarmSolveMatchesColdSolutionOnIeee13) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  SolveSession session(binding, opt);
+
+  const AdmmResult base = session.solve();
+  ASSERT_TRUE(base.converged);
+  EXPECT_FALSE(base.warm_started);
+
+  const auto scenario = constant_load_scenario(1.05);
+  const RebindStats st = session.rebind(scenario);
+  EXPECT_EQ(st.refactorizations, 0);
+  const AdmmResult warm = session.solve();
+  ASSERT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.warm_started);
+
+  // Cold reference for the same scenario through a fresh session.
+  SolveModel cold_model(scenario, opt.projector);
+  ScenarioBinding cold_binding(cold_model);
+  SolveSession cold_session(cold_binding, opt);
+  const AdmmResult cold = cold_session.solve();
+  ASSERT_TRUE(cold.converged);
+  EXPECT_FALSE(cold.warm_started);
+
+  // Same solution within the dopf_verify --reference tolerance.
+  const double tol = 5e-2;
+  EXPECT_NEAR(warm.objective, cold.objective,
+              tol * (1.0 + std::abs(cold.objective)));
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i) {
+    EXPECT_NEAR(warm.x[i], cold.x[i], tol) << "x[" << i << "]";
+  }
+  // Warm start helps on a 5% perturbation.
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(SolveSessionTest, CountersTrackReuseAcrossSweep) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  SolveSession session(binding, opt);
+
+  ASSERT_TRUE(session.solve().converged);
+  for (double f : {0.95, 1.0, 1.05}) {
+    session.rebind(constant_load_scenario(f));
+    const AdmmResult res = session.solve();
+    ASSERT_TRUE(res.converged);
+    EXPECT_TRUE(res.warm_started);
+    // Scenario solves repay no precompute and report the reuse.
+    EXPECT_EQ(res.timing.precompute, 0.0);
+    EXPECT_EQ(res.timing.refactorizations, 0);
+    EXPECT_GT(res.timing.precompute_reuse_count, 0);
+  }
+  const SessionStats& st = session.stats();
+  EXPECT_EQ(st.solves, 4);
+  EXPECT_EQ(st.cold_solves, 1);
+  EXPECT_EQ(st.warm_solves, 3);
+  EXPECT_EQ(st.precompute_reuses, 3);
+  EXPECT_EQ(st.refactorizations, 0);
+  EXPECT_GT(st.rhs_rebinds, 0);
+}
+
+// --- Satellite: the single-shot wrapper no longer double-counts the
+// precompute when run twice.
+
+TEST(SolverFreeAdmmTest, SecondRunDoesNotDoubleCountPrecompute) {
+  AdmmOptions opt;
+  SolverFreeAdmm admm(fixture().problem, opt);
+  const AdmmResult first = admm.solve();
+  ASSERT_TRUE(first.converged);
+  EXPECT_GE(first.timing.precompute, 0.0);
+  EXPECT_EQ(first.timing.precompute_reuse_count, 0);
+
+  admm.reset();
+  const AdmmResult second = admm.solve();
+  ASSERT_TRUE(second.converged);
+  EXPECT_EQ(second.timing.precompute, 0.0);
+  EXPECT_EQ(second.timing.precompute_reuse_count, 1);
+}
+
+}  // namespace
+}  // namespace dopf::core

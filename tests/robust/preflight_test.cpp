@@ -164,5 +164,71 @@ TEST(PreflightTest, WorstCondAndHealthCountsAreConsistent) {
   EXPECT_GE(report.worst_cond(), 1.0);
 }
 
+// --- run_scenario_preflight: validating a ScenarioBinding delta without
+// re-sanitizing the unchanged topology.
+
+TEST(ScenarioPreflightTest, LoadOnlyScenarioReusesEveryComponentVerdict) {
+  const Network net = dopf::feeders::ieee13();
+  const auto base = dopf::opf::decompose(net);
+  // A pure objective/bounds/rhs perturbation: scale c. Components' A
+  // blocks are untouched, so conditioning analysis must be skipped for all.
+  auto scenario = base;
+  for (double& v : scenario.c) v *= 1.25;
+
+  const PreflightReport report = run_scenario_preflight(base, scenario);
+  EXPECT_TRUE(report.accepted) << report.rejection;
+  EXPECT_EQ(report.scenario_components_reused, base.num_components());
+  EXPECT_TRUE(report.blocks.empty());  // no block re-analyzed
+}
+
+TEST(ScenarioPreflightTest, ChangedComponentIsReanalyzed) {
+  const Network net = dopf::feeders::ieee13();
+  const auto base = dopf::opf::decompose(net);
+  auto scenario = base;
+  auto& a = scenario.components[0].a;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) *= 2.0;
+  }
+  const PreflightReport report = run_scenario_preflight(base, scenario);
+  EXPECT_TRUE(report.accepted) << report.rejection;
+  EXPECT_EQ(report.scenario_components_reused, base.num_components() - 1);
+  EXPECT_EQ(report.blocks.size(), 1u);
+}
+
+TEST(ScenarioPreflightTest, LayoutMismatchIsRejectedAsNewModel) {
+  const Network net = dopf::feeders::ieee13();
+  const auto base = dopf::opf::decompose(net);
+  dopf::opf::DecomposeOptions dec;
+  dec.merge_leaves = false;  // different component layout
+  const auto other = dopf::opf::decompose(net, dopf::opf::build_model(net),
+                                          dec);
+  const PreflightReport report = run_scenario_preflight(base, other);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_NE(report.rejection.find("rebuild the SolveModel"),
+            std::string::npos)
+      << report.rejection;
+}
+
+TEST(ScenarioPreflightTest, NonFiniteScenarioDataRejected) {
+  const Network net = dopf::feeders::ieee13();
+  const auto base = dopf::opf::decompose(net);
+
+  auto bad_c = base;
+  bad_c.c[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(run_scenario_preflight(base, bad_c).accepted);
+
+  auto bad_b = base;
+  bad_b.components[0].b[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(run_scenario_preflight(base, bad_b).accepted);
+
+  auto inverted = base;
+  inverted.lb[0] = 1.0;
+  inverted.ub[0] = -1.0;
+  const PreflightReport report = run_scenario_preflight(base, inverted);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_NE(report.rejection.find("bounds"), std::string::npos)
+      << report.rejection;
+}
+
 }  // namespace
 }  // namespace dopf::robust

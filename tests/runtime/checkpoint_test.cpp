@@ -186,5 +186,55 @@ TEST(CheckpointTest, CheckpointBytesCoversState) {
             sizeof(double) * (5 + 3 + 3 + 2) + sizeof(double) + sizeof(int));
 }
 
+TEST(CheckpointTest, FingerprintsRoundTripThroughSerializer) {
+  dopf::core::SolverFreeAdmm admm(problem(), {});
+  const AdmmCheckpoint ck = AdmmCheckpoint::capture(admm, 7, "ieee13");
+  EXPECT_NE(ck.model_fingerprint, 0u);
+  EXPECT_NE(ck.scenario_fingerprint, 0u);
+
+  std::stringstream buf;
+  write_checkpoint(ck, buf);
+  const AdmmCheckpoint back = read_checkpoint(buf);
+  EXPECT_EQ(back.model_fingerprint, ck.model_fingerprint);
+  EXPECT_EQ(back.scenario_fingerprint, ck.scenario_fingerprint);
+}
+
+TEST(CheckpointTest, LegacyCheckpointWithoutFingerprintsStillLoads) {
+  // A checkpoint written before fingerprints existed has no model_fp /
+  // scenario_fp lines; it must load with both fingerprints 0 (= unknown)
+  // and validate against any solver of the right shape.
+  const AdmmCheckpoint legacy = awkward_checkpoint();  // fps default to 0
+  std::stringstream buf;
+  write_checkpoint(legacy, buf);
+  EXPECT_EQ(buf.str().find("model_fp"), std::string::npos);
+  EXPECT_EQ(buf.str().find("scenario_fp"), std::string::npos);
+  const AdmmCheckpoint back = read_checkpoint(buf);
+  EXPECT_EQ(back.model_fingerprint, 0u);
+  EXPECT_EQ(back.scenario_fingerprint, 0u);
+}
+
+TEST(CheckpointTest, ScenarioFingerprintMismatchRejected) {
+  // Capture against the base scenario, then rebind the loads: the resumed
+  // state would be meaningless against the edited data, so validate_for
+  // must refuse with a scenario-mismatch diagnostic.
+  dopf::core::SolverFreeAdmm admm(problem(), {});
+  AdmmCheckpoint ck = AdmmCheckpoint::capture(admm, 10, "ieee13");
+  EXPECT_NO_THROW(ck.validate_for(admm, "ieee13"));
+
+  ck.scenario_fingerprint ^= 0x1;  // any rebind changes the fingerprint
+  try {
+    ck.validate_for(admm, "ieee13");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario"), std::string::npos) << what;
+  }
+
+  // A model-fingerprint mismatch (different topology) is also refused.
+  AdmmCheckpoint ck2 = AdmmCheckpoint::capture(admm, 10, "ieee13");
+  ck2.model_fingerprint ^= 0x1;
+  EXPECT_THROW(ck2.validate_for(admm, "ieee13"), CheckpointError);
+}
+
 }  // namespace
 }  // namespace dopf::runtime

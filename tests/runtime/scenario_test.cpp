@@ -1,0 +1,109 @@
+/// Scenario file parsing + application: the input format behind
+/// `dopf_solve --scenarios` (see src/runtime/scenario.hpp).
+
+#include "runtime/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "feeders/ieee13.hpp"
+#include "network/phase.hpp"
+
+namespace dopf::runtime {
+namespace {
+
+std::vector<Scenario> parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenarios(in);
+}
+
+TEST(ScenarioParserTest, ParsesOverridesWithComments) {
+  const auto scenarios = parse(
+      "# morning valley\n"
+      "scenario valley\n"
+      "  load * scale 0.8   # everything light\n"
+      "  gen gen-mid cost-scale 1.25\n"
+      "end\n"
+      "scenario peak\n"
+      "  load constant scale 1.2\n"
+      "  gen * pmax-scale 0.9\n"
+      "end\n");
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].name, "valley");
+  ASSERT_EQ(scenarios[0].overrides.size(), 2u);
+  EXPECT_EQ(scenarios[0].overrides[0].kind,
+            ScenarioOverride::Kind::kLoadScale);
+  EXPECT_EQ(scenarios[0].overrides[0].target, "*");
+  EXPECT_DOUBLE_EQ(scenarios[0].overrides[0].factor, 0.8);
+  EXPECT_EQ(scenarios[0].overrides[1].kind,
+            ScenarioOverride::Kind::kGenCostScale);
+  EXPECT_EQ(scenarios[1].overrides[1].kind,
+            ScenarioOverride::Kind::kGenPmaxScale);
+}
+
+TEST(ScenarioParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ScenarioError);
+  EXPECT_THROW(parse("load * scale 0.9\n"), ScenarioError);  // outside block
+  EXPECT_THROW(parse("scenario a\nload * scale 0.9\n"),
+               ScenarioError);  // missing end
+  EXPECT_THROW(parse("scenario a\nscenario b\nend\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario a\nfrobnicate x 2\nend\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario a\nload * scale -1\nend\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario a\nload * scale nope\nend\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario a\nload * scale 1x\nend\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario a\ngen * scale 2\nend\n"), ScenarioError);
+}
+
+TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parse("scenario a\nload * scale 0.9\nbogus\nend\n");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioApplyTest, ScalesMatchingLoadsOnly) {
+  const auto net = dopf::feeders::ieee13();
+  const Scenario sc{
+      "s", {{ScenarioOverride::Kind::kLoadScale, "constant", 1.5}}};
+  const auto scaled = apply_scenario(net, sc);
+  ASSERT_EQ(scaled.num_loads(), net.num_loads());
+  bool any_constant = false;
+  for (std::size_t i = 0; i < net.num_loads(); ++i) {
+    const auto& before = net.load(static_cast<int>(i));
+    const auto& after = scaled.load(static_cast<int>(i));
+    const double factor = is_constant_power(before) ? 1.5 : 1.0;
+    any_constant = any_constant || is_constant_power(before);
+    for (auto p : {dopf::network::Phase::kA, dopf::network::Phase::kB,
+                   dopf::network::Phase::kC}) {
+      EXPECT_DOUBLE_EQ(after.p_ref[p], before.p_ref[p] * factor);
+      EXPECT_DOUBLE_EQ(after.q_ref[p], before.q_ref[p] * factor);
+    }
+  }
+  EXPECT_TRUE(any_constant);  // the target must have matched something
+}
+
+TEST(ScenarioApplyTest, UnmatchedTargetThrows) {
+  const auto net = dopf::feeders::ieee13();
+  const Scenario sc{
+      "s", {{ScenarioOverride::Kind::kLoadScale, "no-such-load", 1.1}}};
+  EXPECT_THROW(apply_scenario(net, sc), ScenarioError);
+}
+
+TEST(ScenarioApplyTest, ScenariosApplyToBaseIndependently) {
+  const auto net = dopf::feeders::ieee13();
+  const Scenario sc{"s",
+                    {{ScenarioOverride::Kind::kGenCostScale, "*", 2.0}}};
+  const auto once = apply_scenario(net, sc);
+  const auto again = apply_scenario(net, sc);  // NOT compounding
+  for (std::size_t i = 0; i < net.num_generators(); ++i) {
+    EXPECT_DOUBLE_EQ(again.generator(static_cast<int>(i)).cost,
+                     once.generator(static_cast<int>(i)).cost);
+  }
+}
+
+}  // namespace
+}  // namespace dopf::runtime

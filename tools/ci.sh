@@ -44,6 +44,12 @@ echo "=== preflight smoke (all builtin feeders) ==="
 for feeder in ieee13 ieee123 ieee8500_mini ieee8500 ieee13_overload; do
   ./build/tools/dopf_solve "builtin:${feeder}" --preflight-only
 done
+
+# Session-reuse gate: a scenario sweep through one SolveSession must
+# precompute the topology exactly once, rebind load/cost scenarios without
+# refactorizing, and warm-start in fewer total iterations than cold.
+echo "=== session-reuse smoke (ieee13 scenario sweep) ==="
+sh tools/session_smoke.sh ./build/tools/dopf_solve ./build
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 

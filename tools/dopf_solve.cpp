@@ -39,6 +39,16 @@
 //   --strict              shorthand for --preflight strict
 //   --preflight-only      run preflight, print the report, and exit without
 //                         solving (0 accepted, 5 rejected)
+//   --scenarios FILE      solve a scenario sweep through one SolveSession:
+//                         the feeder is precomputed once, each scenario in
+//                         FILE (see src/runtime/scenario.hpp for the format)
+//                         is rebound in place and warm-started from the
+//                         previous solution. Requires --algorithm
+//                         solver-free with --backend serial or threaded.
+//   --cold-compare        with --scenarios, also solve every scenario cold
+//                         (fresh iterate state) and report both counts
+//   --json                print a machine-readable JSON summary (single
+//                         solve or scenario sweep) on stdout
 //   --report              print the full dispatch/voltage report
 //   --residuals FILE      dump residual history as CSV
 //   --output FILE         dump the solution (per-variable CSV)
@@ -57,12 +67,16 @@
 
 #include "baseline/benchmark_admm.hpp"
 #include "core/admm.hpp"
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "core/solve_session.hpp"
 #include "feeders/feeder_io.hpp"
 #include "opf/solution.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/instances.hpp"
 #include "robust/preflight.hpp"
+#include "runtime/scenario.hpp"
 #include "runtime/threaded_backend.hpp"
 #include "simt/gpu_admm.hpp"
 #include "simt/multi_gpu.hpp"
@@ -81,6 +95,7 @@ namespace {
       "  --degrade  --staleness-bound S  --watchdog\n"
       "  --checkpoint-every N  --checkpoint FILE  --resume FILE\n"
       "  --preflight off|warn|auto|strict  --strict  --preflight-only\n"
+      "  --scenarios FILE  --cold-compare  --json\n"
       "  --report  --residuals FILE  --output FILE\n",
       argv0);
   std::exit(1);
@@ -112,6 +127,169 @@ int parse_int(const char* arg, const char* what) {
   return static_cast<int>(v);
 }
 
+/// One row of the scenario sweep, for the text table and --json.
+struct SweepRow {
+  std::string name;
+  dopf::core::AdmmResult result;
+  dopf::core::RebindStats rebind;
+  std::size_t components_reused = 0;
+  int cold_iterations = -1;  ///< -1 = --cold-compare off
+};
+
+int exit_code_for(const dopf::core::AdmmResult& res) {
+  using dopf::core::AdmmStatus;
+  if (res.converged) return 0;
+  if (res.status == AdmmStatus::kDiverged) return 3;
+  if (res.status == AdmmStatus::kStalled) return 4;
+  return 2;
+}
+
+void print_result_json(const dopf::core::AdmmResult& res,
+                       const std::string& algorithm,
+                       const std::string& backend) {
+  std::printf(
+      "{\"algorithm\":\"%s\",\"backend\":\"%s\",\"status\":\"%s\","
+      "\"converged\":%s,\"warm_started\":%s,\"iterations\":%d,"
+      "\"objective\":%.17g,\"primal_residual\":%.17g,"
+      "\"dual_residual\":%.17g,\"timing\":{\"total\":%.6f,"
+      "\"precompute\":%.6f,\"global_update\":%.6f,\"local_update\":%.6f,"
+      "\"dual_update\":%.6f,\"precompute_reuse_count\":%d,"
+      "\"refactorizations\":%d}}\n",
+      algorithm.c_str(), backend.c_str(), dopf::core::to_string(res.status),
+      res.converged ? "true" : "false", res.warm_started ? "true" : "false",
+      res.iterations, res.objective, res.primal_residual, res.dual_residual,
+      res.timing.total(), res.timing.precompute, res.timing.global_update,
+      res.timing.local_update, res.timing.dual_update,
+      res.timing.precompute_reuse_count, res.timing.refactorizations);
+}
+
+/// Scenario sweep: one SolveModel/ScenarioBinding/SolveSession drives every
+/// scenario; topology precompute happens exactly once, each scenario is
+/// rebound in place and warm-started from the previous solution.
+int run_scenario_sweep(const dopf::network::Network& net,
+                       const std::string& label,
+                       dopf::opf::DistributedProblem problem,
+                       const dopf::core::AdmmOptions& opt,
+                       const std::string& scenario_file,
+                       const std::string& preflight_mode,
+                       const dopf::opf::DecomposeOptions& dec,
+                       const std::string& backend, int threads,
+                       bool cold_compare, bool json) {
+  const auto scenarios = dopf::runtime::load_scenarios(scenario_file);
+  std::printf("scenario sweep: %zu scenario(s) from %s\n", scenarios.size(),
+              scenario_file.c_str());
+
+  dopf::core::SolveModel solve_model(problem, opt.projector);
+  dopf::core::ScenarioBinding binding(solve_model);
+  dopf::core::SolveSession session(binding, opt);
+  std::string backend_label = backend;
+  if (backend == "threaded") {
+    auto tb = std::make_unique<dopf::runtime::ThreadedBackend>(threads);
+    backend_label = "threaded(" + std::to_string(tb->threads()) + " threads)";
+    session.set_backend(std::move(tb));
+  }
+
+  // Cold comparisons run through a second session on the same binding:
+  // same pack, same factorizations, fresh iterate state every solve.
+  auto solve_cold_copy = [&]() {
+    dopf::core::SolveSession cold(binding, opt);
+    if (backend == "threaded") {
+      cold.set_backend(
+          std::make_unique<dopf::runtime::ThreadedBackend>(threads));
+    }
+    return cold.solve();
+  };
+
+  std::vector<SweepRow> rows;
+  SweepRow base;
+  base.name = "base";
+  base.result = session.solve();
+  base.components_reused = problem.num_components();
+  std::printf(
+      "  base: %s in %d iterations (cold), objective %.8f, "
+      "precompute %.2fs\n",
+      dopf::core::to_string(base.result.status), base.result.iterations,
+      base.result.objective, base.result.timing.precompute);
+  int code = exit_code_for(base.result);
+  rows.push_back(std::move(base));
+
+  for (const auto& sc : scenarios) {
+    const auto net_s = dopf::runtime::apply_scenario(net, sc);
+    const auto model_s = dopf::opf::build_model(net_s);
+    auto problem_s = dopf::opf::decompose(net_s, model_s, dec);
+
+    SweepRow row;
+    row.name = sc.name;
+    if (preflight_mode != "off") {
+      dopf::robust::PreflightOptions popt;
+      popt.policy = dopf::robust::parse_policy(preflight_mode);
+      popt.decompose = dec;
+      const auto pre = dopf::robust::run_scenario_preflight(
+          solve_model.problem(), problem_s, popt);
+      if (!pre.accepted) {
+        std::fprintf(stderr, "scenario '%s' rejected by preflight: %s\n",
+                     sc.name.c_str(), pre.rejection.c_str());
+        return 5;
+      }
+      row.components_reused = pre.scenario_components_reused;
+    }
+
+    row.rebind = session.rebind(problem_s);
+    row.result = session.solve();
+    if (cold_compare) {
+      row.cold_iterations = solve_cold_copy().iterations;
+    }
+    std::printf(
+        "  %s: %s in %d iterations (%s)%s, objective %.8f "
+        "[%d refactorization(s), %d rhs rebind(s), %d unchanged]\n",
+        row.name.c_str(), dopf::core::to_string(row.result.status),
+        row.result.iterations, row.result.warm_started ? "warm" : "cold",
+        row.cold_iterations >= 0
+            ? (" vs " + std::to_string(row.cold_iterations) + " cold").c_str()
+            : "",
+        row.result.objective, row.rebind.refactorizations,
+        row.rebind.rhs_rebinds, row.rebind.unchanged);
+    code = std::max(code, exit_code_for(row.result));
+    rows.push_back(std::move(row));
+  }
+
+  const auto& st = session.stats();
+  std::printf(
+      "session: %d solve(s) (%d cold, %d warm), 1 full precompute, "
+      "%d precompute reuse(s), %d refactorization(s), %d rhs rebind(s)\n",
+      st.solves, st.cold_solves, st.warm_solves, st.precompute_reuses,
+      st.refactorizations, st.rhs_rebinds);
+
+  if (json) {
+    std::printf("{\"feeder\":\"%s\",\"backend\":\"%s\",\"scenarios\":[",
+                label.c_str(), backend_label.c_str());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::printf(
+          "%s{\"name\":\"%s\",\"status\":\"%s\",\"converged\":%s,"
+          "\"warm_started\":%s,\"iterations\":%d,\"cold_iterations\":%d,"
+          "\"objective\":%.17g,\"refactorizations\":%d,\"rhs_rebinds\":%d,"
+          "\"components_unchanged\":%d,\"components_reused\":%zu,"
+          "\"precompute_reuse_count\":%d}",
+          i == 0 ? "" : ",", r.name.c_str(),
+          dopf::core::to_string(r.result.status),
+          r.result.converged ? "true" : "false",
+          r.result.warm_started ? "true" : "false", r.result.iterations,
+          r.cold_iterations, r.result.objective, r.rebind.refactorizations,
+          r.rebind.rhs_rebinds, r.rebind.unchanged, r.components_reused,
+          r.result.timing.precompute_reuse_count);
+    }
+    std::printf(
+        "],\"session\":{\"solves\":%d,\"cold_solves\":%d,\"warm_solves\":%d,"
+        "\"precompute_reuses\":%d,\"refactorizations\":%d,"
+        "\"rhs_rebinds\":%d,\"precompute_seconds\":%.6f}}\n",
+        st.solves, st.cold_solves, st.warm_solves, st.precompute_reuses,
+        st.refactorizations, st.rhs_rebinds,
+        solve_model.precompute_seconds() + binding.bind_seconds());
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +304,8 @@ int main(int argc, char** argv) {
   bool report = false, no_recovery = false, degrade = false;
   std::string preflight_mode = "warn";
   bool preflight_only = false;
+  std::string scenario_file;
+  bool cold_compare = false, json = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
 
@@ -179,6 +359,12 @@ int main(int argc, char** argv) {
       preflight_mode = "strict";
     } else if (arg == "--preflight-only") {
       preflight_only = true;
+    } else if (arg == "--scenarios") {
+      scenario_file = next();
+    } else if (arg == "--cold-compare") {
+      cold_compare = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--residuals") {
@@ -216,6 +402,28 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
+  if (!scenario_file.empty()) {
+    if (algorithm != "solver-free" ||
+        (backend != "serial" && backend != "threaded")) {
+      std::fprintf(stderr,
+                   "%s: --scenarios requires --algorithm solver-free with "
+                   "--backend serial or threaded\n",
+                   argv[0]);
+      return 1;
+    }
+    if (!resume_file.empty() || checkpoint_every > 0) {
+      std::fprintf(stderr,
+                   "%s: --scenarios is incompatible with checkpointing "
+                   "options\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (cold_compare && scenario_file.empty()) {
+    std::fprintf(stderr, "%s: --cold-compare requires --scenarios FILE\n",
+                 argv[0]);
+    return 1;
+  }
 
   try {
     dopf::network::Network net;
@@ -236,6 +444,7 @@ int main(int argc, char** argv) {
     // code is the pinned 5.
     dopf::opf::DistributedProblem preflighted;
     bool have_preflighted = false;
+    bool preflight_equilibrated = false;
     if (preflight_only && preflight_mode == "off") preflight_mode = "warn";
     if (preflight_mode != "off") {
       dopf::robust::PreflightOptions popt;
@@ -245,9 +454,24 @@ int main(int argc, char** argv) {
       std::printf("%s", pre.summary().c_str());
       if (!pre.accepted) return 5;
       have_preflighted = true;
+      preflight_equilibrated = pre.equilibrated;
       opt.projector = pre.projector_options();
     }
     if (preflight_only) return 0;
+
+    if (!scenario_file.empty()) {
+      auto problem = have_preflighted ? std::move(preflighted)
+                                      : dopf::opf::decompose(net, model);
+      std::printf("decomposition: %zu components\n",
+                  problem.num_components());
+      // Scenario re-decompositions must use the same profile as the base so
+      // a load-only edit diffs as rhs-only against the bound model.
+      dopf::opf::DecomposeOptions dec;
+      dec.equilibrate_rows = preflight_equilibrated;
+      return run_scenario_sweep(net, input, std::move(problem), opt,
+                                scenario_file, preflight_mode, dec, backend,
+                                threads, cold_compare, json);
+    }
 
     std::vector<double> x;
     bool ok = false;
@@ -370,6 +594,7 @@ int main(int argc, char** argv) {
       }
       if (res.status == dopf::core::AdmmStatus::kDiverged) fail_code = 3;
       if (res.status == dopf::core::AdmmStatus::kStalled) fail_code = 4;
+      if (json) print_result_json(res, algorithm, backend_label);
       x = res.x;
       ok = res.converged;
       history = res.history;

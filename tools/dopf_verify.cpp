@@ -57,6 +57,11 @@
 //   --preflight MODE      preflight policy before golden runs: off | warn
 //                         (default) | auto | strict. A rejection is an
 //                         input error (exit 1) with the full report
+//   --session             run through the explicit session layers
+//                         (SolveModel -> ScenarioBinding -> SolveSession)
+//                         instead of the single-shot wrapper; the trace must
+//                         still match the committed golden byte-for-byte.
+//                         Not available with --backend multigpu or --resume
 //
 // Exit codes: 0 = verified, 1 = usage/infrastructure error,
 //             2 = verification failure (divergence or invariant violation).
@@ -70,6 +75,9 @@
 #include <sys/stat.h>
 
 #include "core/admm.hpp"
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "core/solve_session.hpp"
 #include "feeders/feeder_io.hpp"
 #include "opf/validate.hpp"
 #include "runtime/checkpoint.hpp"
@@ -102,7 +110,7 @@ const char* g_argv0 = "dopf_verify";
       "  --golden FILE | --golden-dir DIR  --record\n"
       "  --reference  --tol T  --mutate\n"
       "  --fuzz N  --adversarial N  --seed S\n"
-      "  --preflight off|warn|auto|strict\n",
+      "  --preflight off|warn|auto|strict  --session\n",
       argv0);
   std::exit(1);
 }
@@ -197,6 +205,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 20250807;
   bool seed_set = false;
   std::string preflight_mode = "warn";
+  bool session = false;
   double tol = 5e-2;
 
   for (int i = 1; i < argc; ++i) {
@@ -251,6 +260,8 @@ int main(int argc, char** argv) {
       adversarial_cases = parse_int(next(), "--adversarial");
     } else if (arg == "--preflight") {
       preflight_mode = next();
+    } else if (arg == "--session") {
+      session = true;
     } else if (arg == "--seed") {
       seed = parse_u64(next(), "--seed");
       seed_set = true;
@@ -280,6 +291,12 @@ int main(int argc, char** argv) {
   if (record_checkpoint_at < 0 || checkpoint_every < 0 || devices < 1) {
     std::fprintf(stderr, "%s: negative/zero count argument\n", argv[0]);
     usage(argv[0]);
+  }
+  if (session && (backend == "multigpu" || !resume_file.empty())) {
+    std::fprintf(
+        stderr, "%s: --session is not supported with multigpu or --resume\n",
+        argv[0]);
+    return 1;
   }
 
   try {
@@ -421,6 +438,26 @@ int main(int argc, char** argv) {
             admm.degraded_iterations(), admm.quarantines(),
             admm.readmissions(), admm.degrade_seconds());
       }
+    } else if (session) {
+      // Explicit session layers: the packed image the session binds must be
+      // bit-identical to the single-shot wrapper's, so the golden trace
+      // still matches byte-for-byte.
+      dopf::core::SolveModel solve_model(problem, run_profile.projector);
+      dopf::core::ScenarioBinding binding(solve_model);
+      dopf::core::SolveSession sess(binding, run_profile);
+      {
+        auto exec = make_backend(backend, threads);
+        if (mutate) {
+          if (!exec) exec = dopf::core::make_serial_backend();
+          exec = dopf::verify::make_mutant_backend(std::move(exec));
+          backend_label = "mutant(" + backend + ")";
+        }
+        if (exec) sess.set_backend(std::move(exec));
+      }
+      backend_label += "+session";
+      result = sess.solve();
+      final_x.assign(sess.solver().x().begin(), sess.solver().x().end());
+      final_z.assign(sess.solver().z().begin(), sess.solver().z().end());
     } else {
       dopf::core::SolverFreeAdmm admm(problem, run_profile);
       {
