@@ -64,6 +64,12 @@ class SolveSession {
   /// Forget the retained iterate state; the next solve() starts cold.
   void reset() { warm_ = false; }
 
+  /// Mark the session warm after an external state restore (streaming
+  /// checkpoint resume): the caller has placed a previous solve's iterate
+  /// state into solver() via restore_state, and the next solve() must
+  /// treat it as retained warm state instead of resetting it.
+  void mark_warm() { warm_ = true; }
+
  private:
   ScenarioBinding* binding_;
   SolverFreeAdmm solver_;

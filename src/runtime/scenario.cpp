@@ -43,6 +43,45 @@ bool is_constant_power(const Load& load) {
   return true;
 }
 
+ScenarioOverride parse_scenario_override(
+    const std::vector<std::string>& tokens, int line_no) {
+  if (tokens[0] == "load") {
+    if (tokens.size() != 4 || tokens[2] != "scale") {
+      fail(line_no, "expected: load <name|*|constant> scale <factor>");
+    }
+    return {ScenarioOverride::Kind::kLoadScale, tokens[1],
+            parse_factor(tokens[3], line_no), line_no};
+  }
+  if (tokens[0] == "gen") {
+    if (tokens.size() != 4 ||
+        (tokens[2] != "cost-scale" && tokens[2] != "pmax-scale")) {
+      fail(line_no, "expected: gen <name|*> cost-scale|pmax-scale <factor>");
+    }
+    const auto kind = tokens[2] == "cost-scale"
+                          ? ScenarioOverride::Kind::kGenCostScale
+                          : ScenarioOverride::Kind::kGenPmaxScale;
+    return {kind, tokens[1], parse_factor(tokens[3], line_no), line_no};
+  }
+  fail(line_no, "unknown directive '" + tokens[0] + "'");
+}
+
+void reject_duplicate_override(const std::vector<ScenarioOverride>& seen,
+                               const ScenarioOverride& ov,
+                               const std::string& where) {
+  // A later `load` line for the same target would silently compound with
+  // (and visually overwrite) the earlier one; that is always an input
+  // mistake, so both lines are named. Overlapping targets ("*" plus a
+  // specific load) are deliberate composition and stay legal.
+  if (ov.kind != ScenarioOverride::Kind::kLoadScale) return;
+  for (const ScenarioOverride& prev : seen) {
+    if (prev.kind == ov.kind && prev.target == ov.target) {
+      fail(ov.line_no, "duplicate load override for '" + ov.target + "' in " +
+                           where + " (first on line " +
+                           std::to_string(prev.line_no) + ")");
+    }
+  }
+}
+
 std::vector<Scenario> parse_scenarios(std::istream& in) {
   std::vector<Scenario> scenarios;
   bool open = false;
@@ -67,26 +106,12 @@ std::vector<Scenario> parse_scenarios(std::istream& in) {
       if (!open) fail(line_no, "'end' outside a scenario block");
       if (tokens.size() != 1) fail(line_no, "expected: end");
       open = false;
-    } else if (tokens[0] == "load") {
+    } else if (tokens[0] == "load" || tokens[0] == "gen") {
       if (!open) fail(line_no, "override outside a scenario block");
-      if (tokens.size() != 4 || tokens[2] != "scale") {
-        fail(line_no, "expected: load <name|*|constant> scale <factor>");
-      }
-      scenarios.back().overrides.push_back(
-          {ScenarioOverride::Kind::kLoadScale, tokens[1],
-           parse_factor(tokens[3], line_no)});
-    } else if (tokens[0] == "gen") {
-      if (!open) fail(line_no, "override outside a scenario block");
-      if (tokens.size() != 4 ||
-          (tokens[2] != "cost-scale" && tokens[2] != "pmax-scale")) {
-        fail(line_no,
-             "expected: gen <name|*> cost-scale|pmax-scale <factor>");
-      }
-      const auto kind = tokens[2] == "cost-scale"
-                            ? ScenarioOverride::Kind::kGenCostScale
-                            : ScenarioOverride::Kind::kGenPmaxScale;
-      scenarios.back().overrides.push_back(
-          {kind, tokens[1], parse_factor(tokens[3], line_no)});
+      const ScenarioOverride ov = parse_scenario_override(tokens, line_no);
+      reject_duplicate_override(scenarios.back().overrides, ov,
+                                "scenario '" + scenarios.back().name + "'");
+      scenarios.back().overrides.push_back(ov);
     } else {
       fail(line_no, "unknown directive '" + tokens[0] + "'");
     }

@@ -29,7 +29,27 @@ struct ScenarioOverride {
   /// sweep over them needs zero projector refactorizations).
   std::string target = "*";
   double factor = 1.0;
+  /// Source line of the override (0 = constructed in code); duplicate
+  /// rejections name both offending lines.
+  int line_no = 0;
 };
+
+/// Parse one override line already split into tokens ("load"/"gen" ...).
+/// Shared by the scenario parser and the streaming profile parser
+/// (stream/profile.hpp) so both formats accept identical override grammar.
+/// Throws ScenarioError with `line_no` provenance on malformed input.
+ScenarioOverride parse_scenario_override(
+    const std::vector<std::string>& tokens, int line_no);
+
+/// Reject `ov` if `seen` already holds a load override for the same target:
+/// a later `load` line for a target would silently compound with the
+/// earlier one, which is always an input mistake. The error names BOTH
+/// line numbers. Overlapping targets ("*" plus a specific load) are
+/// deliberate composition and stay legal. `where` names the enclosing
+/// block ("scenario 'peak'", "step 12") for the diagnostic.
+void reject_duplicate_override(const std::vector<ScenarioOverride>& seen,
+                               const ScenarioOverride& ov,
+                               const std::string& where);
 
 /// A named scenario: a list of overrides applied to the BASE network (each
 /// scenario is independent; they do not compose with one another).

@@ -1,0 +1,202 @@
+#include "stream/driver.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "opf/model.hpp"
+#include "robust/preflight.hpp"
+#include "runtime/checkpoint.hpp"
+#include "verify/codec.hpp"
+
+namespace dopf::stream {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+StreamDriver::StreamDriver(const dopf::network::Network& base,
+                           const StreamProfile& profile,
+                           StreamOptions options)
+    : base_(&base), profile_(&profile), options_(std::move(options)) {
+  if (profile.num_steps <= 0) {
+    throw StreamError(0, "profile has no steps");
+  }
+  if (options_.checkpoint_at_step >= 0) {
+    if (options_.checkpoint_path.empty()) {
+      throw StreamError(options_.checkpoint_at_step,
+                        "checkpoint step set but no checkpoint path");
+    }
+    if (options_.checkpoint_at_step >= profile.num_steps) {
+      throw StreamError(options_.checkpoint_at_step,
+                        "checkpoint step out of range (steps " +
+                            std::to_string(profile.num_steps) + ")");
+    }
+  }
+}
+
+StreamResult StreamDriver::run() {
+  const auto base_model = dopf::opf::build_model(*base_);
+  auto base_problem =
+      dopf::opf::decompose(*base_, base_model, options_.decompose);
+
+  dopf::core::SolveModel model(base_problem, options_.admm.projector);
+  dopf::core::ScenarioBinding binding(model);
+  dopf::core::SolveSession session(binding, options_.admm);
+  if (options_.make_backend) session.set_backend(options_.make_backend());
+
+  dopf::robust::PreflightOptions popt;
+  const bool preflight_on = options_.preflight != "off";
+  if (preflight_on) {
+    popt.policy = dopf::robust::parse_policy(options_.preflight);
+    popt.decompose = options_.decompose;
+  }
+
+  StreamResult result;
+  if (!options_.resume_path.empty()) {
+    // Resume: profile blocks are absolute against base, so the binding is
+    // fast-forwarded with ONE rebind to the checkpoint step's scenario;
+    // the resulting pack is bit-identical to the uninterrupted run's pack
+    // at that step (ScenarioBinding contract), which the checkpoint's
+    // model/scenario fingerprints verify before any state is restored.
+    const auto ck = dopf::runtime::load_checkpoint(options_.resume_path);
+    const int k = ck.iteration;  // stream checkpoints store the step index
+    if (k < 0 || k >= profile_->num_steps) {
+      throw StreamError(k, "checkpoint step out of range (steps " +
+                               std::to_string(profile_->num_steps) + ")");
+    }
+    if (k + 1 >= profile_->num_steps) {
+      throw StreamError(k, "checkpoint taken at the final step; "
+                           "nothing to resume");
+    }
+    const auto net_k = network_at_step(*base_, *profile_, k);
+    auto problem_k =
+        dopf::opf::decompose(net_k, dopf::opf::build_model(net_k),
+                             options_.decompose);
+    try {
+      session.rebind(problem_k);
+      ck.validate_for(session.solver(), profile_->name);
+    } catch (const std::invalid_argument& e) {
+      throw StreamError(k, std::string("layout change rejected: ") +
+                               e.what());
+    } catch (const dopf::runtime::CheckpointError& e) {
+      throw StreamError(k, e.what());
+    }
+    session.solver().restore_state(0, ck.rho, ck.x, ck.z, ck.z_prev,
+                                   ck.lambda);
+    session.mark_warm();
+    result.first_step = k + 1;
+  }
+
+  for (int k = result.first_step; k < profile_->num_steps; ++k) {
+    const auto net_k = network_at_step(*base_, *profile_, k);
+    const auto model_k = dopf::opf::build_model(net_k);
+    auto problem_k = dopf::opf::decompose(net_k, model_k, options_.decompose);
+
+    StreamStepRecord rec;
+    rec.step = k;
+
+    if (preflight_on) {
+      const auto pre = dopf::robust::run_scenario_preflight(
+          model.problem(), problem_k, popt);
+      rec.preflight_ran = true;
+      rec.preflight_reused = pre.scenario_components_reused;
+      if (!pre.accepted) throw StreamPreflightError(k, pre.rejection);
+    }
+
+    try {
+      rec.rebind = session.rebind(problem_k);
+    } catch (const std::invalid_argument& e) {
+      throw StreamError(k, std::string("layout change rejected: ") +
+                               e.what());
+    }
+    rec.switched = rec.rebind.refactorizations > 0;
+    if (options_.reset_on_switch && rec.switched) session.reset();
+
+    const auto res = session.solve();
+    rec.status = res.status;
+    rec.converged = res.converged;
+    rec.warm_started = res.warm_started;
+    rec.iterations = res.iterations;
+    rec.watchdog_stalls = res.watchdog.stalls;
+    rec.objective = res.objective;
+    rec.primal_residual = res.primal_residual;
+    rec.dual_residual = res.dual_residual;
+    rec.model_fp = binding.model_fingerprint();
+    rec.scenario_fp = binding.scenario_fingerprint();
+    result.all_converged = result.all_converged && res.converged;
+    if (res.warm_started) result.warm_iterations += res.iterations;
+
+    if (options_.cold_compare) {
+      // Throwaway session on the SAME binding: identical pack and
+      // factorizations, fresh iterate state — the cold baseline a warm
+      // step is measured against.
+      dopf::core::SolveSession cold(binding, options_.admm);
+      if (options_.make_backend) cold.set_backend(options_.make_backend());
+      rec.cold_iterations = cold.solve().iterations;
+      result.cold_iterations += rec.cold_iterations;
+    }
+
+    if (k == options_.checkpoint_at_step) {
+      dopf::runtime::save_checkpoint(
+          dopf::runtime::AdmmCheckpoint::capture(session.solver(), k,
+                                                 profile_->name),
+          options_.checkpoint_path);
+    }
+    result.steps.push_back(rec);
+  }
+
+  result.session = session.stats();
+  result.refactorizations = model.refactorizations();
+  return result;
+}
+
+std::string record_line(const StreamStepRecord& rec) {
+  std::string line = "step " + std::to_string(rec.step);
+  line += " status ";
+  line += dopf::core::to_string(rec.status);
+  line += " converged " + std::to_string(rec.converged ? 1 : 0);
+  line += " warm " + std::to_string(rec.warm_started ? 1 : 0);
+  line += " switched " + std::to_string(rec.switched ? 1 : 0);
+  line += " iterations " + std::to_string(rec.iterations);
+  line += " cold_iterations " + std::to_string(rec.cold_iterations);
+  line += " refactorizations " + std::to_string(rec.rebind.refactorizations);
+  line += " rhs_rebinds " + std::to_string(rec.rebind.rhs_rebinds);
+  line += " unchanged " + std::to_string(rec.rebind.unchanged);
+  line += " preflight_reused ";
+  line += rec.preflight_ran ? std::to_string(rec.preflight_reused) : "-";
+  line += " watchdog_stalls " + std::to_string(rec.watchdog_stalls);
+  line += " objective " + dopf::verify::hex_double(rec.objective);
+  line += " primal " + dopf::verify::hex_double(rec.primal_residual);
+  line += " dual " + dopf::verify::hex_double(rec.dual_residual);
+  line += " model_fp " + hex_u64(rec.model_fp);
+  line += " scenario_fp " + hex_u64(rec.scenario_fp);
+  return line;
+}
+
+void write_records(const StreamResult& result, const StreamProfile& profile,
+                   std::ostream& out) {
+  out << "stream " << profile.name << " steps " << profile.num_steps
+      << " first_step " << result.first_step << " dt "
+      << dopf::verify::hex_double(profile.dt_seconds) << '\n';
+  for (const StreamStepRecord& rec : result.steps) {
+    out << record_line(rec) << '\n';
+  }
+  const auto& st = result.session;
+  out << "session solves " << st.solves << " cold " << st.cold_solves
+      << " warm " << st.warm_solves << " precompute_reuses "
+      << st.precompute_reuses << " refactorizations " << st.refactorizations
+      << " rhs_rebinds " << st.rhs_rebinds << " model_refactorizations "
+      << result.refactorizations << " converged "
+      << (result.all_converged ? 1 : 0) << '\n';
+}
+
+}  // namespace dopf::stream

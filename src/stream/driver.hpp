@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/solve_session.hpp"
+#include "opf/decompose.hpp"
+#include "stream/profile.hpp"
+
+namespace dopf::stream {
+
+/// Thrown when a stream step cannot be driven: layout-changing steps,
+/// preflight rejections, bad checkpoint/resume state. Always carries step
+/// provenance in the message.
+class StreamError : public std::runtime_error {
+ public:
+  StreamError(int step, const std::string& message)
+      : std::runtime_error("stream step " + std::to_string(step) + ": " +
+                           message),
+        step_(step) {}
+  int step() const noexcept { return step_; }
+
+ private:
+  int step_ = -1;
+};
+
+/// A preflight rejection of one step's scenario delta (exit code 5 at the
+/// CLI, matching the single-solve contract).
+class StreamPreflightError : public StreamError {
+ public:
+  using StreamError::StreamError;
+};
+
+/// Everything one stream step did, recorded with deterministic fields only
+/// (no wall-clock quantities), so a replay of the same profile serializes
+/// byte-identically. See StreamDriver and record_line().
+struct StreamStepRecord {
+  int step = 0;
+  dopf::core::AdmmStatus status = dopf::core::AdmmStatus::kIterationLimit;
+  bool converged = false;
+  bool warm_started = false;
+  /// True when this step's rebind refactorized at least one component
+  /// (a switching event reached the packed pool).
+  bool switched = false;
+  int iterations = 0;
+  int cold_iterations = -1;  ///< -1 = cold comparison off
+  dopf::core::RebindStats rebind;
+  /// Per-step delta preflight: components skipped because their equality
+  /// block was unchanged (0 when preflight is off).
+  std::size_t preflight_reused = 0;
+  bool preflight_ran = false;
+  int watchdog_stalls = 0;
+  double objective = 0.0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  std::uint64_t model_fp = 0;
+  std::uint64_t scenario_fp = 0;
+};
+
+struct StreamOptions {
+  dopf::core::AdmmOptions admm;
+  dopf::opf::DecomposeOptions decompose;
+  /// Per-step scenario-delta preflight policy: "off", "warn", "auto",
+  /// "strict" (robust::run_scenario_preflight). A rejection raises
+  /// StreamPreflightError with step provenance.
+  std::string preflight = "warn";
+  /// Also solve every step cold (fresh iterate state on the same binding)
+  /// and record cold_iterations.
+  bool cold_compare = false;
+  /// Warm-start reset policy: when true, a step whose rebind refactorized
+  /// any component (a topology switch) drops the retained consensus state
+  /// and solves cold — the conservative policy when switching events move
+  /// the optimum far enough that stale duals mislead. Default keeps warm
+  /// state across switches (Kim & Kim tracking).
+  bool reset_on_switch = false;
+  /// Capture a stream checkpoint after this step's solve (requires
+  /// checkpoint_path); -1 disables.
+  int checkpoint_at_step = -1;
+  std::string checkpoint_path;
+  /// Resume from a stream checkpoint captured by a previous run: the
+  /// binding is fast-forwarded to the checkpoint's step with ONE rebind
+  /// (profile blocks are absolute against base), the iterate state is
+  /// restored, and the stream continues at the next step — byte-identical
+  /// to the uninterrupted run from there (model/scenario fingerprints are
+  /// validated before any state is touched).
+  std::string resume_path;
+  /// Execution backend factory (empty = serial); called once for the main
+  /// session and once per cold comparison so every solve sees an
+  /// equivalent backend.
+  std::function<std::unique_ptr<dopf::core::ExecutionBackend>()> make_backend;
+};
+
+/// The full stream outcome: per-step records plus lifetime session
+/// counters and the contract quantities the streaming bench certifies.
+struct StreamResult {
+  std::vector<StreamStepRecord> steps;
+  dopf::core::SessionStats session;
+  /// Model-level single-component refactorizations across the stream ==
+  /// the number of switched components (each switch event touches exactly
+  /// the components whose A_s changed).
+  int refactorizations = 0;
+  int first_step = 0;  ///< 0, or checkpoint step + 1 on a resumed run
+  long long warm_iterations = 0;  ///< total over warm-started steps
+  long long cold_iterations = 0;  ///< total cold_compare iterations (-1s skipped)
+  bool all_converged = true;
+};
+
+/// Receding-horizon streaming driver: one long-lived SolveSession per
+/// feeder consumes a StreamProfile step by step. Every step re-decomposes
+/// the step network, routes it through ScenarioBinding::rebind (load-only
+/// steps touch no factorization; a switching event refreshes exactly the
+/// touched components), and warm-starts ADMM from the previous consensus
+/// state. Deterministic by construction: fixed step clock, serial (or
+/// deterministic threaded) backend, no wall-time dependence in any
+/// recorded field — the backtest-replay shape.
+class StreamDriver {
+ public:
+  /// `base` and `profile` must outlive the driver.
+  StreamDriver(const dopf::network::Network& base,
+               const StreamProfile& profile, StreamOptions options);
+
+  /// Drive the whole stream (or the tail after a checkpoint resume).
+  StreamResult run();
+
+ private:
+  const dopf::network::Network* base_;
+  const StreamProfile* profile_;
+  StreamOptions options_;
+};
+
+/// Serialize one step record as a single deterministic line (hex-float
+/// doubles, hex fingerprints — byte-identical across replays of the same
+/// profile).
+std::string record_line(const StreamStepRecord& rec);
+
+/// Write the full deterministic replay record: a header line, one line per
+/// step, and a session-counter footer. Two runs of the same profile (and
+/// an interrupted + resumed pair, over the shared steps) must produce
+/// byte-identical output — the verify_stream_replay CI gate.
+void write_records(const StreamResult& result, const StreamProfile& profile,
+                   std::ostream& out);
+
+}  // namespace dopf::stream

@@ -157,6 +157,106 @@ TEST(ScenarioBindingTest, TopologyEditRefactorizesExactlyThatComponent) {
   EXPECT_EQ(cold.model_fingerprint(), binding.model_fingerprint());
 }
 
+/// Helper for the topology-edit tests: scale one component's equality
+/// block (rows of A_s and b_s together) by `factor` — same solution set,
+/// different bytes, a genuine A_s change.
+DistributedProblem scale_component_block(DistributedProblem problem,
+                                         std::size_t target, double factor) {
+  auto& comp = problem.components[target];
+  dopf::linalg::Matrix a2 = comp.a;
+  for (std::size_t r = 0; r < a2.rows(); ++r) {
+    for (std::size_t cidx = 0; cidx < a2.cols(); ++cidx) {
+      a2(r, cidx) *= factor;
+    }
+  }
+  comp.a = a2;
+  for (double& v : comp.b) v *= factor;
+  return problem;
+}
+
+// --- Streaming edge cases: revert-to-base, repeated edits, layout drift.
+
+TEST(SolveSessionTest, RevertToBaseStepNeedsZeroRefactorizations) {
+  // A stream step that returns to the base scenario (load-only excursion
+  // and back) must flow entirely through cached factorizations.
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  SolveSession session(binding, opt);
+  const std::uint64_t base_fp = binding.scenario_fingerprint();
+
+  ASSERT_TRUE(session.solve().converged);
+  session.rebind(constant_load_scenario(1.08));
+  ASSERT_TRUE(session.solve().converged);
+  const RebindStats revert = session.rebind(fixture().problem);
+  EXPECT_EQ(revert.refactorizations, 0);
+  EXPECT_GT(revert.rhs_rebinds, 0);  // the loads move back
+  EXPECT_EQ(binding.scenario_fingerprint(), base_fp);
+
+  const AdmmResult back = session.solve();
+  EXPECT_TRUE(back.converged);
+  EXPECT_TRUE(back.warm_started);
+  EXPECT_EQ(session.stats().refactorizations, 0);
+  EXPECT_EQ(model.refactorizations(), 0);
+}
+
+TEST(ScenarioBindingTest, ConsecutiveEditsToSameComponentRefactorizeTwice) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+  const std::size_t target = fixture().problem.components.size() / 2;
+
+  const auto once = scale_component_block(fixture().problem, target, 2.0);
+  EXPECT_EQ(binding.rebind(once).refactorizations, 1);
+  EXPECT_EQ(model.refactorizations(), 1);
+
+  // Rebinding the SAME edited problem is a no-op for that component...
+  const RebindStats same = binding.rebind(once);
+  EXPECT_EQ(same.refactorizations, 0);
+  EXPECT_EQ(same.rhs_rebinds, 0);
+  EXPECT_EQ(model.refactorizations(), 1);
+
+  // ...and a second, different edit to the same component pays exactly one
+  // more refactorization: two edits, two refactorizations, never amortized
+  // away and never double-counted.
+  const auto twice = scale_component_block(fixture().problem, target, 3.0);
+  EXPECT_EQ(binding.rebind(twice).refactorizations, 1);
+  EXPECT_EQ(model.refactorizations(), 2);
+
+  // The end state equals a cold build of the final problem.
+  SolveModel cold_model(twice, opt.projector);
+  ScenarioBinding cold(cold_model);
+  EXPECT_TRUE(bitwise_equal(cold.pack().abar, binding.pack().abar));
+  EXPECT_TRUE(bitwise_equal(cold.pack().bbar, binding.pack().bbar));
+  EXPECT_EQ(cold.model_fingerprint(), binding.model_fingerprint());
+}
+
+TEST(ScenarioBindingTest, ChangedComponentDimensionsAreRejected) {
+  AdmmOptions opt;
+  SolveModel model(fixture().problem, opt.projector);
+  ScenarioBinding binding(model);
+
+  // Dropping a component is a layout change, not a scenario.
+  DistributedProblem fewer = fixture().problem;
+  fewer.components.pop_back();
+  EXPECT_THROW(binding.rebind(fewer), std::invalid_argument);
+
+  // So is a component that covers a different global variable set.
+  DistributedProblem moved = fixture().problem;
+  ASSERT_GE(moved.components.front().global.size(), 2u);
+  std::swap(moved.components.front().global[0],
+            moved.components.front().global[1]);
+  EXPECT_THROW(binding.rebind(moved), std::invalid_argument);
+
+  // The rejected rebinds must not have corrupted the binding: the base
+  // problem still rebinds as a no-op and solves.
+  const RebindStats st = binding.rebind(fixture().problem);
+  EXPECT_EQ(st.refactorizations, 0);
+  EXPECT_EQ(st.rhs_rebinds, 0);
+  SolveSession session(binding, opt);
+  EXPECT_TRUE(session.solve().converged);
+}
+
 TEST(ScenarioBindingTest, DifferentLayoutIsRejected) {
   AdmmOptions opt;
   SolveModel model(fixture().problem, opt.projector);

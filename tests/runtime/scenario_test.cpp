@@ -55,6 +55,33 @@ TEST(ScenarioParserTest, RejectsMalformedInput) {
   EXPECT_THROW(parse("scenario a\ngen * scale 2\nend\n"), ScenarioError);
 }
 
+TEST(ScenarioParserTest, RejectsDuplicateLoadOverrideWithBothLineNumbers) {
+  // Regression: a later `load` line for the same target used to silently
+  // overwrite the earlier one; it must be rejected naming BOTH lines.
+  try {
+    parse(
+        "scenario a\n"
+        "  load constant scale 0.9\n"
+        "  gen * cost-scale 1.1\n"
+        "  load constant scale 1.2\n"
+        "end\n");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate load override"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;   // duplicate
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;   // original
+  }
+  // Same target in DIFFERENT scenarios is fine; different targets in the
+  // same scenario are fine.
+  EXPECT_NO_THROW(parse(
+      "scenario a\n  load constant scale 0.9\nend\n"
+      "scenario b\n  load constant scale 1.1\nend\n"));
+  EXPECT_NO_THROW(parse(
+      "scenario a\n  load * scale 0.9\n  load constant scale 1.1\nend\n"));
+}
+
 TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
   try {
     parse("scenario a\nload * scale 0.9\nbogus\nend\n");

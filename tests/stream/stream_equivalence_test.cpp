@@ -1,0 +1,232 @@
+/// Streaming warm-start property battery (tier1): a seeded 24-step ieee13
+/// stream driven through ONE SolveSession. Every warm step must match an
+/// independent cold solve of the same step's problem within the
+/// `dopf_verify --reference` tolerance, the session's refactorization
+/// counter must equal EXACTLY the number of A-touched components, and
+/// sampled steps must clear the full invariant/KKT battery from src/verify
+/// (local feasibility, box, consensus, centralized-model residual,
+/// stationarity against the interior-point reference).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "core/scenario_binding.hpp"
+#include "core/solve_model.hpp"
+#include "core/solve_session.hpp"
+#include "feeders/ieee13.hpp"
+#include "opf/decompose.hpp"
+#include "opf/model.hpp"
+#include "solver/reference.hpp"
+#include "stream/driver.hpp"
+#include "stream/profile.hpp"
+#include "verify/invariants.hpp"
+
+namespace dopf::stream {
+namespace {
+
+constexpr int kSteps = 24;
+constexpr int kSwitchStep = 12;  // impedance re-rate, held to the end
+constexpr unsigned kSeed = 20260808u;
+
+/// Deterministic LCG load factors in [0.90, 1.10] — the "seeded" part of
+/// the property battery; no wall-clock or global RNG state.
+double seeded_factor(int block) {
+  unsigned s = kSeed;
+  for (int i = 0; i <= block; ++i) s = s * 1664525u + 1013904223u;
+  return 0.90 + 0.20 * ((s >> 8) % 1000) / 999.0;
+}
+
+/// A block every 2 steps; the switch event appears at kSwitchStep and in
+/// every LATER block (blocks are absolute against base, so dropping it
+/// would revert the line and cost a second refactorization).
+StreamProfile seeded_profile() {
+  std::ostringstream out;
+  out << "profile seeded\nsteps " << kSteps << "\n";
+  for (int b = 0; 2 * b < kSteps; ++b) {
+    char factor[32];
+    std::snprintf(factor, sizeof(factor), "%.4f", seeded_factor(b));
+    out << "step " << 2 * b << "\n  load constant scale " << factor << "\n";
+    if (2 * b >= kSwitchStep) {
+      out << "  switch 632-645 impedance-scale 1.8\n";
+    }
+  }
+  std::istringstream in(out.str());
+  return parse_profile(in);
+}
+
+struct StepOutcome {
+  dopf::core::AdmmResult warm;
+  dopf::core::AdmmResult cold;
+  dopf::core::RebindStats rebind;
+  std::vector<double> warm_z;  // solver z at the warm solution
+};
+
+/// Drive the stream manually through the session layers (mirroring
+/// StreamDriver, but keeping solver state accessible for the battery).
+class StreamEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new dopf::network::Network(dopf::feeders::ieee13());
+    profile_ = new StreamProfile(seeded_profile());
+    opt_.eps_rel = 1e-2;
+    opt_.check_every = 10;
+
+    const auto base_problem = dopf::opf::decompose(
+        *net_, dopf::opf::build_model(*net_));
+    model_ = new dopf::core::SolveModel(base_problem, opt_.projector);
+    binding_ = new dopf::core::ScenarioBinding(*model_);
+    session_ = new dopf::core::SolveSession(*binding_, opt_);
+    outcomes_ = new std::vector<StepOutcome>();
+
+    for (int k = 0; k < kSteps; ++k) {
+      const auto net_k = network_at_step(*net_, *profile_, k);
+      const auto problem_k = dopf::opf::decompose(net_k);
+
+      StepOutcome out;
+      out.rebind = session_->rebind(problem_k);
+      out.warm = session_->solve();
+      const auto z = session_->solver().z();
+      out.warm_z.assign(z.begin(), z.end());
+
+      // Independent cold solve: fresh model, binding, and session built
+      // from scratch for this step's problem — shares nothing with the
+      // streaming session.
+      dopf::core::SolveModel cold_model(problem_k, opt_.projector);
+      dopf::core::ScenarioBinding cold_binding(cold_model);
+      dopf::core::SolveSession cold_session(cold_binding, opt_);
+      out.cold = cold_session.solve();
+      outcomes_->push_back(std::move(out));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete outcomes_;
+    delete session_;
+    delete binding_;
+    delete model_;
+    delete profile_;
+    delete net_;
+    outcomes_ = nullptr;
+    session_ = nullptr;
+    binding_ = nullptr;
+    model_ = nullptr;
+    profile_ = nullptr;
+    net_ = nullptr;
+  }
+
+  static dopf::network::Network* net_;
+  static StreamProfile* profile_;
+  static dopf::core::AdmmOptions opt_;
+  static dopf::core::SolveModel* model_;
+  static dopf::core::ScenarioBinding* binding_;
+  static dopf::core::SolveSession* session_;
+  static std::vector<StepOutcome>* outcomes_;
+};
+
+dopf::network::Network* StreamEquivalence::net_ = nullptr;
+StreamProfile* StreamEquivalence::profile_ = nullptr;
+dopf::core::AdmmOptions StreamEquivalence::opt_;
+dopf::core::SolveModel* StreamEquivalence::model_ = nullptr;
+dopf::core::ScenarioBinding* StreamEquivalence::binding_ = nullptr;
+dopf::core::SolveSession* StreamEquivalence::session_ = nullptr;
+std::vector<StepOutcome>* StreamEquivalence::outcomes_ = nullptr;
+
+TEST_F(StreamEquivalence, EveryWarmStepMatchesIndependentColdSolve) {
+  ASSERT_EQ(outcomes_->size(), static_cast<std::size_t>(kSteps));
+  const double tol = 5e-2;  // the dopf_verify --reference tolerance
+  for (int k = 0; k < kSteps; ++k) {
+    const StepOutcome& out = (*outcomes_)[k];
+    ASSERT_TRUE(out.warm.converged) << "step " << k;
+    ASSERT_TRUE(out.cold.converged) << "step " << k;
+    EXPECT_EQ(out.warm.warm_started, k > 0) << "step " << k;
+    EXPECT_FALSE(out.cold.warm_started) << "step " << k;
+    EXPECT_NEAR(out.warm.objective, out.cold.objective,
+                tol * (1.0 + std::abs(out.cold.objective)))
+        << "step " << k;
+    ASSERT_EQ(out.warm.x.size(), out.cold.x.size());
+    for (std::size_t i = 0; i < out.warm.x.size(); ++i) {
+      EXPECT_NEAR(out.warm.x[i], out.cold.x[i], tol)
+          << "step " << k << " x[" << i << "]";
+    }
+  }
+}
+
+TEST_F(StreamEquivalence, RefactorizationsExactlyMatchATouchedComponents) {
+  // One switch event introduced at kSwitchStep and held: the impedance
+  // re-rate touches exactly one component's A_s exactly once across the
+  // whole stream. Everything else is load-only (rhs at block boundaries,
+  // unchanged inside a held block).
+  int a_touched = 0;
+  for (int k = 0; k < kSteps; ++k) {
+    const auto& rebind = (*outcomes_)[k].rebind;
+    a_touched += rebind.refactorizations;
+    if (k == kSwitchStep) {
+      EXPECT_EQ(rebind.refactorizations, 1) << "switch step";
+    } else {
+      EXPECT_EQ(rebind.refactorizations, 0) << "step " << k;
+    }
+    if (k % 2 == 1) {  // inside a held block: nothing changed at all
+      EXPECT_EQ(rebind.rhs_rebinds, 0) << "step " << k;
+    }
+  }
+  EXPECT_EQ(a_touched, 1);
+  EXPECT_EQ(session_->stats().refactorizations, a_touched);
+  EXPECT_EQ(model_->refactorizations(), a_touched);
+  EXPECT_EQ(session_->stats().solves, kSteps);
+  EXPECT_EQ(session_->stats().cold_solves, 1);
+  EXPECT_EQ(session_->stats().warm_solves, kSteps - 1);
+}
+
+TEST_F(StreamEquivalence, SampledStepsClearInvariantAndKktBattery) {
+  // Full battery on a sample: first step, a mid-block held step, the
+  // switch step, and the last step.
+  const dopf::verify::InvariantOptions vopt;
+  for (int k : {0, 7, kSwitchStep, kSteps - 1}) {
+    const StepOutcome& out = (*outcomes_)[k];
+    const auto net_k = network_at_step(*net_, *profile_, k);
+    const auto model_k = dopf::opf::build_model(net_k);
+    const auto problem_k = dopf::opf::decompose(net_k, model_k);
+
+    auto report =
+        dopf::verify::check_invariants(problem_k, out.warm.x, out.warm_z);
+    dopf::verify::add_model_check(model_k, out.warm.x, &report);
+    const auto reference = dopf::solver::reference_solve(model_k);
+    ASSERT_EQ(reference.status, dopf::solver::LpStatus::kOptimal)
+        << "step " << k;
+    dopf::verify::add_reference_check(model_k, out.warm.x, reference,
+                                      &report);
+    EXPECT_TRUE(report.ok(vopt))
+        << "step " << k << ":\n" << report.to_string();
+  }
+}
+
+TEST_F(StreamEquivalence, StreamDriverReproducesTheManualLoop) {
+  // The StreamDriver must take the exact same trajectory as the manual
+  // session loop above: same per-step iteration counts, bitwise-equal
+  // objectives, same refactorization accounting.
+  StreamOptions sopt;
+  sopt.admm = opt_;
+  sopt.preflight = "off";
+  StreamDriver driver(*net_, *profile_, sopt);
+  const StreamResult result = driver.run();
+
+  ASSERT_EQ(result.steps.size(), static_cast<std::size_t>(kSteps));
+  for (int k = 0; k < kSteps; ++k) {
+    const auto& rec = result.steps[k];
+    const auto& out = (*outcomes_)[k];
+    EXPECT_EQ(rec.iterations, out.warm.iterations) << "step " << k;
+    EXPECT_EQ(rec.objective, out.warm.objective) << "step " << k;
+    EXPECT_EQ(rec.rebind.refactorizations, out.rebind.refactorizations);
+    EXPECT_EQ(rec.switched, k == kSwitchStep);
+  }
+  EXPECT_EQ(result.refactorizations, 1);
+  EXPECT_TRUE(result.all_converged);
+}
+
+}  // namespace
+}  // namespace dopf::stream

@@ -1,0 +1,133 @@
+/// Mid-stream checkpoint/resume: interrupt a stream at step K, resume from
+/// the saved checkpoint, and the remaining steps must replay
+/// byte-identically (per-step record lines compared as strings — hex-float
+/// objectives, residuals, and model/scenario fingerprints included). The
+/// checkpoint's fingerprints (PR 6 model/scenario fingerprinting) must
+/// reject resumption against a different profile.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "feeders/ieee13.hpp"
+#include "stream/driver.hpp"
+#include "stream/profile.hpp"
+
+namespace dopf::stream {
+namespace {
+
+StreamProfile parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_profile(in);
+}
+
+const char* const kProfileText =
+    "profile resume\n"
+    "steps 8\n"
+    "step 0\n  load constant scale 0.95\n"
+    "step 2\n  load constant scale 1.06\n"
+    "step 4\n  load constant scale 1.01\n"
+    "  switch 632-645 impedance-scale 1.6\n"
+    "step 6\n  load constant scale 0.98\n"
+    "  switch 632-645 impedance-scale 1.6\n";
+
+StreamOptions base_options() {
+  StreamOptions sopt;
+  sopt.admm.eps_rel = 1e-2;
+  sopt.admm.check_every = 10;
+  sopt.preflight = "off";
+  return sopt;
+}
+
+std::vector<std::string> step_lines(const StreamResult& result) {
+  std::vector<std::string> lines;
+  for (const auto& rec : result.steps) lines.push_back(record_line(rec));
+  return lines;
+}
+
+TEST(StreamResumeTest, ResumedTailReplaysByteIdentically) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = parse(kProfileText);
+  const std::string ckpt = ::testing::TempDir() + "/stream_resume.ckpt";
+  constexpr int kAt = 3;
+
+  // Uninterrupted run, checkpointing after step 3 (mid held-block, before
+  // the switch at 4 — the resumed run must still pay the refactorization).
+  StreamOptions full_opt = base_options();
+  full_opt.checkpoint_at_step = kAt;
+  full_opt.checkpoint_path = ckpt;
+  StreamDriver full(net, profile, full_opt);
+  const StreamResult full_result = full.run();
+  ASSERT_TRUE(full_result.all_converged);
+  ASSERT_EQ(full_result.steps.size(), 8u);
+
+  // Resume: fast-forward to step 3's scenario, restore the iterate state,
+  // replay steps 4..7.
+  StreamOptions tail_opt = base_options();
+  tail_opt.resume_path = ckpt;
+  StreamDriver tail(net, profile, tail_opt);
+  const StreamResult tail_result = tail.run();
+  EXPECT_EQ(tail_result.first_step, kAt + 1);
+  ASSERT_EQ(tail_result.steps.size(), 8u - (kAt + 1));
+  EXPECT_TRUE(tail_result.all_converged);
+
+  // Byte-identical tail: every shared step's serialized record matches.
+  const auto full_lines = step_lines(full_result);
+  const auto tail_lines = step_lines(tail_result);
+  for (std::size_t i = 0; i < tail_lines.size(); ++i) {
+    EXPECT_EQ(tail_lines[i], full_lines[kAt + 1 + i]) << "tail step " << i;
+  }
+
+  // The resumed run still pays exactly the switch refactorization (step 4)
+  // and nothing else; its first solve continues warm, not cold.
+  EXPECT_EQ(tail_result.refactorizations, 1);
+  EXPECT_EQ(tail_result.session.cold_solves, 0);
+  EXPECT_EQ(tail_result.session.warm_solves,
+            static_cast<int>(tail_result.steps.size()));
+}
+
+TEST(StreamResumeTest, CheckpointFromDifferentProfileIsRejected) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = parse(kProfileText);
+  const std::string ckpt = ::testing::TempDir() + "/stream_mismatch.ckpt";
+
+  StreamOptions full_opt = base_options();
+  full_opt.checkpoint_at_step = 3;
+  full_opt.checkpoint_path = ckpt;
+  StreamDriver full(net, profile, full_opt);
+  ASSERT_TRUE(full.run().all_converged);
+
+  // A profile whose step-3 scenario differs: the checkpoint's scenario
+  // fingerprint no longer matches the fast-forwarded binding.
+  auto other = parse(kProfileText);
+  other.blocks[1].overrides[0].factor = 1.07;  // step-2 block, held at 3
+  StreamOptions tail_opt = base_options();
+  tail_opt.resume_path = ckpt;
+  StreamDriver tail(net, other, tail_opt);
+  EXPECT_THROW(tail.run(), StreamError);
+}
+
+TEST(StreamResumeTest, BadResumeConfigurationsAreTypedErrors) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = parse(kProfileText);
+
+  // checkpoint step without a path, and out-of-range checkpoint step.
+  StreamOptions no_path = base_options();
+  no_path.checkpoint_at_step = 2;
+  EXPECT_THROW(StreamDriver(net, profile, no_path), StreamError);
+  StreamOptions out_of_range = base_options();
+  out_of_range.checkpoint_at_step = 99;
+  out_of_range.checkpoint_path = "x.ckpt";
+  EXPECT_THROW(StreamDriver(net, profile, out_of_range), StreamError);
+
+  // Resume from a missing file surfaces as a typed error, not a crash.
+  StreamOptions missing = base_options();
+  missing.resume_path = "/nonexistent/stream.ckpt";
+  StreamDriver driver(net, profile, missing);
+  EXPECT_THROW(driver.run(), std::exception);
+}
+
+}  // namespace
+}  // namespace dopf::stream

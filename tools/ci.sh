@@ -50,6 +50,14 @@ done
 # refactorizing, and warm-start in fewer total iterations than cold.
 echo "=== session-reuse smoke (ieee13 scenario sweep) ==="
 sh tools/session_smoke.sh ./build/tools/dopf_solve ./build
+
+# Streaming gate: a receding-horizon stream must warm-start every step
+# after the first, refactorize exactly the switched components, and write
+# replay records that are byte-identical across runs (the tier2
+# verify_stream_replay entry additionally proves checkpoint-resume tails
+# replay byte-for-byte on ieee123).
+echo "=== streaming smoke (ieee13 stream replay) ==="
+sh tools/stream_smoke.sh ./build/tools/dopf_solve ./build
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 

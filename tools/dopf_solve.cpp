@@ -45,10 +45,29 @@
 //                         is rebound in place and warm-started from the
 //                         previous solution. Requires --algorithm
 //                         solver-free with --backend serial or threaded.
-//   --cold-compare        with --scenarios, also solve every scenario cold
-//                         (fresh iterate state) and report both counts
+//   --stream FILE         receding-horizon streaming replay: drive one
+//                         long-lived SolveSession through the time-series
+//                         profile in FILE (see src/stream/profile.hpp for
+//                         the format), warm-starting every step from the
+//                         previous consensus and refactorizing only
+//                         switched components. Same algorithm/backend
+//                         requirements as --scenarios. With --stream,
+//                         --checkpoint FILE + --checkpoint-at-step K
+//                         capture a stream checkpoint after step K, and
+//                         --resume FILE fast-forwards to the checkpoint
+//                         step and replays the remaining steps
+//                         byte-identically.
+//   --stream-record FILE  with --stream, write the deterministic replay
+//                         record (hex-float, byte-identical across runs)
+//   --checkpoint-at-step K  with --stream, capture the checkpoint after
+//                         step K (requires --checkpoint FILE)
+//   --reset-on-switch     with --stream, drop warm state on steps whose
+//                         rebind refactorized a component
+//   --cold-compare        with --scenarios/--stream, also solve every
+//                         scenario/step cold (fresh iterate state) and
+//                         report both counts
 //   --json                print a machine-readable JSON summary (single
-//                         solve or scenario sweep) on stdout
+//                         solve, scenario sweep, or stream) on stdout
 //   --report              print the full dispatch/voltage report
 //   --residuals FILE      dump residual history as CSV
 //   --output FILE         dump the solution (per-variable CSV)
@@ -81,6 +100,8 @@
 #include "simt/gpu_admm.hpp"
 #include "simt/multi_gpu.hpp"
 #include "solver/reference.hpp"
+#include "stream/driver.hpp"
+#include "stream/profile.hpp"
 
 namespace {
 
@@ -96,6 +117,8 @@ namespace {
       "  --checkpoint-every N  --checkpoint FILE  --resume FILE\n"
       "  --preflight off|warn|auto|strict  --strict  --preflight-only\n"
       "  --scenarios FILE  --cold-compare  --json\n"
+      "  --stream FILE  --stream-record FILE  --checkpoint-at-step K\n"
+      "  --reset-on-switch\n"
       "  --report  --residuals FILE  --output FILE\n",
       argv0);
   std::exit(1);
@@ -290,6 +313,149 @@ int run_scenario_sweep(const dopf::network::Network& net,
   return code;
 }
 
+int exit_code_for_step(const dopf::stream::StreamStepRecord& rec) {
+  using dopf::core::AdmmStatus;
+  if (rec.converged) return 0;
+  if (rec.status == AdmmStatus::kDiverged) return 3;
+  if (rec.status == AdmmStatus::kStalled) return 4;
+  return 2;
+}
+
+/// Streaming replay: one long-lived SolveSession consumes the profile step
+/// by step; load-only steps rebind without refactorizing, switching events
+/// refresh exactly the touched components, every step warm-starts from the
+/// previous consensus.
+int run_stream(const dopf::network::Network& net, const std::string& label,
+               const dopf::core::AdmmOptions& opt,
+               const std::string& profile_file,
+               const std::string& preflight_mode,
+               const dopf::opf::DecomposeOptions& dec,
+               const std::string& backend, int threads, bool cold_compare,
+               bool reset_on_switch, int checkpoint_at_step,
+               const std::string& checkpoint_file,
+               const std::string& resume_file, const std::string& record_file,
+               bool json) {
+  const auto profile = dopf::stream::load_profile(profile_file);
+  std::printf("stream: profile '%s', %d step(s), dt %.0fs, %zu block(s)\n",
+              profile.name.c_str(), profile.num_steps, profile.dt_seconds,
+              profile.blocks.size());
+
+  dopf::stream::StreamOptions sopt;
+  sopt.admm = opt;
+  sopt.decompose = dec;
+  sopt.preflight = preflight_mode;
+  sopt.cold_compare = cold_compare;
+  sopt.reset_on_switch = reset_on_switch;
+  sopt.checkpoint_at_step = checkpoint_at_step;
+  sopt.checkpoint_path = checkpoint_file;
+  sopt.resume_path = resume_file;
+  std::string backend_label = backend;
+  if (backend == "threaded") {
+    const int n =
+        dopf::runtime::ThreadedBackend(threads).threads();
+    backend_label = "threaded(" + std::to_string(n) + " threads)";
+    sopt.make_backend = [threads]() {
+      return std::make_unique<dopf::runtime::ThreadedBackend>(threads);
+    };
+  }
+
+  dopf::stream::StreamResult result;
+  try {
+    dopf::stream::StreamDriver driver(net, profile, sopt);
+    if (!resume_file.empty()) {
+      std::printf("resuming stream from %s\n", resume_file.c_str());
+    }
+    result = driver.run();
+  } catch (const dopf::stream::StreamPreflightError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 5;
+  } catch (const dopf::stream::StreamError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  int code = 0;
+  long long warm_iters = 0, warm_steps = 0;
+  for (const auto& rec : result.steps) {
+    std::printf(
+        "  step %d: %s in %d iterations (%s)%s%s "
+        "[%d refactorization(s), %d rhs rebind(s), %d unchanged]\n",
+        rec.step, dopf::core::to_string(rec.status), rec.iterations,
+        rec.warm_started ? "warm" : "cold",
+        rec.cold_iterations >= 0
+            ? (" vs " + std::to_string(rec.cold_iterations) + " cold").c_str()
+            : "",
+        rec.switched ? " [switched]" : "", rec.rebind.refactorizations,
+        rec.rebind.rhs_rebinds, rec.rebind.unchanged);
+    code = std::max(code, exit_code_for_step(rec));
+    if (rec.warm_started) {
+      warm_iters += rec.iterations;
+      ++warm_steps;
+    }
+  }
+  const auto& st = result.session;
+  std::printf(
+      "stream: %zu step(s) from step %d (%lld warm), "
+      "%d component refactorization(s)\n"
+      "session: %d solve(s) (%d cold, %d warm), %d precompute reuse(s), "
+      "%d refactorization(s), %d rhs rebind(s)\n",
+      result.steps.size(), result.first_step, warm_steps,
+      result.refactorizations, st.solves, st.cold_solves, st.warm_solves,
+      st.precompute_reuses, st.refactorizations, st.rhs_rebinds);
+  if (cold_compare && result.cold_iterations > 0) {
+    std::printf("warm/cold iteration ratio: %lld/%lld = %.3f\n",
+                result.warm_iterations, result.cold_iterations,
+                static_cast<double>(result.warm_iterations) /
+                    static_cast<double>(result.cold_iterations));
+  }
+  if (checkpoint_at_step >= 0 && checkpoint_at_step >= result.first_step) {
+    std::printf("stream checkpoint written to %s (step %d)\n",
+                checkpoint_file.c_str(), checkpoint_at_step);
+  }
+  if (!record_file.empty()) {
+    std::ofstream out(record_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write stream record: %s\n",
+                   record_file.c_str());
+      return 1;
+    }
+    dopf::stream::write_records(result, profile, out);
+    std::printf("stream record written to %s\n", record_file.c_str());
+  }
+
+  if (json) {
+    std::printf("{\"feeder\":\"%s\",\"backend\":\"%s\",\"profile\":\"%s\","
+                "\"num_steps\":%d,\"first_step\":%d,\"steps\":[",
+                label.c_str(), backend_label.c_str(), profile.name.c_str(),
+                profile.num_steps, result.first_step);
+    for (std::size_t i = 0; i < result.steps.size(); ++i) {
+      const auto& rec = result.steps[i];
+      std::printf(
+          "%s{\"step\":%d,\"status\":\"%s\",\"converged\":%s,"
+          "\"warm_started\":%s,\"switched\":%s,\"iterations\":%d,"
+          "\"cold_iterations\":%d,\"refactorizations\":%d,"
+          "\"rhs_rebinds\":%d,\"objective\":%.17g}",
+          i == 0 ? "" : ",", rec.step, dopf::core::to_string(rec.status),
+          rec.converged ? "true" : "false",
+          rec.warm_started ? "true" : "false",
+          rec.switched ? "true" : "false", rec.iterations,
+          rec.cold_iterations, rec.rebind.refactorizations,
+          rec.rebind.rhs_rebinds, rec.objective);
+    }
+    std::printf(
+        "],\"session\":{\"solves\":%d,\"cold_solves\":%d,\"warm_solves\":%d,"
+        "\"precompute_reuses\":%d,\"refactorizations\":%d,"
+        "\"rhs_rebinds\":%d},\"model_refactorizations\":%d,"
+        "\"warm_iterations\":%lld,\"cold_iterations\":%lld,"
+        "\"all_converged\":%s}\n",
+        st.solves, st.cold_solves, st.warm_solves, st.precompute_reuses,
+        st.refactorizations, st.rhs_rebinds, result.refactorizations,
+        result.warm_iterations, result.cold_iterations,
+        result.all_converged ? "true" : "false");
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,6 +471,9 @@ int main(int argc, char** argv) {
   std::string preflight_mode = "warn";
   bool preflight_only = false;
   std::string scenario_file;
+  std::string stream_file, stream_record_file;
+  int checkpoint_at_step = -1;
+  bool reset_on_switch = false;
   bool cold_compare = false, json = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
@@ -361,6 +530,14 @@ int main(int argc, char** argv) {
       preflight_only = true;
     } else if (arg == "--scenarios") {
       scenario_file = next();
+    } else if (arg == "--stream") {
+      stream_file = next();
+    } else if (arg == "--stream-record") {
+      stream_record_file = next();
+    } else if (arg == "--checkpoint-at-step") {
+      checkpoint_at_step = parse_int(next(), "--checkpoint-at-step");
+    } else if (arg == "--reset-on-switch") {
+      reset_on_switch = true;
     } else if (arg == "--cold-compare") {
       cold_compare = true;
     } else if (arg == "--json") {
@@ -418,9 +595,47 @@ int main(int argc, char** argv) {
                    argv[0]);
       return 1;
     }
+    if (!stream_file.empty()) {
+      std::fprintf(stderr, "%s: --scenarios and --stream are exclusive\n",
+                   argv[0]);
+      return 1;
+    }
   }
-  if (cold_compare && scenario_file.empty()) {
-    std::fprintf(stderr, "%s: --cold-compare requires --scenarios FILE\n",
+  if (!stream_file.empty()) {
+    if (algorithm != "solver-free" ||
+        (backend != "serial" && backend != "threaded")) {
+      std::fprintf(stderr,
+                   "%s: --stream requires --algorithm solver-free with "
+                   "--backend serial or threaded\n",
+                   argv[0]);
+      return 1;
+    }
+    if (checkpoint_every > 0) {
+      std::fprintf(stderr,
+                   "%s: --stream uses --checkpoint-at-step, not "
+                   "--checkpoint-every\n",
+                   argv[0]);
+      return 1;
+    }
+    if (checkpoint_at_step >= 0 && checkpoint_file.empty()) {
+      std::fprintf(stderr,
+                   "%s: --checkpoint-at-step needs --checkpoint FILE\n",
+                   argv[0]);
+      return 1;
+    }
+  } else {
+    if (checkpoint_at_step >= 0 || !stream_record_file.empty() ||
+        reset_on_switch) {
+      std::fprintf(stderr,
+                   "%s: --checkpoint-at-step/--stream-record/"
+                   "--reset-on-switch require --stream FILE\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (cold_compare && scenario_file.empty() && stream_file.empty()) {
+    std::fprintf(stderr,
+                 "%s: --cold-compare requires --scenarios or --stream\n",
                  argv[0]);
     return 1;
   }
@@ -458,6 +673,18 @@ int main(int argc, char** argv) {
       opt.projector = pre.projector_options();
     }
     if (preflight_only) return 0;
+
+    if (!stream_file.empty()) {
+      // The stream driver builds its own base decomposition so checkpoint
+      // fingerprints stay self-consistent; the preflighted projector
+      // options and row-equilibration choice carry over through opt/dec.
+      dopf::opf::DecomposeOptions dec;
+      dec.equilibrate_rows = preflight_equilibrated;
+      return run_stream(net, input, opt, stream_file, preflight_mode, dec,
+                        backend, threads, cold_compare, reset_on_switch,
+                        checkpoint_at_step, checkpoint_file, resume_file,
+                        stream_record_file, json);
+    }
 
     if (!scenario_file.empty()) {
       auto problem = have_preflighted ? std::move(preflighted)

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Stream replay gate (tier2): two full runs of the same ieee123 profile must
+# serialize byte-identical replay records, and a run interrupted at step K
+# then resumed from its checkpoint must reproduce the remaining step records
+# byte-for-byte (deterministic backtest/replay contract, see DESIGN.md §9).
+#
+# Usage: stream_replay_check.sh <dopf_solve-binary> <scratch-dir>
+set -eu
+
+SOLVE="$1"
+DIR="$2"
+PROFILE="$DIR/stream_replay.profile"
+REC1="$DIR/stream_replay.rec1"
+REC2="$DIR/stream_replay.rec2"
+RECFULL="$DIR/stream_replay.full"
+RECTAIL="$DIR/stream_replay.tail"
+CKPT="$DIR/stream_replay.ckpt"
+
+cat > "$PROFILE" <<'EOF'
+profile replaygate
+steps 12
+dt 300
+step 0
+  load constant scale 0.92
+step 3
+  load constant scale 1.04
+step 6
+  load constant scale 1.10
+  switch l17 impedance-scale 2.0
+step 9
+  load constant scale 0.98
+EOF
+
+RUN="$SOLVE --stream $PROFILE --eps 1e-2 --max-iters 40000 builtin:ieee123"
+
+# 1) Two identical runs -> byte-identical records.
+$RUN --stream-record "$REC1" > /dev/null
+$RUN --stream-record "$REC2" > /dev/null
+cmp "$REC1" "$REC2" || {
+  echo "FAIL: replay records differ between two identical runs" >&2
+  exit 1
+}
+echo "stream replay: two full runs byte-identical"
+
+# 2) Interrupt at step 5, resume, compare the shared tail records.
+$RUN --stream-record "$RECFULL" --checkpoint "$CKPT" \
+  --checkpoint-at-step 5 > /dev/null
+$RUN --stream-record "$RECTAIL" --resume "$CKPT" > /dev/null
+grep "^step " "$RECFULL" | awk '$2 >= 6' > "$DIR/full_tail.txt"
+grep "^step " "$RECTAIL" > "$DIR/resume_tail.txt"
+cmp "$DIR/full_tail.txt" "$DIR/resume_tail.txt" || {
+  echo "FAIL: resumed stream tail differs from the uninterrupted run" >&2
+  exit 1
+}
+echo "stream replay: resumed tail (steps 6..11) byte-identical"
