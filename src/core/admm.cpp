@@ -46,6 +46,8 @@ const char* to_string(AdmmStatus status) {
       return "diverged";
     case AdmmStatus::kStalled:
       return "stalled";
+    case AdmmStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -383,6 +385,12 @@ AdmmResult SolverFreeAdmm::solve() {
       if (termination_satisfied(rec)) {
         result.converged = true;
         result.status = AdmmStatus::kConverged;
+        break;
+      }
+      // Cooperative cancellation (signal/deadline/caller): stop at the same
+      // cadence as the termination test, leaving a valid restorable iterate.
+      if (options_.cancel && options_.cancel->cancelled()) {
+        result.status = AdmmStatus::kCancelled;
         break;
       }
       if (options_.time_limit_seconds > 0.0 &&

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/cancel.hpp"
 #include "core/packed_solvers.hpp"
 #include "opf/decompose.hpp"
 
@@ -83,6 +84,13 @@ struct AdmmOptions {
   double watchdog_min_improvement = 1e-3;  ///< relative merit improvement
   int watchdog_max_restarts = 2;  ///< restart-from-best budget before kStalled
 
+  /// Cooperative cancellation/deadline token (not owned; must outlive the
+  /// solve). Polled at the termination-check cadence, so a request lands
+  /// within `check_every` iterations at zero hot-path cost. nullptr
+  /// disables. A cancelled solve stops cleanly with AdmmStatus::kCancelled
+  /// and a valid (restorable) iterate.
+  const CancelToken* cancel = nullptr;
+
   /// Local-solver factorization policy (the preflight remediation knob,
   /// robust::Preflight): default builds exact projectors and raises
   /// opf::ConditioningError on a non-SPD Gram matrix; with
@@ -151,6 +159,7 @@ enum class AdmmStatus {
   kTimeLimit,       ///< time_limit_seconds exceeded
   kDiverged,        ///< non-finite residuals (model inconsistent or rho bad)
   kStalled,         ///< watchdog: no residual progress, safeguards exhausted
+  kCancelled,       ///< cooperative cancellation (signal, deadline, caller)
 };
 
 const char* to_string(AdmmStatus status);

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace dopf::core {
+
+/// Cooperative cancellation with an optional absolute deadline.
+///
+/// A single token is shared between the requesting side (a SIGINT/SIGTERM
+/// handler, a deadline, a controlling thread) and the solver loops, which
+/// poll `cancelled()` at their termination-check cadence and at stream step
+/// boundaries — so cancellation costs nothing on the per-iteration hot path
+/// and always lands at a state boundary where a durable checkpoint is
+/// well-defined.
+///
+/// `request()` is async-signal-safe: it performs two lock-free atomic
+/// stores and the reason must be a string literal (or other static-storage
+/// string), so a signal handler may call it directly.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation. `reason` must point to static storage.
+  void request(const char* reason = "cancel requested") noexcept {
+    reason_.store(reason, std::memory_order_relaxed);
+    flag_.store(true, std::memory_order_release);
+  }
+
+  /// Arm a deadline `seconds` from now (<= 0 cancels immediately on the
+  /// next poll). Not async-signal-safe; call before handing the token to
+  /// the solver.
+  void set_deadline_after(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// True once cancellation has been requested or the deadline has passed.
+  bool cancelled() const {
+    if (flag_.load(std::memory_order_acquire)) return true;
+    return has_deadline_.load(std::memory_order_acquire) &&
+           Clock::now() >= deadline_;
+  }
+
+  /// Human-readable reason; meaningful once cancelled() is true.
+  const char* reason() const {
+    if (const char* r = reason_.load(std::memory_order_relaxed)) return r;
+    return "deadline exceeded";
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> flag_{false};
+  std::atomic<const char*> reason_{nullptr};
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+};
+
+}  // namespace dopf::core

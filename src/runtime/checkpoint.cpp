@@ -75,6 +75,11 @@ std::string payload_string(const AdmmCheckpoint& ck) {
   if (ck.scenario_fingerprint != 0) {
     body << "scenario_fp " << hex_u64(ck.scenario_fingerprint) << '\n';
   }
+  // Like the fingerprints: only A/B-store checkpoints carry a generation,
+  // so single-file checkpoints (and the committed goldens) are unchanged.
+  if (ck.generation != 0) {
+    body << "generation " << ck.generation << '\n';
+  }
   write_vector(body, "x", ck.x);
   write_vector(body, "z", ck.z);
   write_vector(body, "z_prev", ck.z_prev);
@@ -243,6 +248,17 @@ AdmmCheckpoint read_checkpoint(std::istream& in) {
   };
   parse_fp("model_fp", &ck.model_fingerprint);
   parse_fp("scenario_fp", &ck.scenario_fingerprint);
+  if (!tokens.empty() && tokens[0] == "generation") {
+    expect(tokens, "generation", 1);
+    char* end = nullptr;
+    ck.generation = std::strtoull(tokens[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      throw CheckpointError("checkpoint line " +
+                            std::to_string(lines.line_no()) +
+                            ": bad generation '" + tokens[1] + "'");
+    }
+    tokens = lines.next();
+  }
   read_vector(tokens, "x", &ck.x);
   read_vector(lines.next(), "z", &ck.z);
   read_vector(lines.next(), "z_prev", &ck.z_prev);
@@ -250,16 +266,25 @@ AdmmCheckpoint read_checkpoint(std::istream& in) {
   return ck;
 }
 
-void save_checkpoint(const AdmmCheckpoint& ck, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw CheckpointError("cannot open for writing: " + path);
+IoStats save_checkpoint(const AdmmCheckpoint& ck, const std::string& path,
+                        const DurableOptions& opts) {
+  std::ostringstream out;
   write_checkpoint(ck, out);
-  if (!out) throw CheckpointError("write failed: " + path);
+  if (!out) {
+    throw CheckpointError("checkpoint serialization failed for: " + path);
+  }
+  return durable_write_file(path, out.str(), opts);
 }
 
-AdmmCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw CheckpointError("cannot open: " + path);
+AdmmCheckpoint load_checkpoint(const std::string& path,
+                               const DurableOptions& opts) {
+  std::string text;
+  try {
+    text = durable_read_file(path, opts);
+  } catch (const IoError& e) {
+    throw CheckpointError(std::string("checkpoint: ") + e.what());
+  }
+  std::istringstream in(text);
   return read_checkpoint(in);
 }
 
@@ -268,6 +293,106 @@ std::size_t checkpoint_bytes(const AdmmCheckpoint& ck) {
              (ck.x.size() + ck.z.size() + ck.z_prev.size() +
               ck.lambda.size()) +
          sizeof(double) + sizeof(int);
+}
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+/// Best-effort slot probe: a missing, torn, or corrupt slot yields
+/// (false, diagnostic) instead of throwing — the store decides whether
+/// falling back or failing is appropriate.
+bool probe_slot(const std::string& path, const DurableOptions& opts,
+                AdmmCheckpoint* out, std::string* diagnostic) {
+  if (!file_exists(path)) {
+    *diagnostic = path + ": no such file";
+    return false;
+  }
+  try {
+    *out = load_checkpoint(path, opts);
+    return true;
+  } catch (const CheckpointError& e) {
+    *diagnostic = path + ": " + e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string base_path, DurableOptions opts)
+    : base_path_(std::move(base_path)), opts_(opts) {}
+
+bool CheckpointStore::any_slot_exists() const {
+  return file_exists(slot_a()) || file_exists(slot_b());
+}
+
+IoStats CheckpointStore::save(AdmmCheckpoint ck) {
+  if (!scanned_) {
+    // Adopt whatever generations are already on disk (a resumed process
+    // must keep the counter monotonic, or load() would prefer stale state).
+    AdmmCheckpoint a, b;
+    std::string ignore;
+    const bool a_ok = probe_slot(slot_a(), opts_, &a, &ignore);
+    const bool b_ok = probe_slot(slot_b(), opts_, &b, &ignore);
+    const std::uint64_t gen_a = a_ok ? a.generation : 0;
+    const std::uint64_t gen_b = b_ok ? b.generation : 0;
+    next_generation_ = (gen_a > gen_b ? gen_a : gen_b) + 1;
+    // Overwrite the OLDER slot; the newest valid generation stays intact
+    // until the replacement write has fully landed.
+    next_slot_ = gen_a > gen_b ? 1 : 0;
+    scanned_ = true;
+  }
+  ck.generation = next_generation_;
+  const std::string path = next_slot_ == 0 ? slot_a() : slot_b();
+  const IoStats stats = save_checkpoint(ck, path, opts_);
+  ++next_generation_;
+  next_slot_ = 1 - next_slot_;
+  return stats;
+}
+
+CheckpointStore::Loaded CheckpointStore::load() const {
+  AdmmCheckpoint a, b;
+  std::string diag_a, diag_b;
+  const bool a_ok = probe_slot(slot_a(), opts_, &a, &diag_a);
+  const bool b_ok = probe_slot(slot_b(), opts_, &b, &diag_b);
+  if (!a_ok && !b_ok) {
+    throw CheckpointError("checkpoint store '" + base_path_ +
+                          "': no loadable slot (" + diag_a + "; " + diag_b +
+                          ")");
+  }
+  Loaded loaded;
+  if (a_ok && b_ok) {
+    const bool prefer_a = a.generation >= b.generation;
+    loaded.checkpoint = prefer_a ? a : b;
+    loaded.path = prefer_a ? slot_a() : slot_b();
+    return loaded;
+  }
+  // Exactly one slot is loadable. That is the normal state before the
+  // second save ever happened (the other slot is simply missing); it is a
+  // torn-write FALLBACK when the dead slot exists but failed its CRC.
+  loaded.checkpoint = a_ok ? a : b;
+  loaded.path = a_ok ? slot_a() : slot_b();
+  const std::string& dead_diag = a_ok ? diag_b : diag_a;
+  const std::string dead_path = a_ok ? slot_b() : slot_a();
+  if (file_exists(dead_path)) {
+    loaded.fell_back = true;
+    loaded.diagnostic = "fell back to generation " +
+                        std::to_string(loaded.checkpoint.generation) + " (" +
+                        loaded.path + "): " + dead_diag;
+  }
+  return loaded;
+}
+
+CheckpointStore::Loaded resolve_checkpoint(const std::string& path,
+                                           const DurableOptions& opts) {
+  const CheckpointStore store(path, opts);
+  if (store.any_slot_exists()) return store.load();
+  CheckpointStore::Loaded loaded;
+  loaded.checkpoint = load_checkpoint(path, opts);
+  loaded.path = path;
+  return loaded;
 }
 
 }  // namespace dopf::runtime

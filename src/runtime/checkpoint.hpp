@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/admm.hpp"
+#include "runtime/durable.hpp"
 
 namespace dopf::runtime {
 
@@ -31,6 +32,11 @@ struct AdmmCheckpoint {
   /// 0 = unknown. A resume against edited loads fails validation loudly
   /// instead of silently continuing on the wrong scenario.
   std::uint64_t scenario_fingerprint = 0;
+  /// Monotonic save counter assigned by CheckpointStore (0 = not stored in
+  /// an A/B pair, the single-file layout). The store picks the slot with
+  /// the highest valid generation on load, so a torn newest write falls
+  /// back to the previous good one.
+  std::uint64_t generation = 0;
   int iteration = 0;  ///< the state is AFTER this iteration's dual update
   double rho = 0.0;
   std::vector<double> x;       ///< global iterate
@@ -64,11 +70,65 @@ struct AdmmCheckpoint {
 
 void write_checkpoint(const AdmmCheckpoint& ck, std::ostream& out);
 AdmmCheckpoint read_checkpoint(std::istream& in);
-void save_checkpoint(const AdmmCheckpoint& ck, const std::string& path);
-AdmmCheckpoint load_checkpoint(const std::string& path);
+/// Atomically (write-temp -> fsync -> rename) replace `path` with the
+/// serialized checkpoint. A failed or short write surfaces as IoError with
+/// path + errno — never a silently-torn file. Returns the I/O work done
+/// (retries are priced in simulated seconds like message recovery).
+IoStats save_checkpoint(const AdmmCheckpoint& ck, const std::string& path,
+                        const DurableOptions& opts = {});
+AdmmCheckpoint load_checkpoint(const std::string& path,
+                               const DurableOptions& opts = {});
 
 /// Serialized size in bytes (what a rank must ship to recover a peer); used
 /// to price failover through the communication model.
 std::size_t checkpoint_bytes(const AdmmCheckpoint& ck);
+
+/// Generation-numbered A/B checkpoint pair: saves alternate between
+/// `base.a` and `base.b`, each stamped with a monotonically increasing
+/// generation, and every write is atomic+durable. The slot holding the
+/// PREVIOUS generation is never touched while the new one is written, so a
+/// crash or torn write at any point leaves at least one loadable
+/// checkpoint: load() prefers the highest valid generation and falls back
+/// to the other slot — with a diagnostic naming what was wrong — when the
+/// newest is corrupt.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string base_path, DurableOptions opts = {});
+
+  const std::string& base_path() const { return base_path_; }
+  std::string slot_a() const { return base_path_ + ".a"; }
+  std::string slot_b() const { return base_path_ + ".b"; }
+  /// True when either slot file exists on disk.
+  bool any_slot_exists() const;
+
+  /// Durably write `ck` (stamped generation latest+1) into the slot NOT
+  /// holding the newest valid checkpoint. Throws IoError / SimulatedCrash.
+  IoStats save(AdmmCheckpoint ck);
+
+  struct Loaded {
+    AdmmCheckpoint checkpoint;
+    std::string path;        ///< the slot the checkpoint came from
+    bool fell_back = false;  ///< newest-generation slot was rejected
+    std::string diagnostic;  ///< why the preferred slot was rejected
+  };
+  /// Load the newest valid generation. Throws CheckpointError (with both
+  /// slots' diagnoses) when neither slot holds a valid checkpoint.
+  Loaded load() const;
+
+ private:
+  std::string base_path_;
+  DurableOptions opts_;
+  /// Next generation to stamp and the slot to write it to; scanned lazily
+  /// from the on-disk slots on the first save.
+  std::uint64_t next_generation_ = 0;
+  int next_slot_ = 0;  // 0 = .a, 1 = .b
+  bool scanned_ = false;
+};
+
+/// Resolve a `--resume PATH` argument against both layouts: when PATH.a or
+/// PATH.b exists the A/B store is consulted (torn-write fallback included);
+/// otherwise PATH itself is loaded as a single-file checkpoint.
+CheckpointStore::Loaded resolve_checkpoint(const std::string& path,
+                                           const DurableOptions& opts = {});
 
 }  // namespace dopf::runtime

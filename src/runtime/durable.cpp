@@ -1,0 +1,183 @@
+#include "runtime/durable.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dopf::runtime {
+
+namespace {
+
+/// Directory part of `path` ("." when the path has no separator), for the
+/// directory fsync that makes the rename itself durable.
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir handles
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Write the full buffer, looping over partial writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One write attempt: temp file -> fsync -> rename -> fsync dir. Returns
+/// true on success; on failure fills (err, detail) and cleans up the temp
+/// file. Throws SimulatedCrash when the crash failpoint is armed.
+bool attempt_write(const std::string& path, const std::string& tmp,
+                   std::string_view content, const DurableOptions& opts,
+                   int& err, std::string& detail) {
+  const FsFailpoint* fault =
+      opts.faults ? opts.faults->on_write_attempt(path) : nullptr;
+  if (fault && fault->kind == FsFailpoint::Kind::kNoSpace) {
+    err = ENOSPC;
+    detail = "injected " + fault->to_string();
+    return false;
+  }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    err = errno;
+    detail = "open temp";
+    return false;
+  }
+  std::size_t to_write = content.size();
+  bool injected_short = false;
+  if (fault && fault->kind == FsFailpoint::Kind::kShortWrite) {
+    to_write = fault->bytes < to_write ? fault->bytes : to_write;
+    injected_short = true;
+  }
+  if (!write_all(fd, content.data(), to_write)) {
+    err = errno;
+    detail = "write temp";
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (injected_short) {
+    // The device accepted only a prefix: a real short write surfaces as a
+    // failed/partial write syscall. The torn temp file must not survive
+    // into the rename, so the attempt fails and the temp is removed.
+    err = EIO;
+    detail = "injected " + fault->to_string();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (opts.fsync && ::fsync(fd) != 0) {
+    err = errno;
+    detail = "fsync temp";
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    err = errno;
+    detail = "close temp";
+    ::unlink(tmp.c_str());
+    return false;
+  }
+
+  if (fault && fault->kind == FsFailpoint::Kind::kCrashAfterTemp) {
+    // Durable temp, no rename: the exact torn-write window. Leave the temp
+    // file in place (a crashed process cleans nothing) and abandon ship.
+    throw SimulatedCrash(path);
+  }
+  if (fault && fault->kind == FsFailpoint::Kind::kFailRename) {
+    err = EIO;
+    detail = "injected " + fault->to_string();
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    err = errno;
+    detail = "rename";
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (opts.fsync) fsync_dir(dir_of(path));
+  return true;
+}
+
+}  // namespace
+
+std::string IoError::message_for(int error_code) {
+  if (error_code == 0) return "i/o failure";
+  return std::strerror(error_code);
+}
+
+IoStats durable_write_file(const std::string& path, std::string_view content,
+                           const DurableOptions& opts) {
+  IoStats stats;
+  const std::string tmp = path + ".tmp";
+  int err = 0;
+  std::string detail;
+  double timeout = opts.retry_timeout_s;
+  const int attempts = 1 + (opts.max_retries > 0 ? opts.max_retries : 0);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt_write(path, tmp, content, opts, err, detail)) {
+      ++stats.writes;
+      return stats;
+    }
+    if (attempt < attempts) {
+      // Transient-failure semantics mirror message retries: charge one
+      // (backed-off) detection timeout in simulated seconds and try again.
+      ++stats.retries;
+      stats.retry_seconds += timeout;
+      timeout *= opts.backoff_factor;
+    }
+  }
+  throw IoError("durable write of", path, err,
+                detail + ", " + std::to_string(attempts) +
+                    " attempt(s) exhausted");
+}
+
+std::string durable_read_file(const std::string& path,
+                              const DurableOptions& opts, IoStats* stats) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("read of", path, errno, "open");
+  std::string content;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw IoError("read of", path, err);
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (stats) ++stats->reads;
+  const FsFailpoint* fault = opts.faults ? opts.faults->on_read(path) : nullptr;
+  if (fault && fault->kind == FsFailpoint::Kind::kCorruptRead &&
+      !content.empty()) {
+    // One flipped bit mid-file: enough to fail the CRC, deterministic.
+    content[content.size() / 2] ^= 0x01;
+  }
+  return content;
+}
+
+}  // namespace dopf::runtime

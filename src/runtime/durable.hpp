@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "runtime/fault.hpp"
+
+namespace dopf::runtime {
+
+/// Thrown when a durable file operation fails after exhausting its retry
+/// budget (or on an unrecoverable read error). Carries the failing path and
+/// errno so callers can surface a typed, actionable diagnostic instead of a
+/// silently-torn file.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& op, std::string path, int error_code,
+          const std::string& detail = {})
+      : std::runtime_error("io error: " + op + " '" + path + "': " +
+                           message_for(error_code) +
+                           (detail.empty() ? "" : " (" + detail + ")")),
+        path_(std::move(path)),
+        error_code_(error_code) {}
+
+  const std::string& path() const { return path_; }
+  /// errno of the failing syscall (0 when the failure has no errno).
+  int error_code() const { return error_code_; }
+
+ private:
+  static std::string message_for(int error_code);
+
+  std::string path_;
+  int error_code_ = 0;
+};
+
+/// Thrown by the kCrashAfterTemp failpoint: the simulated process dies
+/// after the temp file is durable but before the atomic rename — exactly
+/// the window a torn-write bug would hide in. Deliberately NOT derived from
+/// IoError: a crash must not be caught and retried by the durability layer
+/// itself; it propagates to the process boundary (exit code 7).
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& path)
+      : std::runtime_error("simulated crash: temp written, rename pending for '" +
+                           path + "'") {}
+};
+
+/// Durability policy for durable_write_file / durable_read_file. The retry
+/// schedule mirrors RecoveryPolicy (bounded retries, exponential backoff)
+/// and is priced the same way: simulated seconds, accumulated in IoStats,
+/// never a real sleep.
+struct DurableOptions {
+  /// fsync the temp file before rename and the directory after (the full
+  /// crash-consistency protocol). Off trades durability for speed in
+  /// benches; the atomic temp+rename is kept either way.
+  bool fsync = true;
+  /// Transient-failure retry budget per write (a write is attempted at most
+  /// 1 + max_retries times before IoError).
+  int max_retries = 3;
+  /// Simulated detection timeout charged per failed attempt.
+  double retry_timeout_s = 5e-3;
+  /// Exponential backoff factor applied to successive timeouts.
+  double backoff_factor = 2.0;
+  /// Deterministic failpoint registry (not owned; nullptr = no faults).
+  FsFaultInjector* faults = nullptr;
+};
+
+/// Work performed by the durability layer, reported like device recovery:
+/// real operation counts plus *simulated* backoff seconds.
+struct IoStats {
+  int writes = 0;    ///< durable writes that reached the rename
+  int reads = 0;     ///< whole-file reads
+  int retries = 0;   ///< failed write attempts that were retried
+  double retry_seconds = 0.0;  ///< simulated backoff cost of those retries
+
+  IoStats& operator+=(const IoStats& other) {
+    writes += other.writes;
+    reads += other.reads;
+    retries += other.retries;
+    retry_seconds += other.retry_seconds;
+    return *this;
+  }
+};
+
+/// Atomically replace `path` with `content`: write `path + ".tmp"`, fsync
+/// it, rename over `path`, fsync the directory. Readers never observe a
+/// torn file — they see either the old bytes or the new bytes. Transient
+/// failures (short write, ENOSPC, failed rename) are retried up to
+/// `opts.max_retries` times with exponential backoff; exhaustion throws
+/// IoError. The kCrashAfterTemp failpoint throws SimulatedCrash, leaving
+/// the temp file on disk and `path` untouched.
+IoStats durable_write_file(const std::string& path, std::string_view content,
+                           const DurableOptions& opts = {});
+
+/// Read the whole file (applying any armed kCorruptRead failpoint). Throws
+/// IoError when the file cannot be opened or read.
+std::string durable_read_file(const std::string& path,
+                              const DurableOptions& opts = {},
+                              IoStats* stats = nullptr);
+
+}  // namespace dopf::runtime

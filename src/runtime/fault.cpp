@@ -277,4 +277,156 @@ double FaultInjector::straggle_factor(std::size_t device,
   return factor;
 }
 
+namespace {
+
+const char* fs_kind_name(FsFailpoint::Kind kind) {
+  switch (kind) {
+    case FsFailpoint::Kind::kShortWrite:
+      return "short";
+    case FsFailpoint::Kind::kNoSpace:
+      return "enospc";
+    case FsFailpoint::Kind::kFailRename:
+      return "rename";
+    case FsFailpoint::Kind::kCrashAfterTemp:
+      return "crash";
+    case FsFailpoint::Kind::kCorruptRead:
+      return "corrupt-read";
+  }
+  return "?";
+}
+
+bool is_write_kind(FsFailpoint::Kind kind) {
+  return kind != FsFailpoint::Kind::kCorruptRead;
+}
+
+}  // namespace
+
+bool FsFailpoint::matches_path(const std::string& path) const {
+  return path_contains.empty() ||
+         path.find(path_contains) != std::string::npos;
+}
+
+std::string FsFailpoint::to_string() const {
+  std::ostringstream out;
+  out << fs_kind_name(kind) << ":op=" << op;
+  if (times != 1) out << ",times=" << times;
+  if (kind == Kind::kShortWrite) out << ",bytes=" << bytes;
+  if (!path_contains.empty()) out << ",path=" << path_contains;
+  return out.str();
+}
+
+FsFaultPlan FsFaultPlan::parse(const std::string& spec) {
+  FsFaultPlan plan;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw FaultError("io fault spec: missing ':' in '" + entry + "'");
+    }
+    const std::string kind = entry.substr(0, colon);
+    FsFailpoint ev;
+    if (kind == "short") {
+      ev.kind = FsFailpoint::Kind::kShortWrite;
+    } else if (kind == "enospc") {
+      ev.kind = FsFailpoint::Kind::kNoSpace;
+    } else if (kind == "rename") {
+      ev.kind = FsFailpoint::Kind::kFailRename;
+    } else if (kind == "crash") {
+      ev.kind = FsFailpoint::Kind::kCrashAfterTemp;
+    } else if (kind == "corrupt-read") {
+      ev.kind = FsFailpoint::Kind::kCorruptRead;
+    } else {
+      throw FaultError("io fault spec: unknown failpoint kind '" + kind +
+                       "' in '" + entry + "'");
+    }
+    bool have_op = false;
+    for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
+      if (kv.empty()) continue;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw FaultError("io fault spec: expected key=value, got '" + kv +
+                         "' in '" + entry + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      if (key == "path") {
+        ev.path_contains = kv.substr(eq + 1);
+        continue;
+      }
+      const double value = parse_value(kv.substr(eq + 1), entry);
+      if (key == "op") {
+        ev.op = static_cast<int>(value);
+        have_op = true;
+      } else if (key == "times") {
+        ev.times = static_cast<int>(value);
+      } else if (key == "bytes") {
+        if (value < 0) throw FaultError("io fault spec: negative bytes");
+        ev.bytes = static_cast<std::size_t>(value);
+      } else {
+        throw FaultError("io fault spec: unknown key '" + key + "' in '" +
+                         entry + "'");
+      }
+    }
+    if (!have_op) {
+      throw FaultError("io fault spec: '" + entry + "' needs op=");
+    }
+    if (ev.op < 1) {
+      throw FaultError("io fault spec: op must be >= 1 in '" + entry + "'");
+    }
+    if (ev.times < 1) {
+      throw FaultError("io fault spec: times must be >= 1 in '" + entry +
+                       "'");
+    }
+    if (ev.kind == FsFailpoint::Kind::kCrashAfterTemp && ev.times != 1) {
+      throw FaultError("io fault spec: crash fires once (drop times=) in '" +
+                       entry + "'");
+    }
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const FsFailpoint& prev = plan.events[i];
+      if (prev.kind == ev.kind && prev.op == ev.op &&
+          prev.path_contains == ev.path_contains) {
+        throw FaultError("io fault spec: entry " +
+                         std::to_string(plan.events.size() + 1) + " ('" +
+                         entry + "') duplicates entry " +
+                         std::to_string(i + 1) + " ('" + prev.to_string() +
+                         "'): same kind, op and path filter");
+      }
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FsFaultPlan::to_string() const {
+  std::string out;
+  for (const FsFailpoint& ev : events) {
+    if (!out.empty()) out += ';';
+    out += ev.to_string();
+  }
+  return out;
+}
+
+const FsFailpoint* FsFaultInjector::advance(const std::string& path,
+                                            bool write_side) {
+  const FsFailpoint* fired = nullptr;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FsFailpoint& ev = plan_.events[i];
+    if (is_write_kind(ev.kind) != write_side || !ev.matches_path(path)) {
+      continue;
+    }
+    const int n = ++seen_[i];
+    if (fired == nullptr && n >= ev.op && n < ev.op + ev.times) {
+      fired = &ev;
+    }
+  }
+  return fired;
+}
+
+const FsFailpoint* FsFaultInjector::on_write_attempt(const std::string& path) {
+  return advance(path, /*write_side=*/true);
+}
+
+const FsFailpoint* FsFaultInjector::on_read(const std::string& path) {
+  return advance(path, /*write_side=*/false);
+}
+
 }  // namespace dopf::runtime

@@ -146,4 +146,78 @@ class FaultInjector {
   void mark_consumed(std::size_t idx);
 };
 
+/// One scheduled filesystem failpoint. Where the FaultEvent family above is
+/// keyed by (device, iteration), filesystem failpoints are keyed by the
+/// 1-based ordinal of the matching I/O attempt — deterministic for the same
+/// run, independent of wall time.
+struct FsFailpoint {
+  enum class Kind {
+    kShortWrite,      ///< temp file receives only `bytes` bytes, then EIO
+    kNoSpace,         ///< write fails immediately with ENOSPC
+    kFailRename,      ///< temp written fine; the atomic rename fails (EIO)
+    kCrashAfterTemp,  ///< process "crashes" after fsync(temp), before rename
+    kCorruptRead,     ///< a read returns the file with one byte flipped
+  };
+  Kind kind = Kind::kNoSpace;
+  /// 1-based ordinal of the first matching operation this failpoint fires
+  /// on. Write-kind failpoints count write *attempts* (so a retry of a
+  /// failed save is attempt N+1); kCorruptRead counts reads.
+  int op = 1;
+  /// Fire on `times` consecutive matching operations [op, op+times-1]
+  /// (transient-fault semantics: times < max_retries is survivable).
+  int times = 1;
+  std::size_t bytes = 0;      ///< short-write length (kShortWrite)
+  std::string path_contains;  ///< only ops whose path contains this count
+
+  bool matches_path(const std::string& path) const;
+  std::string to_string() const;
+};
+
+/// A deterministic schedule of filesystem failpoints, parseable from a CLI
+/// spec string (same grammar family as FaultPlan):
+///
+///   short:op=N[,times=K][,bytes=B][,path=SUBSTR]
+///   enospc:op=N[,times=K][,path=SUBSTR]
+///   rename:op=N[,times=K][,path=SUBSTR]
+///   crash:op=N[,path=SUBSTR]
+///   corrupt-read:op=N[,times=K][,path=SUBSTR]
+///
+/// Events are separated by ';'. Example: the third checkpoint write attempt
+/// hits a full disk twice, then succeeds on retry:
+///   "enospc:op=3,times=2,path=day.ckpt"
+struct FsFaultPlan {
+  std::vector<FsFailpoint> events;
+
+  bool empty() const { return events.empty(); }
+  static FsFaultPlan parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// Query-side view of an FsFaultPlan used inside durable_write_file /
+/// durable_read_file. Each failpoint keeps its own attempt counter over the
+/// operations matching its path filter, so two failpoints with different
+/// filters fire independently and deterministically.
+class FsFaultInjector {
+ public:
+  FsFaultInjector() = default;
+  explicit FsFaultInjector(FsFaultPlan plan) : plan_(std::move(plan)) {
+    seen_.assign(plan_.events.size(), 0);
+  }
+
+  const FsFaultPlan& plan() const { return plan_; }
+  bool empty() const { return plan_.empty(); }
+
+  /// Register one write attempt of `path`; returns the failpoint to apply
+  /// (the first armed match), or nullptr for a clean write.
+  const FsFailpoint* on_write_attempt(const std::string& path);
+  /// Register one read of `path`; returns an armed kCorruptRead or nullptr.
+  const FsFailpoint* on_read(const std::string& path);
+
+ private:
+  const FsFailpoint* advance(const std::string& path, bool write_side);
+
+  FsFaultPlan plan_;
+  std::vector<int> seen_;  // per-event matching-operation counters
+};
+
 }  // namespace dopf::runtime

@@ -126,6 +126,10 @@ AdmmResult GpuSolverFreeAdmm::solve() {
         result.converged = true;
         break;
       }
+      if (opt.cancel && opt.cancel->cancelled()) {
+        result.status = dopf::core::AdmmStatus::kCancelled;
+        break;
+      }
     }
   }
   result.x.assign(x_.begin(), x_.end());

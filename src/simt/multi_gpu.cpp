@@ -500,6 +500,10 @@ AdmmResult MultiGpuSolverFreeAdmm::solve() {
         result.status = AdmmStatus::kConverged;
         break;
       }
+      if (opt.cancel && opt.cancel->cancelled()) {
+        result.status = AdmmStatus::kCancelled;
+        break;
+      }
       if (opt.watchdog) {
         const auto decision = watchdog.observe(rec);
         if (decision.new_best) {

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/solve_session.hpp"
 #include "opf/decompose.hpp"
+#include "runtime/durable.hpp"
 #include "stream/profile.hpp"
 
 namespace dopf::stream {
@@ -24,8 +26,22 @@ class StreamError : public std::runtime_error {
         step_(step) {}
   int step() const noexcept { return step_; }
 
+ protected:
+  /// File-level errors (no step provenance); see StreamRecordError.
+  explicit StreamError(const std::string& message)
+      : std::runtime_error(message) {}
+
  private:
   int step_ = -1;
+};
+
+/// Thrown by read_records on a malformed, truncated, or corrupted replay
+/// record file — typed so callers (and the truncation fuzzer) can tell a
+/// bad file from a driver bug.
+class StreamRecordError : public StreamError {
+ public:
+  explicit StreamRecordError(const std::string& message)
+      : StreamError("stream record: " + message) {}
 };
 
 /// A preflight rejection of one step's scenario delta (exit code 5 at the
@@ -80,7 +96,24 @@ struct StreamOptions {
   /// Capture a stream checkpoint after this step's solve (requires
   /// checkpoint_path); -1 disables.
   int checkpoint_at_step = -1;
+  /// Durably checkpoint every k completed steps into the generation-
+  /// numbered A/B pair `checkpoint_path + ".a"/".b"` (requires
+  /// checkpoint_path); 0 disables. Unlike checkpoint_at_step's single
+  /// file, a torn write here can always fall back to the previous
+  /// generation on resume.
+  int checkpoint_every_steps = 0;
   std::string checkpoint_path;
+  /// Cooperative cancellation (not owned; must outlive run()). Checked at
+  /// every step boundary AND passed into each step's solve via
+  /// admm.cancel, so a signal/deadline lands within one check cadence. On
+  /// cancellation the driver durably checkpoints the last COMPLETED step
+  /// (when checkpoint_path is set) and returns with cancelled = true;
+  /// partially-solved steps are discarded so the recorded steps stay a
+  /// byte-identical prefix of the uninterrupted run.
+  const dopf::core::CancelToken* cancel = nullptr;
+  /// Durability policy (fsync, retry budget, failpoints) for every
+  /// checkpoint write and resume read issued by the driver.
+  dopf::runtime::DurableOptions durable;
   /// Resume from a stream checkpoint captured by a previous run: the
   /// binding is fast-forwarded to the checkpoint's step with ONE rebind
   /// (profile blocks are absolute against base), the iterate state is
@@ -107,6 +140,16 @@ struct StreamResult {
   long long warm_iterations = 0;  ///< total over warm-started steps
   long long cold_iterations = 0;  ///< total cold_compare iterations (-1s skipped)
   bool all_converged = true;
+  /// Cooperative cancellation outcome: the stream stopped early after
+  /// `steps.back().step` (no partial step is recorded).
+  bool cancelled = false;
+  std::string cancel_reason;
+  /// Non-empty when the resume load had to fall back to the previous good
+  /// generation (the newest slot was torn/corrupt).
+  std::string resume_fallback;
+  /// Durable-I/O work done by the driver (checkpoint writes, retries with
+  /// their simulated backoff seconds).
+  dopf::runtime::IoStats io;
 };
 
 /// Receding-horizon streaming driver: one long-lived SolveSession per
@@ -143,5 +186,21 @@ std::string record_line(const StreamStepRecord& rec);
 /// byte-identical output — the verify_stream_replay CI gate.
 void write_records(const StreamResult& result, const StreamProfile& profile,
                    std::ostream& out);
+
+/// A parsed replay record file (structure + CRC validated; step lines kept
+/// verbatim so byte-level tail comparisons need no re-serialization).
+struct ReplayRecordFile {
+  std::string profile;
+  int num_steps = 0;
+  int first_step = 0;
+  std::vector<std::string> step_lines;  ///< raw "step ..." lines, in order
+  std::string session_line;             ///< raw "session ..." footer
+};
+
+/// Parse and validate a replay record written by write_records. Throws
+/// StreamRecordError on missing/garbled header, step, session, or
+/// record_crc lines, and on a CRC mismatch — never a crash or a silently
+/// partial result.
+ReplayRecordFile read_records(std::istream& in);
 
 }  // namespace dopf::stream

@@ -263,6 +263,60 @@ TEST(AdmmStatusTest, StatusNamesAreStable) {
   EXPECT_STREQ(to_string(AdmmStatus::kIterationLimit), "iteration-limit");
   EXPECT_STREQ(to_string(AdmmStatus::kTimeLimit), "time-limit");
   EXPECT_STREQ(to_string(AdmmStatus::kDiverged), "diverged");
+  EXPECT_STREQ(to_string(AdmmStatus::kCancelled), "cancelled");
+}
+
+TEST(AdmmCancelTest, PreCancelledTokenStopsAtFirstCheck) {
+  // An infeasible problem never converges, so the only way out is the
+  // token; it is polled at the check cadence, so exactly check_every
+  // iterations run.
+  const auto p = tiny_problem(4.0);
+  CancelToken cancel;
+  cancel.request("test cancel");
+  AdmmOptions opt;
+  opt.max_iterations = 100000000;
+  opt.check_every = 25;
+  opt.cancel = &cancel;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.status, AdmmStatus::kCancelled);
+  EXPECT_EQ(res.iterations, 25);
+  EXPECT_STREQ(cancel.reason(), "test cancel");
+}
+
+TEST(AdmmCancelTest, ExpiredDeadlineCancels) {
+  const auto p = tiny_problem(4.0);
+  CancelToken cancel;
+  cancel.set_deadline_after(0.0);  // already expired
+  AdmmOptions opt;
+  opt.max_iterations = 100000000;
+  opt.check_every = 10;
+  opt.cancel = &cancel;
+  SolverFreeAdmm admm(p, opt);
+  const AdmmResult res = admm.solve();
+  EXPECT_EQ(res.status, AdmmStatus::kCancelled);
+  EXPECT_EQ(res.iterations, 10);
+  EXPECT_STREQ(cancel.reason(), "deadline exceeded");
+}
+
+TEST(AdmmCancelTest, ConvergenceWinsOverPendingDeadline) {
+  // A generous deadline must not perturb a run that converges first: the
+  // result is bit-identical to the uncancellable solve.
+  CancelToken cancel;
+  cancel.set_deadline_after(3600.0);
+  AdmmOptions opt;
+  opt.cancel = &cancel;
+  SolverFreeAdmm with_token(problem(), opt);
+  const AdmmResult ra = with_token.solve();
+  AdmmOptions bare;
+  SolverFreeAdmm without(problem(), bare);
+  const AdmmResult rb = without.solve();
+  EXPECT_EQ(ra.status, AdmmStatus::kConverged);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  for (std::size_t i = 0; i < ra.x.size(); ++i) {
+    ASSERT_EQ(ra.x[i], rb.x[i]);
+  }
 }
 
 }  // namespace

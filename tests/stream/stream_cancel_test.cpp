@@ -1,0 +1,201 @@
+/// Stream-boundary cancellation and durable periodic checkpointing: a
+/// cancelled stream records a byte-identical PREFIX of the uninterrupted
+/// run, durably checkpoints its last completed step into the A/B pair, and
+/// a resume from that pair replays the remaining steps byte-identically.
+/// Durability itself (fsync, retries, failpoints) must never perturb the
+/// recorded steps.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "feeders/ieee13.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/durable.hpp"
+#include "stream/driver.hpp"
+#include "stream/profile.hpp"
+
+namespace dopf::stream {
+namespace {
+
+StreamProfile parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_profile(in);
+}
+
+/// A day of alternating load levels; every step re-solves (no held blocks
+/// are long enough to trivialize warm starts).
+StreamProfile day_profile(int steps) {
+  std::ostringstream text;
+  text << "profile cancelday\nsteps " << steps << "\n";
+  for (int k = 0; k < steps; k += 2) {
+    text << "step " << k << "\n  load constant scale "
+         << (k % 4 == 0 ? "1.04" : "0.95") << "\n";
+  }
+  return parse(text.str());
+}
+
+StreamOptions base_options() {
+  StreamOptions sopt;
+  sopt.admm.eps_rel = 1e-2;
+  sopt.admm.check_every = 10;
+  sopt.preflight = "off";
+  return sopt;
+}
+
+std::vector<std::string> step_lines(const StreamResult& result) {
+  std::vector<std::string> lines;
+  for (const auto& rec : result.steps) lines.push_back(record_line(rec));
+  return lines;
+}
+
+/// TempDir() is shared across test runs and CheckpointStore adopts any
+/// slot files already there, so every test starts from a clean A/B base.
+std::string fresh_base(const std::string& name) {
+  const std::string base = ::testing::TempDir() + "/" + name;
+  for (const char* suffix : {"", ".a", ".b", ".tmp", ".a.tmp", ".b.tmp"}) {
+    std::remove((base + suffix).c_str());
+  }
+  return base;
+}
+
+TEST(StreamCancelTest, PreCancelledTokenStopsBeforeFirstStep) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = day_profile(8);
+  dopf::core::CancelToken cancel;
+  cancel.request("cancelled before start");
+  StreamOptions sopt = base_options();
+  sopt.cancel = &cancel;
+  StreamDriver driver(net, profile, sopt);
+  const StreamResult result = driver.run();
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.cancel_reason, "cancelled before start");
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_EQ(result.io.writes, 0) << "no completed step, nothing to persist";
+}
+
+TEST(StreamCancelTest, PeriodicCheckpointsAlternateGenerations) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = day_profile(8);
+  const std::string base = fresh_base("stream_periodic.ckpt");
+  StreamOptions sopt = base_options();
+  sopt.checkpoint_path = base;
+  sopt.checkpoint_every_steps = 2;
+  StreamDriver driver(net, profile, sopt);
+  const StreamResult result = driver.run();
+  ASSERT_TRUE(result.all_converged);
+  EXPECT_EQ(result.io.writes, 4) << "8 steps / every 2 = 4 durable saves";
+  EXPECT_EQ(result.io.retries, 0);
+
+  const auto loaded = dopf::runtime::resolve_checkpoint(base);
+  EXPECT_FALSE(loaded.fell_back);
+  EXPECT_EQ(loaded.checkpoint.generation, 4u);
+  // Both slots populated: the previous generation survives every save.
+  EXPECT_EQ(dopf::runtime::load_checkpoint(
+                loaded.path == base + ".a" ? base + ".b" : base + ".a")
+                .generation,
+            3u);
+}
+
+TEST(StreamCancelTest, DeadlinePrefixThenResumeReplaysByteIdentically) {
+  const auto net = dopf::feeders::ieee13();
+  const int kSteps = 40;
+  const auto profile = day_profile(kSteps);
+
+  // Reference: the uninterrupted day, no checkpointing at all.
+  StreamOptions ref_opt = base_options();
+  StreamDriver ref_driver(net, profile, ref_opt);
+  const StreamResult ref = ref_driver.run();
+  ASSERT_TRUE(ref.all_converged);
+  const auto ref_lines = step_lines(ref);
+
+  // Interrupted: a tight deadline lands somewhere inside the day. Where it
+  // lands is timing-dependent; every property below must hold regardless.
+  const std::string base = fresh_base("stream_deadline.ckpt");
+  dopf::core::CancelToken cancel;
+  cancel.set_deadline_after(0.02);
+  StreamOptions cut_opt = base_options();
+  cut_opt.cancel = &cancel;
+  cut_opt.checkpoint_path = base;
+  cut_opt.checkpoint_every_steps = 1;
+  StreamDriver cut_driver(net, profile, cut_opt);
+  const StreamResult cut = cut_driver.run();
+
+  if (!cut.cancelled) {
+    GTEST_SKIP() << "machine finished the whole day inside the deadline";
+  }
+  EXPECT_EQ(cut.cancel_reason, "deadline exceeded");
+  ASSERT_LT(cut.steps.size(), static_cast<std::size_t>(kSteps));
+
+  // Partial steps are discarded: the recorded steps are a byte-identical
+  // prefix of the reference run.
+  const auto cut_lines = step_lines(cut);
+  for (std::size_t i = 0; i < cut_lines.size(); ++i) {
+    ASSERT_EQ(cut_lines[i], ref_lines[i]) << "prefix step " << i;
+  }
+
+  if (cut.steps.empty()) return;  // nothing durable to resume from
+
+  // The A/B pair holds the LAST COMPLETED step; resuming replays the rest
+  // of the day byte-identically against the reference suffix.
+  const auto loaded = dopf::runtime::resolve_checkpoint(base);
+  EXPECT_FALSE(loaded.fell_back);
+  StreamOptions tail_opt = base_options();
+  tail_opt.resume_path = base;
+  StreamDriver tail_driver(net, profile, tail_opt);
+  const StreamResult tail = tail_driver.run();
+  EXPECT_EQ(tail.first_step, cut.steps.back().step + 1);
+  const auto tail_lines = step_lines(tail);
+  ASSERT_EQ(cut_lines.size() + tail_lines.size(), ref_lines.size());
+  for (std::size_t i = 0; i < tail_lines.size(); ++i) {
+    ASSERT_EQ(tail_lines[i], ref_lines[cut_lines.size() + i])
+        << "tail step " << i;
+  }
+}
+
+TEST(StreamCancelTest, TransientWriteFaultDoesNotPerturbRecords) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = day_profile(8);
+
+  StreamOptions ref_opt = base_options();
+  StreamDriver ref_driver(net, profile, ref_opt);
+  const StreamResult ref = ref_driver.run();
+
+  dopf::runtime::FsFaultInjector faults(
+      dopf::runtime::FsFaultPlan::parse("enospc:op=2,times=2"));
+  StreamOptions sopt = base_options();
+  sopt.checkpoint_path = fresh_base("stream_faulty.ckpt");
+  sopt.checkpoint_every_steps = 2;
+  sopt.durable.faults = &faults;
+  sopt.durable.retry_timeout_s = 1e-4;
+  StreamDriver driver(net, profile, sopt);
+  const StreamResult result = driver.run();
+
+  ASSERT_TRUE(result.all_converged);
+  EXPECT_EQ(result.io.retries, 2);
+  EXPECT_GT(result.io.retry_seconds, 0.0);
+  // Retried checkpoint I/O must leave the solve trajectory untouched.
+  EXPECT_EQ(step_lines(result), step_lines(ref));
+}
+
+TEST(StreamCancelTest, ExhaustedWriteFaultSurfacesIoError) {
+  const auto net = dopf::feeders::ieee13();
+  const auto profile = day_profile(4);
+  dopf::runtime::FsFaultInjector faults(
+      dopf::runtime::FsFaultPlan::parse("enospc:op=1,times=99"));
+  StreamOptions sopt = base_options();
+  sopt.checkpoint_path = fresh_base("stream_enospc.ckpt");
+  sopt.checkpoint_every_steps = 1;
+  sopt.durable.faults = &faults;
+  sopt.durable.max_retries = 1;
+  sopt.durable.retry_timeout_s = 1e-4;
+  StreamDriver driver(net, profile, sopt);
+  EXPECT_THROW(driver.run(), dopf::runtime::IoError);
+}
+
+}  // namespace
+}  // namespace dopf::stream

@@ -7,8 +7,9 @@ set -eu
 
 solve="$1"
 dir="$2"
-ck="$dir/roundtrip.ckpt"
-rm -f "$ck"
+work=$(mktemp -d "$dir/roundtrip.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+ck="$work/roundtrip.ckpt"
 
 "$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000 \
   --checkpoint-every 40 --checkpoint "$ck"

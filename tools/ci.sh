@@ -58,6 +58,14 @@ sh tools/session_smoke.sh ./build/tools/dopf_solve ./build
 # replay byte-for-byte on ieee123).
 echo "=== streaming smoke (ieee13 stream replay) ==="
 sh tools/stream_smoke.sh ./build/tools/dopf_solve ./build
+
+# Crash-recovery gate: a streaming day under seeded filesystem failpoints
+# must either complete with byte-identical replay records or exit with the
+# pinned durable-I/O code and resume from the last durable A/B checkpoint
+# generation (the tier2 verify_crash_recovery entry runs the full 288-step
+# ieee123 day).
+echo "=== crash-recovery smoke (ieee13 failpoint sweep) ==="
+sh tools/crash_recovery_check.sh ./build/tools/dopf_solve ./build
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 

@@ -1,0 +1,152 @@
+#!/bin/sh
+# Crash-recovery property harness: a streaming day under seeded filesystem
+# failpoints must either complete with byte-identical replay records, or
+# fail with the pinned durable-I/O exit code (7) and resume from the last
+# durable A/B checkpoint generation such that the resumed tail records are
+# a byte-identical suffix of the uninterrupted reference day.
+#
+# Failure shapes exercised (tools/dopf_solve --io-faults grammar):
+#   - transient ENOSPC        retried+priced, run completes, records intact
+#   - simulated process crash temp file left, target never torn, resume ok
+#   - persistent short write  retry budget exhausted -> exit 7, resume ok
+#   - persistent rename fail  exit 7, resume ok
+#   - corrupt read on resume  newest slot rejected by CRC, generation
+#                             fallback taken, tail still byte-identical
+#
+# Usage: crash_recovery_check.sh <dopf_solve> <scratch-dir> \
+#          [feeder] [steps] [switch-line] [eps]
+# Defaults run a fast ieee13 day (tier1 smoke); the tier2 gate passes
+# builtin:ieee123 with a full 288-step day (tools/CMakeLists.txt).
+set -eu
+
+SOLVE="$1"
+DIR="$2"
+FEEDER="${3:-builtin:ieee13}"
+STEPS="${4:-24}"
+SWITCH="${5:-632-645}"
+EPS="${6:-1e-4}"
+
+work=$(mktemp -d "$DIR/crash_recovery.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+profile="$work/day.profile"
+{
+  echo "profile crashday"
+  echo "steps $STEPS"
+  echo "dt 300"
+  awk -v steps="$STEPS" -v sw="$SWITCH" 'BEGIN {
+    third = int(steps / 3)
+    for (k = 0; k < steps; k += 2) {
+      # A morning ramp, midday peak, and evening descent, plus one
+      # switching event at each day-third boundary.
+      scale = 0.92 + 0.12 * (k % 8) / 8.0
+      printf "step %d\n  load constant scale %.4f\n", k, scale
+      if (k == third)     printf "  switch %s impedance-scale 1.5\n", sw
+      if (k == 2 * third) printf "  switch %s impedance-scale 1.5\n", sw
+    }
+  }'
+} > "$profile"
+
+failures=0
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# Reference: the uninterrupted day, no durability in play.
+"$SOLVE" --stream "$profile" --eps "$EPS" \
+  --stream-record "$work/ref.rec" "$FEEDER" > "$work/ref.out" 2>&1 || {
+  cat "$work/ref.out" >&2
+  echo "FAIL: reference day did not complete" >&2
+  exit 1
+}
+grep '^step ' "$work/ref.rec" > "$work/ref.steps"
+echo "crash recovery: reference day done ($(wc -l < "$work/ref.steps") steps)"
+
+# The resumed tail must be a byte-identical suffix of the reference steps.
+expect_tail_suffix() {
+  rec="$1"; label="$2"
+  grep '^step ' "$rec" > "$work/tail.steps"
+  n=$(wc -l < "$work/tail.steps")
+  if [ "$n" -lt 1 ] || [ "$n" -ge "$STEPS" ]; then
+    fail "$label: resumed tail has $n steps (expected a proper suffix)"
+    return
+  fi
+  if tail -n "$n" "$work/ref.steps" | cmp -s - "$work/tail.steps"; then
+    echo "crash recovery: $label tail of $n steps byte-identical"
+  else
+    fail "$label: resumed tail records differ from the reference suffix"
+  fi
+}
+
+# Run a day expected to die with the durable-I/O exit code, then resume.
+die_and_resume() {
+  label="$1"; faults="$2"; resume_faults="${3:-}"
+  ckpt="$work/$label.ckpt"
+  set +e
+  "$SOLVE" --stream "$profile" --eps "$EPS" --checkpoint "$ckpt" \
+    --checkpoint-every-steps 2 --io-faults "$faults" "$FEEDER" \
+    > "$work/$label.out" 2>&1
+  got=$?
+  set -e
+  if [ "$got" -ne 7 ]; then
+    cat "$work/$label.out" >&2
+    fail "$label: expected durable-I/O exit 7, got $got"
+    return
+  fi
+  if [ ! -f "$ckpt.a" ] && [ ! -f "$ckpt.b" ]; then
+    fail "$label: no durable A/B slot survived the failure"
+    return
+  fi
+  resume_args=""
+  [ -n "$resume_faults" ] && resume_args="--io-faults $resume_faults"
+  # shellcheck disable=SC2086  # resume_args is an intentional word split
+  "$SOLVE" --stream "$profile" --eps "$EPS" --resume "$ckpt" \
+    --stream-record "$work/$label.rec" $resume_args "$FEEDER" \
+    > "$work/$label.resume.out" 2>&1 || {
+    cat "$work/$label.resume.out" >&2
+    fail "$label: resume from the durable pair did not complete"
+    return
+  }
+  expect_tail_suffix "$work/$label.rec" "$label"
+}
+
+# 1. Transient ENOSPC on two checkpoint writes: retried, priced, and the
+#    replay records stay byte-for-byte those of the reference day.
+"$SOLVE" --stream "$profile" --eps "$EPS" --checkpoint "$work/t.ckpt" \
+  --checkpoint-every-steps 2 --io-faults "enospc:op=2,times=2,path=t.ckpt" \
+  --stream-record "$work/t.rec" "$FEEDER" > "$work/t.out" 2>&1 || {
+  cat "$work/t.out" >&2
+  fail "transient ENOSPC day did not complete"
+}
+if [ -f "$work/t.rec" ]; then
+  cmp -s "$work/ref.rec" "$work/t.rec" ||
+    fail "transient faults perturbed the replay records"
+  grep -q "retried attempt(s)" "$work/t.out" ||
+    fail "retries were not reported in the durability summary"
+  echo "crash recovery: transient ENOSPC retried, records intact"
+fi
+
+# 2. Simulated crash mid-write: the interrupted write's temp file survives,
+#    no slot is torn, and the resume replays the rest of the day.
+die_and_resume crash "crash:op=3,path=crash.ckpt"
+
+# 3. Persistent short writes exhaust the retry budget.
+die_and_resume short "short:op=2,times=99,bytes=32,path=short.ckpt"
+
+# 4. Persistent rename failures exhaust the retry budget.
+die_and_resume rename "rename:op=4,times=99,path=rename.ckpt"
+
+# 5. Corrupt read on resume: crash a day, then resume with one slot's read
+#    corrupted — the CRC rejects that slot and the store falls back to the
+#    surviving generation; the resumed tail is still a byte-identical suffix.
+die_and_resume fallback "crash:op=3,path=fallback.ckpt" \
+  "corrupt-read:op=1,path=fallback.ckpt"
+grep -q "resume fallback: fell back to generation" "$work/fallback.resume.out" ||
+  fail "corrupt-read resume did not report the generation fallback"
+
+if [ "$failures" -ne 0 ]; then
+  echo "crash recovery: $failures case(s) FAILED" >&2
+  exit 1
+fi
+echo "crash recovery: all seeded failpoint cases recovered"

@@ -61,6 +61,25 @@
 //                         record (hex-float, byte-identical across runs)
 //   --checkpoint-at-step K  with --stream, capture the checkpoint after
 //                         step K (requires --checkpoint FILE)
+//   --checkpoint-every-steps N  with --stream, durably checkpoint every N
+//                         completed steps into the generation-numbered A/B
+//                         pair FILE.a/FILE.b (requires --checkpoint FILE);
+//                         --resume FILE picks the newest valid generation
+//                         and falls back to the previous one when the
+//                         newest is torn
+//   --deadline S          cooperative deadline: cancel the solve/stream S
+//                         seconds after start (exit code 6; with --stream
+//                         and --checkpoint, a final durable checkpoint of
+//                         the last completed step is written first).
+//                         SIGINT/SIGTERM trigger the same path
+//   --io-faults SPEC      deterministic filesystem failpoints applied to
+//                         every durable write/read, e.g.
+//                         "enospc:op=3,times=2,path=day.ckpt;crash:op=5"
+//                         (see runtime/fault.hpp FsFaultPlan). Transient
+//                         failures are retried with backoff and reported;
+//                         exhausted retries and crashes exit 7
+//   --no-fsync            skip fsync in durable writes (benchmarks only;
+//                         atomic temp+rename is kept)
 //   --reset-on-switch     with --stream, drop warm state on steps whose
 //                         rebind refactorized a component
 //   --cold-compare        with --scenarios/--stream, also solve every
@@ -74,24 +93,31 @@
 //
 // Exit codes (scriptable): 0 converged/optimal, 1 usage or input errors,
 // 2 iteration/time limit, 3 diverged, 4 stalled (watchdog gave up),
-// 5 preflight rejected the input (see src/robust/preflight.hpp).
+// 5 preflight rejected the input (see src/robust/preflight.hpp),
+// 6 cancelled (SIGINT/SIGTERM or --deadline; durable checkpoint written
+// when configured), 7 durable I/O failure (retries exhausted or an
+// injected crash failpoint).
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "baseline/benchmark_admm.hpp"
 #include "core/admm.hpp"
+#include "core/cancel.hpp"
 #include "core/scenario_binding.hpp"
 #include "core/solve_model.hpp"
 #include "core/solve_session.hpp"
 #include "feeders/feeder_io.hpp"
 #include "opf/solution.hpp"
 #include "runtime/checkpoint.hpp"
+#include "runtime/durable.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/instances.hpp"
 #include "robust/preflight.hpp"
@@ -118,10 +144,20 @@ namespace {
       "  --preflight off|warn|auto|strict  --strict  --preflight-only\n"
       "  --scenarios FILE  --cold-compare  --json\n"
       "  --stream FILE  --stream-record FILE  --checkpoint-at-step K\n"
-      "  --reset-on-switch\n"
+      "  --checkpoint-every-steps N  --reset-on-switch\n"
+      "  --deadline S  --io-faults SPEC  --no-fsync\n"
       "  --report  --residuals FILE  --output FILE\n",
       argv0);
   std::exit(1);
+}
+
+/// Process-wide cancellation token: SIGINT/SIGTERM and --deadline feed it,
+/// every solver loop and stream step boundary polls it.
+dopf::core::CancelToken g_cancel;
+
+extern "C" void handle_cancel_signal(int) {
+  // Async-signal-safe: two lock-free atomic stores of a string literal.
+  g_cancel.request("interrupted by signal");
 }
 
 /// Strict numeric parsing: the whole token must be a number, otherwise the
@@ -164,6 +200,7 @@ int exit_code_for(const dopf::core::AdmmResult& res) {
   if (res.converged) return 0;
   if (res.status == AdmmStatus::kDiverged) return 3;
   if (res.status == AdmmStatus::kStalled) return 4;
+  if (res.status == AdmmStatus::kCancelled) return 6;
   return 2;
 }
 
@@ -318,6 +355,7 @@ int exit_code_for_step(const dopf::stream::StreamStepRecord& rec) {
   if (rec.converged) return 0;
   if (rec.status == AdmmStatus::kDiverged) return 3;
   if (rec.status == AdmmStatus::kStalled) return 4;
+  if (rec.status == AdmmStatus::kCancelled) return 6;
   return 2;
 }
 
@@ -332,9 +370,9 @@ int run_stream(const dopf::network::Network& net, const std::string& label,
                const dopf::opf::DecomposeOptions& dec,
                const std::string& backend, int threads, bool cold_compare,
                bool reset_on_switch, int checkpoint_at_step,
-               const std::string& checkpoint_file,
+               int checkpoint_every_steps, const std::string& checkpoint_file,
                const std::string& resume_file, const std::string& record_file,
-               bool json) {
+               const dopf::runtime::DurableOptions& durable, bool json) {
   const auto profile = dopf::stream::load_profile(profile_file);
   std::printf("stream: profile '%s', %d step(s), dt %.0fs, %zu block(s)\n",
               profile.name.c_str(), profile.num_steps, profile.dt_seconds,
@@ -347,8 +385,11 @@ int run_stream(const dopf::network::Network& net, const std::string& label,
   sopt.cold_compare = cold_compare;
   sopt.reset_on_switch = reset_on_switch;
   sopt.checkpoint_at_step = checkpoint_at_step;
+  sopt.checkpoint_every_steps = checkpoint_every_steps;
   sopt.checkpoint_path = checkpoint_file;
   sopt.resume_path = resume_file;
+  sopt.cancel = &g_cancel;
+  sopt.durable = durable;
   std::string backend_label = backend;
   if (backend == "threaded") {
     const int n =
@@ -372,6 +413,10 @@ int run_stream(const dopf::network::Network& net, const std::string& label,
   } catch (const dopf::stream::StreamError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  }
+
+  if (!result.resume_fallback.empty()) {
+    std::printf("resume fallback: %s\n", result.resume_fallback.c_str());
   }
 
   int code = 0;
@@ -408,18 +453,33 @@ int run_stream(const dopf::network::Network& net, const std::string& label,
                 static_cast<double>(result.warm_iterations) /
                     static_cast<double>(result.cold_iterations));
   }
-  if (checkpoint_at_step >= 0 && checkpoint_at_step >= result.first_step) {
+  if (result.cancelled) {
+    code = 6;
+    std::printf("stream cancelled (%s) after %zu completed step(s)\n",
+                result.cancel_reason.c_str(), result.steps.size());
+    if (!checkpoint_file.empty() && !result.steps.empty()) {
+      std::printf("final durable checkpoint written to %s.a/.b (step %d)\n",
+                  checkpoint_file.c_str(), result.steps.back().step);
+    }
+  }
+  if (checkpoint_at_step >= 0 && checkpoint_at_step >= result.first_step &&
+      !result.cancelled) {
     std::printf("stream checkpoint written to %s (step %d)\n",
                 checkpoint_file.c_str(), checkpoint_at_step);
   }
+  if (result.io.writes > 0 || result.io.retries > 0) {
+    std::printf(
+        "durability: %d durable checkpoint write(s), %d retried attempt(s), "
+        "%.2e simulated retry seconds\n",
+        result.io.writes, result.io.retries, result.io.retry_seconds);
+  }
   if (!record_file.empty()) {
-    std::ofstream out(record_file);
-    if (!out) {
-      std::fprintf(stderr, "cannot write stream record: %s\n",
-                   record_file.c_str());
-      return 1;
-    }
+    // The replay record goes through the same atomic durable path as
+    // checkpoints (and the same failpoints): readers never see a torn
+    // record file.
+    std::ostringstream out;
     dopf::stream::write_records(result, profile, out);
+    dopf::runtime::durable_write_file(record_file, out.str(), durable);
     std::printf("stream record written to %s\n", record_file.c_str());
   }
 
@@ -473,8 +533,12 @@ int main(int argc, char** argv) {
   std::string scenario_file;
   std::string stream_file, stream_record_file;
   int checkpoint_at_step = -1;
+  int checkpoint_every_steps = 0;
   bool reset_on_switch = false;
   bool cold_compare = false, json = false;
+  std::string io_fault_spec;
+  double deadline_seconds = 0.0;
+  bool no_fsync = false;
   dopf::core::AdmmOptions opt;
   opt.check_every = 10;
 
@@ -536,6 +600,14 @@ int main(int argc, char** argv) {
       stream_record_file = next();
     } else if (arg == "--checkpoint-at-step") {
       checkpoint_at_step = parse_int(next(), "--checkpoint-at-step");
+    } else if (arg == "--checkpoint-every-steps") {
+      checkpoint_every_steps = parse_int(next(), "--checkpoint-every-steps");
+    } else if (arg == "--deadline") {
+      deadline_seconds = parse_double(next(), "--deadline");
+    } else if (arg == "--io-faults") {
+      io_fault_spec = next();
+    } else if (arg == "--no-fsync") {
+      no_fsync = true;
     } else if (arg == "--reset-on-switch") {
       reset_on_switch = true;
     } else if (arg == "--cold-compare") {
@@ -623,12 +695,18 @@ int main(int argc, char** argv) {
                    argv[0]);
       return 1;
     }
-  } else {
-    if (checkpoint_at_step >= 0 || !stream_record_file.empty() ||
-        reset_on_switch) {
+    if (checkpoint_every_steps > 0 && checkpoint_file.empty()) {
       std::fprintf(stderr,
-                   "%s: --checkpoint-at-step/--stream-record/"
-                   "--reset-on-switch require --stream FILE\n",
+                   "%s: --checkpoint-every-steps needs --checkpoint FILE\n",
+                   argv[0]);
+      return 1;
+    }
+  } else {
+    if (checkpoint_at_step >= 0 || checkpoint_every_steps > 0 ||
+        !stream_record_file.empty() || reset_on_switch) {
+      std::fprintf(stderr,
+                   "%s: --checkpoint-at-step/--checkpoint-every-steps/"
+                   "--stream-record/--reset-on-switch require --stream FILE\n",
                    argv[0]);
       return 1;
     }
@@ -640,7 +718,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Cooperative shutdown: a signal (or the deadline) flips the token; the
+  // solver loops notice at their next termination check, checkpoint
+  // durably, and exit with the pinned code 6 — never a torn file.
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+  if (deadline_seconds > 0.0) g_cancel.set_deadline_after(deadline_seconds);
+  opt.cancel = &g_cancel;
+
+  dopf::runtime::FsFaultInjector io_faults;
+  dopf::runtime::DurableOptions durable;
+  durable.fsync = !no_fsync;
+
   try {
+    if (!io_fault_spec.empty()) {
+      io_faults = dopf::runtime::FsFaultInjector(
+          dopf::runtime::FsFaultPlan::parse(io_fault_spec));
+      durable.faults = &io_faults;
+    }
     dopf::network::Network net;
     if (input.rfind("builtin:", 0) == 0) {
       net = dopf::runtime::make_instance(input.substr(8)).net;
@@ -682,8 +777,9 @@ int main(int argc, char** argv) {
       dec.equilibrate_rows = preflight_equilibrated;
       return run_stream(net, input, opt, stream_file, preflight_mode, dec,
                         backend, threads, cold_compare, reset_on_switch,
-                        checkpoint_at_step, checkpoint_file, resume_file,
-                        stream_record_file, json);
+                        checkpoint_at_step, checkpoint_every_steps,
+                        checkpoint_file, resume_file, stream_record_file,
+                        durable, json);
     }
 
     if (!scenario_file.empty()) {
@@ -781,7 +877,7 @@ int main(int argc, char** argv) {
           return 1;
         }
         if (!resume_file.empty()) {
-          const auto ck = dopf::runtime::load_checkpoint(resume_file);
+          const auto ck = dopf::runtime::load_checkpoint(resume_file, durable);
           ck.restore(&admm);
           std::printf("resumed from %s (iteration %d)\n", resume_file.c_str(),
                       ck.iteration);
@@ -793,10 +889,21 @@ int main(int argc, char** argv) {
                 dopf::runtime::save_checkpoint(
                     dopf::runtime::AdmmCheckpoint::capture(solver, iteration,
                                                            input),
-                    checkpoint_file);
+                    checkpoint_file, durable);
               });
         }
         res = admm.solve();
+        if (res.status == dopf::core::AdmmStatus::kCancelled &&
+            !checkpoint_file.empty()) {
+          // Graceful shutdown contract: the last complete iterate goes out
+          // durably before the pinned exit code 6.
+          dopf::runtime::save_checkpoint(
+              dopf::runtime::AdmmCheckpoint::capture(admm, res.iterations,
+                                                     input),
+              checkpoint_file, durable);
+          std::printf("final durable checkpoint written to %s (iteration %d)\n",
+                      checkpoint_file.c_str(), res.iterations);
+        }
       } else {
         std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
         return 1;
@@ -821,6 +928,11 @@ int main(int argc, char** argv) {
       }
       if (res.status == dopf::core::AdmmStatus::kDiverged) fail_code = 3;
       if (res.status == dopf::core::AdmmStatus::kStalled) fail_code = 4;
+      if (res.status == dopf::core::AdmmStatus::kCancelled) {
+        std::printf("cancelled (%s) after %d iteration(s)\n",
+                    g_cancel.reason(), res.iterations);
+        fail_code = 6;
+      }
       if (json) print_result_json(res, algorithm, backend_label);
       x = res.x;
       ok = res.converged;
@@ -852,6 +964,15 @@ int main(int argc, char** argv) {
       std::printf("\n%s", view.report().c_str());
     }
     return ok ? 0 : fail_code;
+  } catch (const dopf::runtime::SimulatedCrash& e) {
+    // The crash failpoint models an abrupt process death after the temp
+    // file is durable but before the rename: no cleanup, no final output,
+    // just the pinned durability-failure code.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 7;
+  } catch (const dopf::runtime::IoError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 7;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -7,6 +7,8 @@
 #   3  divergence (non-finite iterates)
 #   4  stalled (watchdog gave up on a persistent stall)
 #   5  preflight rejected the input (sanitation or conditioning)
+#   6  cancelled (signal or --deadline) — final durable checkpoint written
+#   7  durable I/O failure (retries exhausted or simulated crash)
 #
 # usage: exit_codes.sh <path-to-dopf_solve>
 set -u
@@ -15,7 +17,7 @@ solve="$1"
 failures=0
 
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
 
 # A numerically degenerate (but structurally valid and feasible) feeder:
 # line l1's impedance is constructed so its two voltage-coupling rows are
@@ -75,5 +77,67 @@ expect 0 "default warn policy also solves it" \
   "$solve" "$degenerate" --eps 1e-2 --max-iters 20000
 expect 1 "non-finite feeder data rejected by the parser" \
   "$solve" "$corrupt" --preflight off
+
+# --- cancellation (6) and durable I/O failure (7) ------------------------
+
+# A deadline that cannot be met (tight eps on ieee123) must exit 6 and still
+# write a valid final checkpoint.
+expect 6 "deadline cancellation" \
+  "$solve" builtin:ieee123 --eps 1e-12 --max-iters 100000000 \
+    --deadline 0.05 --checkpoint "$tmpdir/deadline.ckpt"
+if ! head -n 1 "$tmpdir/deadline.ckpt" | grep -q "dopf-checkpoint v1"; then
+  echo "FAIL: deadline cancellation left no valid checkpoint" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: deadline cancellation wrote a valid checkpoint"
+fi
+
+# SIGINT mid-stream: the handler requests cooperative cancellation, the
+# driver finishes the in-flight step boundary, durably checkpoints the last
+# completed step into the A/B pair, and exits 6.
+profile="$tmpdir/sigint.profile"
+{
+  echo "profile sigint"
+  echo "steps 400"
+  awk 'BEGIN { for (k = 0; k < 400; k += 2)
+    printf "step %d\n  load constant scale %s\n", k, (k % 4 ? "0.95" : "1.05") }'
+} > "$profile"
+"$solve" --stream "$profile" --eps 1e-6 \
+  --checkpoint "$tmpdir/sigint.ckpt" --checkpoint-every-steps 1 \
+  builtin:ieee13 >/dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+got=$?
+if [ "$got" -ne 6 ]; then
+  echo "FAIL: SIGINT mid-stream: expected exit 6, got $got" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: SIGINT mid-stream -> 6"
+fi
+slot=""
+for s in "$tmpdir/sigint.ckpt.a" "$tmpdir/sigint.ckpt.b"; do
+  [ -f "$s" ] && slot="$s"
+done
+if [ -z "$slot" ] || ! head -n 1 "$slot" | grep -q "dopf-checkpoint v1"; then
+  echo "FAIL: SIGINT left no durable A/B checkpoint slot" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: SIGINT wrote durable checkpoint slot $(basename "$slot")"
+fi
+
+# Simulated crash during a checkpoint write: exit 7, temp file left behind
+# (a crashed process cleans nothing up), target never torn.
+expect 7 "simulated crash during durable write" \
+  "$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000 \
+    --checkpoint "$tmpdir/crash.ckpt" --checkpoint-every 10 \
+    --io-faults "crash:op=1,path=crash.ckpt"
+
+# Persistent ENOSPC with the retry budget exhausted: exit 7.
+expect 7 "durable write retries exhausted" \
+  "$solve" builtin:ieee13 --eps 1e-2 --max-iters 20000 \
+    --checkpoint "$tmpdir/enospc.ckpt" --checkpoint-every 10 \
+    --io-faults "enospc:op=1,times=99,path=enospc.ckpt"
 
 exit "$failures"

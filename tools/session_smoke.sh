@@ -9,8 +9,10 @@ set -eu
 
 SOLVE="$1"
 DIR="$2"
-SCEN="$DIR/session_smoke.scenarios"
-OUT="$DIR/session_smoke.out"
+work=$(mktemp -d "$DIR/session_smoke.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+SCEN="$work/session_smoke.scenarios"
+OUT="$work/session_smoke.out"
 
 cat > "$SCEN" <<'EOF'
 # Three perturbations of the base feeder; each applies to the BASE case.

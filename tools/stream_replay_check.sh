@@ -9,12 +9,14 @@ set -eu
 
 SOLVE="$1"
 DIR="$2"
-PROFILE="$DIR/stream_replay.profile"
-REC1="$DIR/stream_replay.rec1"
-REC2="$DIR/stream_replay.rec2"
-RECFULL="$DIR/stream_replay.full"
-RECTAIL="$DIR/stream_replay.tail"
-CKPT="$DIR/stream_replay.ckpt"
+work=$(mktemp -d "$DIR/stream_replay.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+PROFILE="$work/stream_replay.profile"
+REC1="$work/stream_replay.rec1"
+REC2="$work/stream_replay.rec2"
+RECFULL="$work/stream_replay.full"
+RECTAIL="$work/stream_replay.tail"
+CKPT="$work/stream_replay.ckpt"
 
 cat > "$PROFILE" <<'EOF'
 profile replaygate
@@ -46,9 +48,9 @@ echo "stream replay: two full runs byte-identical"
 $RUN --stream-record "$RECFULL" --checkpoint "$CKPT" \
   --checkpoint-at-step 5 > /dev/null
 $RUN --stream-record "$RECTAIL" --resume "$CKPT" > /dev/null
-grep "^step " "$RECFULL" | awk '$2 >= 6' > "$DIR/full_tail.txt"
-grep "^step " "$RECTAIL" > "$DIR/resume_tail.txt"
-cmp "$DIR/full_tail.txt" "$DIR/resume_tail.txt" || {
+grep "^step " "$RECFULL" | awk '$2 >= 6' > "$work/full_tail.txt"
+grep "^step " "$RECTAIL" > "$work/resume_tail.txt"
+cmp "$work/full_tail.txt" "$work/resume_tail.txt" || {
   echo "FAIL: resumed stream tail differs from the uninterrupted run" >&2
   exit 1
 }

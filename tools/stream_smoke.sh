@@ -11,10 +11,12 @@ set -eu
 
 SOLVE="$1"
 DIR="$2"
-PROFILE="$DIR/stream_smoke.profile"
-OUT="$DIR/stream_smoke.out"
-REC1="$DIR/stream_smoke.rec1"
-REC2="$DIR/stream_smoke.rec2"
+work=$(mktemp -d "$DIR/stream_smoke.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+PROFILE="$work/stream_smoke.profile"
+OUT="$work/stream_smoke.out"
+REC1="$work/stream_smoke.rec1"
+REC2="$work/stream_smoke.rec2"
 
 cat > "$PROFILE" <<'EOF'
 # Six 5-minute steps: a load dip, a load peak, and one switching event.
