@@ -38,16 +38,37 @@ class CancelToken {
     has_deadline_.store(true, std::memory_order_release);
   }
 
-  /// True once cancellation has been requested or the deadline has passed.
+  /// Link a parent token: this token reports cancelled whenever the parent
+  /// does, in addition to its own flag/deadline. Used by the solve server,
+  /// where every per-request token (deadline) is linked to the process-wide
+  /// drain token (SIGTERM) so one solver poll observes both. Not
+  /// async-signal-safe; call before handing the token to the solver. The
+  /// parent must outlive this token.
+  void link_parent(const CancelToken* parent) { parent_ = parent; }
+  const CancelToken* parent() const { return parent_; }
+
+  /// True once cancellation has been requested on this token or a linked
+  /// parent, or once the deadline has passed.
   bool cancelled() const {
     if (flag_.load(std::memory_order_acquire)) return true;
+    if (parent_ != nullptr && parent_->cancelled()) return true;
+    return deadline_exceeded();
+  }
+
+  /// True once this token's own deadline has passed (parent and explicit
+  /// requests are NOT consulted): lets a server worker distinguish a
+  /// per-request deadline (typed kDeadline rejection) from a drain
+  /// cancellation (checkpoint + kDrained).
+  bool deadline_exceeded() const {
     return has_deadline_.load(std::memory_order_acquire) &&
            Clock::now() >= deadline_;
   }
 
-  /// Human-readable reason; meaningful once cancelled() is true.
+  /// Human-readable reason; meaningful once cancelled() is true. An own
+  /// request() wins, then a cancelled parent's reason, then the deadline.
   const char* reason() const {
     if (const char* r = reason_.load(std::memory_order_relaxed)) return r;
+    if (parent_ != nullptr && parent_->cancelled()) return parent_->reason();
     return "deadline exceeded";
   }
 
@@ -57,6 +78,7 @@ class CancelToken {
   std::atomic<const char*> reason_{nullptr};
   std::atomic<bool> has_deadline_{false};
   Clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
 };
 
 }  // namespace dopf::core

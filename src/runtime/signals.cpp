@@ -1,0 +1,33 @@
+#include "runtime/signals.hpp"
+
+#include <csignal>
+
+namespace dopf::runtime {
+namespace {
+
+/// The handler target. Written once from install_cancel_signal_handlers
+/// (before any signal can be delivered through it) and read from signal
+/// context; CancelToken::request is async-signal-safe by contract.
+dopf::core::CancelToken* g_signal_token = nullptr;
+
+extern "C" void dopf_cancel_signal_handler(int) {
+  if (g_signal_token != nullptr) {
+    g_signal_token->request("interrupted by signal");
+  }
+}
+
+}  // namespace
+
+void install_cancel_signal_handlers(dopf::core::CancelToken* token) {
+  g_signal_token = token;
+  struct sigaction sa;
+  sa.sa_handler = dopf_cancel_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking syscalls must return EINTR so accept/read
+  // loops observe the cancellation instead of silently resuming.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace dopf::runtime

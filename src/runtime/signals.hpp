@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/cancel.hpp"
+
+namespace dopf::runtime {
+
+/// Install `token->request("interrupted by signal")` as the SIGINT/SIGTERM
+/// disposition, via sigaction WITHOUT SA_RESTART: a signal must interrupt
+/// blocking I/O (accept, poll, read on a socket) with EINTR so the process
+/// notices the cancellation promptly instead of only at the next solver
+/// termination check. `std::signal` gives no such guarantee — glibc
+/// installs SA_RESTART semantics through it, which can leave a drained
+/// server wedged in accept() until the next connection arrives.
+///
+/// Shared by dopf_solve and dopf_serve so both tools have identical
+/// shutdown behavior. The token must have static storage duration (the
+/// handler runs until process exit). Calling again replaces the token.
+void install_cancel_signal_handlers(dopf::core::CancelToken* token);
+
+}  // namespace dopf::runtime

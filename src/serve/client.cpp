@@ -1,0 +1,180 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include <sys/socket.h>
+
+namespace dopf::serve {
+
+Client::Client(ClientOptions options)
+    : opts_(std::move(options)), rng_(opts_.seed) {}
+
+bool Client::ensure_connected() {
+  if (fd_.valid()) return true;
+  fd_ = connect_unix(opts_.socket_path);
+  return fd_.valid();
+}
+
+void Client::backoff(int attempt, std::uint32_t server_hint_ms) {
+  // Exponential base with multiplicative jitter in [0.5, 1.0): retrying
+  // clients de-synchronize instead of stampeding the drained queue in
+  // lockstep. The server's hint is a floor, not a cap — it knows the
+  // backlog, we know how often we have been shed.
+  double ms = static_cast<double>(opts_.backoff_base_ms);
+  for (int i = 0; i < attempt && ms < 10000.0; ++i) ms *= 2.0;
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  ms = std::max(ms * jitter(rng_), static_cast<double>(server_hint_ms));
+  if (ms > 10000.0) ms = 10000.0;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(ms)));
+}
+
+bool Client::ping(std::uint64_t id) {
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    ++total_attempts_;
+    if (attempt > 0) backoff(attempt - 1, 0);
+    if (!ensure_connected()) continue;
+    Ping ping;
+    ping.id = id;
+    if (!write_all_fd(fd_.get(), encode_frame(Op::kPing, ping.encode()))) {
+      fd_.reset();
+      continue;
+    }
+    try {
+      for (;;) {
+        const ReadOutcome out = read_frame_fd(fd_.get(), 2000);
+        if (out.status != ReadOutcome::kFrame) break;  // idle or EOF
+        if (out.frame.op == Op::kPong &&
+            Ping::decode(out.frame.payload).id == id) {
+          return true;
+        }
+        // A stale frame for an earlier exchange; keep reading.
+      }
+    } catch (const WireError&) {
+      // Torn or corrupted pong: fall through to reconnect.
+    }
+    fd_.reset();
+  }
+  return false;
+}
+
+Outcome Client::submit(const SolveRequest& req) {
+  int overload_rejects = 0;
+  int transport_faults = 0;
+  bool ever_connected = false;
+  std::string last_error = "no attempt made";
+
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    ++total_attempts_;
+    if (!ensure_connected()) {
+      last_error = "connect to " + opts_.socket_path + " failed";
+      backoff(attempt, 0);
+      continue;
+    }
+    ever_connected = true;
+    if (!write_all_fd(fd_.get(),
+                      encode_frame(Op::kSolveRequest, req.encode()))) {
+      fd_.reset();
+      last_error = "request write failed";
+      ++transport_faults;
+      backoff(attempt, 0);
+      continue;
+    }
+
+    std::uint32_t hint = 0;
+    bool retry = false;
+    try {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(opts_.response_timeout_ms);
+      for (;;) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0) {
+          // Response never arrived (dropped frame or a server that went
+          // away mid-solve): reconnect and resend.
+          fd_.reset();
+          last_error = "timed out waiting for response";
+          ++transport_faults;
+          retry = true;
+          break;
+        }
+        const ReadOutcome out =
+            read_frame_fd(fd_.get(), static_cast<int>(left));
+        if (out.status == ReadOutcome::kIdle) continue;  // deadline loop
+        if (out.status == ReadOutcome::kEof) {
+          fd_.reset();
+          last_error = "connection closed before response";
+          ++transport_faults;
+          retry = true;
+          break;
+        }
+        if (out.frame.op == Op::kSolveResponse) {
+          const SolveResponse resp = SolveResponse::decode(out.frame.payload);
+          if (resp.request_id != req.request_id) continue;  // stale
+          Outcome ok;
+          ok.kind = Outcome::Kind::kResponse;
+          ok.response = resp;
+          ok.attempts = attempt + 1;
+          return ok;
+        }
+        if (out.frame.op == Op::kReject) {
+          const Reject rej = Reject::decode(out.frame.payload);
+          if (rej.request_id != 0 && rej.request_id != req.request_id) {
+            continue;  // stale reject for an earlier exchange
+          }
+          if (rej.code == RejectCode::kOverloaded) {
+            ++overload_rejects;
+            hint = rej.retry_after_ms;
+            last_error = "shed by overloaded server";
+            retry = true;
+            break;
+          }
+          if (rej.code == RejectCode::kWire) {
+            // The server could not decode our frame (corrupted in
+            // flight); it may have closed the stream. Resend fresh.
+            fd_.reset();
+            ++transport_faults;
+            last_error = "server rejected frame as malformed";
+            retry = true;
+            break;
+          }
+          Outcome no;
+          no.kind = Outcome::Kind::kReject;
+          no.reject = rej;
+          no.attempts = attempt + 1;
+          return no;
+        }
+        // Unknown-but-valid frame kind (pong for someone else): skip.
+      }
+    } catch (const WireError& e) {
+      // Torn/corrupted response frame: the stream is desynchronized.
+      fd_.reset();
+      ++transport_faults;
+      last_error = std::string("transport fault: ") + e.what();
+      retry = true;
+    }
+    if (retry) backoff(attempt, hint);
+  }
+
+  if (!ever_connected) {
+    throw ClientError(ClientError::Kind::kConnect,
+                      "request " + std::to_string(req.request_id) + ": " +
+                          last_error);
+  }
+  if (overload_rejects > transport_faults) {
+    throw ClientError(ClientError::Kind::kOverloaded,
+                      "request " + std::to_string(req.request_id) +
+                          ": shed " + std::to_string(overload_rejects) +
+                          " time(s); retry budget exhausted");
+  }
+  throw ClientError(ClientError::Kind::kTransport,
+                    "request " + std::to_string(req.request_id) +
+                        ": retry budget exhausted; last: " + last_error);
+}
+
+}  // namespace dopf::serve

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "serve/socket_io.hpp"
+#include "serve/wire.hpp"
+
+namespace dopf::serve {
+
+/// Thrown when the client exhausts its retry budget without reaching a
+/// terminal outcome (connect failures, torn frames, dropped responses,
+/// repeated kOverloaded shedding).
+class ClientError : public std::runtime_error {
+ public:
+  enum class Kind { kConnect, kTransport, kOverloaded };
+  ClientError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Retry attempts beyond the first try, for transport faults and
+  /// kOverloaded shedding.
+  int retries = 8;
+  /// Jittered exponential backoff base; doubles per attempt. The wait is
+  /// max(server retry-after hint, backoff).
+  int backoff_base_ms = 20;
+  /// How long to wait for the response frame of a submitted request. Must
+  /// cover the solve itself, not just the round trip.
+  int response_timeout_ms = 120000;
+  /// Jitter seed: storms are reproducible run to run.
+  std::uint64_t seed = 1;
+};
+
+/// What one submit() ended as: exactly one of a solve response or a typed
+/// terminal rejection (deadline, preflight, bad request, drained,
+/// shutting-down, internal). Retryable rejections (kOverloaded, kWire) are
+/// consumed by the retry loop and never surface here.
+struct Outcome {
+  enum class Kind { kResponse, kReject };
+  Kind kind = Kind::kResponse;
+  SolveResponse response;
+  Reject reject;
+  /// Total tries this outcome took (1 = first try).
+  int attempts = 1;
+};
+
+/// One connection's worth of client: reconnects transparently, retries
+/// with jittered exponential backoff honoring the server's retry-after
+/// hint, skips stale frames for other request ids. One Client per thread —
+/// not thread-safe (a storm driver makes one per concurrent lane).
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Liveness probe: true when a pong echoing `id` arrives (with retry).
+  bool ping(std::uint64_t id);
+
+  /// Submit one request to a terminal outcome. Throws ClientError when
+  /// the retry budget runs out first.
+  Outcome submit(const SolveRequest& req);
+
+  /// Attempts consumed across all calls (storm bookkeeping).
+  std::uint64_t total_attempts() const { return total_attempts_; }
+
+ private:
+  /// Connect if not connected. Returns false on failure.
+  bool ensure_connected();
+  void backoff(int attempt, std::uint32_t server_hint_ms);
+
+  ClientOptions opts_;
+  Fd fd_;
+  std::mt19937_64 rng_;
+  std::uint64_t total_attempts_ = 0;
+};
+
+}  // namespace dopf::serve

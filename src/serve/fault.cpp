@@ -1,0 +1,232 @@
+#include "serve/fault.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace dopf::serve {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+long parse_value(const std::string& text, const std::string& entry) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(begin, &end, 10);
+  if (end == begin || *end != '\0') {
+    throw WireError("serve fault spec: bad numeric value '" + text +
+                    "' in '" + entry + "'");
+  }
+  return v;
+}
+
+std::uint8_t parse_frame_filter(const std::string& text,
+                                const std::string& entry) {
+  if (text == "response") return static_cast<std::uint8_t>(Op::kSolveResponse);
+  if (text == "reject") return static_cast<std::uint8_t>(Op::kReject);
+  if (text == "pong") return static_cast<std::uint8_t>(Op::kPong);
+  throw WireError("serve fault spec: unknown frame filter '" + text +
+                  "' in '" + entry + "' (response|reject|pong)");
+}
+
+const char* kind_name(ServeFailpoint::Kind kind) {
+  switch (kind) {
+    case ServeFailpoint::Kind::kDrop: return "drop";
+    case ServeFailpoint::Kind::kCorrupt: return "corrupt";
+    case ServeFailpoint::Kind::kTruncate: return "truncate";
+    case ServeFailpoint::Kind::kDelay: return "delay";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ServeFailpoint::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind) << ":op=" << op;
+  if (times != 1) out << ",times=" << times;
+  if (kind == Kind::kTruncate && bytes != 0) out << ",bytes=" << bytes;
+  if (kind == Kind::kDelay) out << ",ms=" << delay_ms;
+  if (frame_op != 0) {
+    out << ",frame=";
+    switch (static_cast<Op>(frame_op)) {
+      case Op::kSolveResponse: out << "response"; break;
+      case Op::kReject: out << "reject"; break;
+      case Op::kPong: out << "pong"; break;
+      default: out << static_cast<int>(frame_op); break;
+    }
+  }
+  return out.str();
+}
+
+ServeFaultPlan ServeFaultPlan::parse(const std::string& spec) {
+  ServeFaultPlan plan;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw WireError("serve fault spec: missing ':' in '" + entry + "'");
+    }
+    const std::string kind = entry.substr(0, colon);
+    ServeFailpoint ev;
+    if (kind == "drop") {
+      ev.kind = ServeFailpoint::Kind::kDrop;
+    } else if (kind == "corrupt") {
+      ev.kind = ServeFailpoint::Kind::kCorrupt;
+    } else if (kind == "truncate") {
+      ev.kind = ServeFailpoint::Kind::kTruncate;
+    } else if (kind == "delay") {
+      ev.kind = ServeFailpoint::Kind::kDelay;
+    } else {
+      throw WireError("serve fault spec: unknown failpoint kind '" + kind +
+                      "' in '" + entry + "'");
+    }
+    bool have_op = false;
+    for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
+      if (kv.empty()) continue;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw WireError("serve fault spec: expected key=value, got '" + kv +
+                        "' in '" + entry + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      if (key == "frame") {
+        ev.frame_op = parse_frame_filter(kv.substr(eq + 1), entry);
+        continue;
+      }
+      const long value = parse_value(kv.substr(eq + 1), entry);
+      if (key == "op") {
+        ev.op = static_cast<int>(value);
+        have_op = true;
+      } else if (key == "times") {
+        ev.times = static_cast<int>(value);
+      } else if (key == "bytes") {
+        if (value < 0) {
+          throw WireError("serve fault spec: negative bytes in '" + entry +
+                          "'");
+        }
+        ev.bytes = static_cast<std::size_t>(value);
+      } else if (key == "ms") {
+        if (value < 0 || value > 60000) {
+          throw WireError("serve fault spec: ms must be in [0, 60000] in '" +
+                          entry + "'");
+        }
+        ev.delay_ms = static_cast<int>(value);
+      } else {
+        throw WireError("serve fault spec: unknown key '" + key + "' in '" +
+                        entry + "'");
+      }
+    }
+    if (!have_op) {
+      throw WireError("serve fault spec: '" + entry + "' needs op=");
+    }
+    if (ev.op < 1) {
+      throw WireError("serve fault spec: op must be >= 1 in '" + entry + "'");
+    }
+    if (ev.times < 1) {
+      throw WireError("serve fault spec: times must be >= 1 in '" + entry +
+                      "'");
+    }
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const ServeFailpoint& prev = plan.events[i];
+      if (prev.kind == ev.kind && prev.op == ev.op &&
+          prev.frame_op == ev.frame_op) {
+        throw WireError("serve fault spec: entry " +
+                        std::to_string(plan.events.size() + 1) + " ('" +
+                        entry + "') duplicates entry " + std::to_string(i + 1) +
+                        " ('" + prev.to_string() +
+                        "'): same kind, op and frame filter");
+      }
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string ServeFaultPlan::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ';';
+    out << events[i].to_string();
+  }
+  return out.str();
+}
+
+ServeFaultInjector::ServeFaultInjector(ServeFaultPlan plan)
+    : plan_(std::move(plan)) {
+  seen_.assign(plan_.events.size(), 0);
+}
+
+const ServeFailpoint* ServeFaultInjector::on_send(Op op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ServeFailpoint* hit = nullptr;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const ServeFailpoint& ev = plan_.events[i];
+    if (ev.frame_op != 0 && ev.frame_op != static_cast<std::uint8_t>(op)) {
+      continue;
+    }
+    const int ordinal = ++seen_[i];
+    if (hit == nullptr && ordinal >= ev.op && ordinal < ev.op + ev.times) {
+      hit = &ev;
+    }
+  }
+  if (hit != nullptr) {
+    switch (hit->kind) {
+      case ServeFailpoint::Kind::kDrop: ++counts_.dropped; break;
+      case ServeFailpoint::Kind::kCorrupt: ++counts_.corrupted; break;
+      case ServeFailpoint::Kind::kTruncate: ++counts_.truncated; break;
+      case ServeFailpoint::Kind::kDelay: ++counts_.delayed; break;
+    }
+  }
+  return hit;
+}
+
+ServeFaultInjector::Counts ServeFaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+bool apply_failpoint(const ServeFailpoint& fp, std::string* frame,
+                     bool* close_after) {
+  switch (fp.kind) {
+    case ServeFailpoint::Kind::kDrop:
+      return false;
+    case ServeFailpoint::Kind::kCorrupt: {
+      // Flip one bit inside the CRC-guarded region (op byte onward); the
+      // receiver's CRC check must catch it. Deterministic position: the
+      // middle of the frame body.
+      const std::size_t lo = 4;  // skip the magic: a bad magic is a
+                                 // different (also covered) failure shape
+      const std::size_t pos = lo + (frame->size() - lo) / 2;
+      (*frame)[pos] = static_cast<char>((*frame)[pos] ^ 0x01);
+      return true;
+    }
+    case ServeFailpoint::Kind::kTruncate: {
+      std::size_t keep = fp.bytes != 0 ? fp.bytes : frame->size() / 2;
+      if (keep >= frame->size()) keep = frame->size() - 1;
+      frame->resize(keep);
+      // A torn frame desynchronizes the stream; the sender closes the
+      // connection right after, like a real torn TCP write at process death.
+      if (close_after != nullptr) *close_after = true;
+      return true;
+    }
+    case ServeFailpoint::Kind::kDelay:
+      return true;  // the sleep is the sender's job
+  }
+  return true;
+}
+
+}  // namespace dopf::serve

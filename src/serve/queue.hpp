@@ -1,0 +1,95 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dopf::serve {
+
+/// Bounded multi-producer multi-consumer request ring with SHED-NEVER-BLOCK
+/// admission: try_push is non-blocking and returns false when the ring is
+/// full, so an overloaded server rejects with a typed kOverloaded (plus a
+/// retry-after hint) instead of stacking unbounded work or blocking the
+/// connection readers. Consumers block in pop() until an item arrives or
+/// the ring is closed.
+///
+/// A fixed circular buffer under one mutex: producers are connection
+/// readers (one cheap enqueue per request), consumers are solve workers
+/// (milliseconds-to-seconds per item), so lock contention is noise next to
+/// the work items carry. What matters for robustness is the BOUND and the
+/// non-blocking producer side, not lock-freedom — the deterministic
+/// thread-pool work-stealing rings stay over in runtime/thread_pool.
+template <typename T>
+class BoundedMpscRing {
+ public:
+  explicit BoundedMpscRing(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  /// Non-blocking enqueue. False when full or closed — the caller sheds.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ == buf_.size()) return false;
+      buf_[(head_ + count_) % buf_.size()] = std::move(item);
+      ++count_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue. Empty optional once the ring is closed AND drained —
+  /// the consumer's exit signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    return item;
+  }
+
+  /// Non-blocking dequeue (drain path): empty optional when nothing queued.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    return item;
+  }
+
+  /// Stop admitting (try_push returns false) and wake all consumers.
+  /// Queued items remain poppable via pop()/try_pop().
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+};
+
+}  // namespace dopf::serve

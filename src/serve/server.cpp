@@ -1,0 +1,540 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/admm.hpp"
+#include "feeders/feeder_io.hpp"
+#include "network/network.hpp"
+#include "opf/model.hpp"
+#include "robust/preflight.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/instances.hpp"
+#include "runtime/scenario.hpp"
+#include "serve/queue.hpp"
+#include "serve/socket_io.hpp"
+
+namespace dopf::serve {
+namespace {
+
+/// One client connection: the fd plus a write mutex so a worker's response
+/// and the reader's rejects interleave at frame granularity, never byte
+/// granularity. Held by shared_ptr from the reader thread and from every
+/// queued request, so the fd stays open until the last response is written.
+struct Connection {
+  explicit Connection(Fd f) : fd(std::move(f)) {}
+  Fd fd;
+  std::mutex write_mu;
+};
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Parse the request's scenario override lines (runtime/scenario.hpp
+/// grammar, one override per line, '#' comments allowed). Throws
+/// ScenarioError with line provenance.
+dopf::runtime::Scenario parse_request_scenario(const std::string& text) {
+  dopf::runtime::Scenario sc;
+  sc.name = "request";
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) {
+      if (tok[0] == '#') break;
+      tokens.push_back(tok);
+    }
+    if (tokens.empty()) continue;
+    const auto ov = dopf::runtime::parse_scenario_override(tokens, line_no);
+    dopf::runtime::reject_duplicate_override(sc.overrides, ov,
+                                             "request scenario");
+    sc.overrides.push_back(ov);
+  }
+  return sc;
+}
+
+/// Tagged wrapper so handle_request's catch ladder can map a validation
+/// failure to kBadRequest without stringly-typed matching.
+class BadRequestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void validate_request(const SolveRequest& req) {
+  if (req.feeder.empty()) throw BadRequestError("empty feeder reference");
+  if (!(req.rho > 0.0) || !std::isfinite(req.rho)) {
+    throw BadRequestError("rho must be finite and > 0");
+  }
+  if (!(req.eps_rel > 0.0) || !std::isfinite(req.eps_rel)) {
+    throw BadRequestError("eps_rel must be finite and > 0");
+  }
+  if (req.max_iterations < 1) {
+    throw BadRequestError("max_iterations must be >= 1");
+  }
+  if (req.check_every < 1) throw BadRequestError("check_every must be >= 1");
+  if (req.preflight != "off") {
+    try {
+      (void)dopf::robust::parse_policy(req.preflight);
+    } catch (const std::invalid_argument& e) {
+      throw BadRequestError(std::string("bad preflight policy: ") + e.what());
+    }
+  }
+}
+
+}  // namespace
+
+struct QueuedRequest {
+  SolveRequest req;
+  std::shared_ptr<Connection> conn;
+  /// Per-request token: deadline armed at admission, parent-linked to the
+  /// drain token so one poll observes both.
+  std::shared_ptr<dopf::core::CancelToken> token;
+};
+
+struct Server::Impl {
+  ServeOptions opts;
+  Fd listen_fd;
+  ServeFaultInjector faults;
+  ModelCache cache;
+  BoundedMpscRing<QueuedRequest> ring;
+  std::atomic<int> inflight{0};
+
+  mutable std::mutex stats_mu;
+  ServerStats stats_snapshot;  // counters only; cache/faults filled on read
+  bool io_failure = false;
+
+  std::mutex threads_mu;
+  std::vector<std::thread> conn_threads;
+  std::vector<std::thread> workers;
+
+  explicit Impl(ServeOptions o)
+      : opts(std::move(o)),
+        faults(opts.faults),
+        cache(opts.cache_budget_bytes),
+        ring(opts.queue_depth) {}
+
+  bool draining() const { return opts.drain->cancelled(); }
+
+  template <typename Fn>
+  void bump(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    fn(stats_snapshot);
+  }
+
+  std::string checkpoint_path(const SolveRequest& req) const {
+    return opts.checkpoint_dir + "/req-" + hex_u64(req.content_hash()) +
+           ".ckpt";
+  }
+
+  /// Every outgoing frame funnels through here: the fault injector sees
+  /// one deterministic sent-frame ordering, and the per-connection write
+  /// mutex keeps frames atomic on the stream.
+  void send_frame(Connection& conn, Op op, const std::string& payload) {
+    std::string frame = encode_frame(op, payload);
+    bool close_after = false;
+    if (const ServeFailpoint* fp = faults.on_send(op)) {
+      if (fp->kind == ServeFailpoint::Kind::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fp->delay_ms));
+      }
+      if (!apply_failpoint(*fp, &frame, &close_after)) return;  // dropped
+    }
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    (void)write_all_fd(conn.fd.get(), frame);
+    if (close_after) ::shutdown(conn.fd.get(), SHUT_RDWR);
+  }
+
+  void send_reject(Connection& conn, std::uint64_t request_id, RejectCode code,
+                   std::uint32_t retry_after_ms, const std::string& message) {
+    Reject r;
+    r.request_id = request_id;
+    r.code = code;
+    r.retry_after_ms = retry_after_ms;
+    r.message = message;
+    send_frame(conn, Op::kReject, r.encode());
+  }
+
+  void admit(const std::shared_ptr<Connection>& conn, SolveRequest req) {
+    const std::uint64_t id = req.request_id;
+    if (draining() || ring.closed()) {
+      bump([](ServerStats& s) { ++s.rejected_shutdown; });
+      send_reject(*conn, id, RejectCode::kShuttingDown, 0,
+                  "server is draining; request not admitted");
+      return;
+    }
+    QueuedRequest qr;
+    qr.token = std::make_shared<dopf::core::CancelToken>();
+    qr.token->link_parent(opts.drain);
+    if (req.deadline_ms > 0) {
+      // Armed at ADMISSION: queue wait counts against the deadline.
+      qr.token->set_deadline_after(req.deadline_ms / 1000.0);
+    }
+    qr.req = std::move(req);
+    qr.conn = conn;
+    if (!ring.try_push(std::move(qr))) {
+      if (ring.closed()) {
+        bump([](ServerStats& s) { ++s.rejected_shutdown; });
+        send_reject(*conn, id, RejectCode::kShuttingDown, 0,
+                    "server is draining; request not admitted");
+        return;
+      }
+      // SHED, never block: the bounded ring is full. The hint scales with
+      // how much work is ahead of the client.
+      const auto backlog =
+          static_cast<std::uint32_t>(ring.size()) +
+          static_cast<std::uint32_t>(inflight.load(std::memory_order_relaxed));
+      bump([](ServerStats& s) { ++s.rejected_overload; });
+      send_reject(*conn, id, RejectCode::kOverloaded, 25 * (1 + backlog),
+                  "request ring full (" + std::to_string(ring.capacity()) +
+                      " queued); retry after the hint");
+      return;
+    }
+    bump([](ServerStats& s) { ++s.admitted; });
+  }
+
+  void reader_loop(std::shared_ptr<Connection> conn) {
+    while (!draining()) {
+      ReadOutcome out;
+      try {
+        out = read_frame_fd(conn->fd.get(), /*idle_timeout_ms=*/200);
+      } catch (const WireError& e) {
+        // Torn or corrupted frame: the byte stream is desynchronized, so
+        // a typed reject (unattributable id) is all we can say before
+        // closing. The client reconnects and retries.
+        bump([](ServerStats& s) { ++s.rejected_wire; });
+        send_reject(*conn, 0, RejectCode::kWire, 0, e.what());
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+        return;
+      }
+      if (out.status == ReadOutcome::kIdle) continue;
+      if (out.status == ReadOutcome::kEof) return;
+
+      switch (out.frame.op) {
+        case Op::kPing: {
+          Ping ping;
+          try {
+            ping = Ping::decode(out.frame.payload);
+          } catch (const WireError& e) {
+            bump([](ServerStats& s) { ++s.rejected_wire; });
+            send_reject(*conn, 0, RejectCode::kWire, 0, e.what());
+            break;
+          }
+          bump([](ServerStats& s) { ++s.pings; });
+          send_frame(*conn, Op::kPong, ping.encode());
+          break;
+        }
+        case Op::kSolveRequest: {
+          SolveRequest req;
+          try {
+            req = SolveRequest::decode(out.frame.payload);
+          } catch (const WireError& e) {
+            // CRC was fine, so the framing is still in sync — reject the
+            // payload, keep the connection.
+            bump([](ServerStats& s) { ++s.rejected_wire; });
+            send_reject(*conn, 0, RejectCode::kWire, 0, e.what());
+            break;
+          }
+          admit(conn, std::move(req));
+          break;
+        }
+        default:
+          bump([](ServerStats& s) { ++s.rejected_bad_request; });
+          send_reject(*conn, 0, RejectCode::kBadRequest, 0,
+                      std::string("unexpected frame kind from client: ") +
+                          to_string(out.frame.op));
+          break;
+      }
+    }
+  }
+
+  /// Build one cached topology precompute. Mirrors the dopf_solve cold
+  /// path exactly (preflight -> projector options -> equilibrated
+  /// decompose -> SolveModel) so server solves are byte-identical to solo
+  /// solves of the same request.
+  std::shared_ptr<CachedModel> build_entry(const SolveRequest& req,
+                                           const std::string& key) {
+    auto entry = std::make_shared<CachedModel>();
+    entry->key = key;
+    if (req.feeder.rfind("builtin:", 0) == 0) {
+      entry->net = dopf::runtime::make_instance(req.feeder.substr(8)).net;
+    } else {
+      entry->net = dopf::feeders::load_feeder(req.feeder);
+    }
+    const auto model = dopf::opf::build_model(entry->net);
+    dopf::opf::DistributedProblem problem;
+    if (req.preflight != "off") {
+      dopf::robust::PreflightOptions popt;
+      popt.policy = dopf::robust::parse_policy(req.preflight);
+      const auto pre =
+          dopf::robust::run_preflight(entry->net, model, &problem, popt);
+      if (!pre.accepted) throw dopf::robust::PreflightError(pre);
+      entry->projector = pre.projector_options();
+      entry->decompose.equilibrate_rows = pre.equilibrated;
+    } else {
+      problem = dopf::opf::decompose(entry->net, model);
+    }
+    entry->model =
+        std::make_unique<dopf::core::SolveModel>(problem, entry->projector);
+    entry->binding =
+        std::make_unique<dopf::core::ScenarioBinding>(*entry->model);
+    entry->model_fp = entry->binding->model_fingerprint();
+    entry->bytes = estimate_model_bytes(*entry->binding);
+    return entry;
+  }
+
+  void worker_loop() {
+    while (auto item = ring.pop()) {
+      inflight.fetch_add(1, std::memory_order_relaxed);
+      handle_request(std::move(*item));
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void handle_request(QueuedRequest qr) {
+    const SolveRequest& req = qr.req;
+    Connection& conn = *qr.conn;
+    const std::uint64_t id = req.request_id;
+    try {
+      if (qr.token->deadline_exceeded()) {
+        bump([](ServerStats& s) { ++s.rejected_deadline; });
+        send_reject(conn, id, RejectCode::kDeadline, 0,
+                    "deadline expired while queued");
+        return;
+      }
+      if (draining()) {
+        bump([](ServerStats& s) { ++s.rejected_shutdown; });
+        send_reject(conn, id, RejectCode::kShuttingDown, 0,
+                    "server draining; queued request shed before starting");
+        return;
+      }
+      validate_request(req);
+
+      const std::string key = req.feeder + "#" + req.preflight;
+      const std::shared_ptr<CachedModel> entry =
+          cache.acquire(key, [&] { return build_entry(req, key); });
+
+      const dopf::runtime::Scenario sc = parse_request_scenario(req.scenario);
+
+      // One scenario bound at a time per model; requests against other
+      // cached models keep solving on other workers.
+      std::lock_guard<std::mutex> model_lock(entry->mu);
+
+      const auto net_s = dopf::runtime::apply_scenario(entry->net, sc);
+      const auto model_s = dopf::opf::build_model(net_s);
+      const auto problem_s =
+          dopf::opf::decompose(net_s, model_s, entry->decompose);
+      if (req.preflight != "off") {
+        dopf::robust::PreflightOptions popt;
+        popt.policy = dopf::robust::parse_policy(req.preflight);
+        popt.decompose = entry->decompose;
+        const auto pre = dopf::robust::run_scenario_preflight(
+            entry->model->problem(), problem_s, popt);
+        if (!pre.accepted) {
+          bump([](ServerStats& s) { ++s.rejected_preflight; });
+          send_reject(conn, id, RejectCode::kPreflight, 0, pre.rejection);
+          return;
+        }
+      }
+
+      dopf::core::AdmmOptions opt;
+      opt.rho = req.rho;
+      opt.eps_rel = req.eps_rel;
+      opt.max_iterations = static_cast<int>(req.max_iterations);
+      opt.check_every = static_cast<int>(req.check_every);
+      opt.projector = entry->projector;
+      opt.cancel = qr.token.get();
+
+      // A FRESH session per request: the rebind is bit-identical to a cold
+      // build (retained factorizations, PR 6), and a cold solve over it
+      // reproduces a solo dopf_solve byte for byte — the determinism the
+      // fault harness asserts. Reuse lives in the model/binding, not in
+      // iterate state.
+      dopf::core::SolveSession session(*entry->binding, opt);
+      session.rebind(problem_s);
+
+      if (req.resume && !opts.checkpoint_dir.empty()) {
+        dopf::runtime::CheckpointStore store(checkpoint_path(req),
+                                             opts.durable);
+        if (store.any_slot_exists()) {
+          auto loaded = store.load();
+          loaded.checkpoint.validate_for(session.solver(), req.feeder);
+          loaded.checkpoint.restore(&session.solver(), req.feeder);
+          session.mark_warm();
+        }
+      }
+
+      dopf::core::AdmmResult res = session.solve();
+      bump([&](ServerStats& s) {
+        const auto& st = session.stats();
+        s.session.solves += st.solves;
+        s.session.cold_solves += st.cold_solves;
+        s.session.warm_solves += st.warm_solves;
+        s.session.precompute_reuses += st.precompute_reuses;
+        s.session.refactorizations += st.refactorizations;
+        s.session.rhs_rebinds += st.rhs_rebinds;
+      });
+
+      if (res.status == dopf::core::AdmmStatus::kCancelled) {
+        if (qr.token->deadline_exceeded()) {
+          bump([](ServerStats& s) { ++s.rejected_deadline; });
+          send_reject(conn, id, RejectCode::kDeadline, 0,
+                      "deadline expired after " +
+                          std::to_string(res.iterations) + " iterations");
+          return;
+        }
+        // Drain: checkpoint the in-flight solve durably so a resubmission
+        // with resume continues byte-identically.
+        if (opts.checkpoint_dir.empty()) {
+          bump([](ServerStats& s) { ++s.rejected_shutdown; });
+          send_reject(conn, id, RejectCode::kShuttingDown, 0,
+                      "drained at iteration " +
+                          std::to_string(res.iterations) +
+                          "; no checkpoint dir, progress discarded");
+          return;
+        }
+        auto ck = dopf::runtime::AdmmCheckpoint::capture(
+            session.solver(), res.iterations, req.feeder);
+        dopf::runtime::CheckpointStore store(checkpoint_path(req),
+                                             opts.durable);
+        const auto io = store.save(std::move(ck));
+        bump([&](ServerStats& s) {
+          ++s.drain_checkpointed;
+          s.io += io;
+        });
+        send_reject(conn, id, RejectCode::kDrained, 0,
+                    "drained at iteration " + std::to_string(res.iterations) +
+                        "; resubmit with resume to continue");
+        return;
+      }
+
+      SolveResponse resp;
+      resp.request_id = id;
+      resp.status = static_cast<std::uint8_t>(res.status);
+      resp.converged = res.converged;
+      resp.iterations = static_cast<std::uint32_t>(res.iterations);
+      resp.objective = res.objective;
+      resp.primal_residual = res.primal_residual;
+      resp.dual_residual = res.dual_residual;
+      resp.model_fp = entry->binding->model_fingerprint();
+      resp.scenario_fp = entry->binding->scenario_fingerprint();
+      bump([](ServerStats& s) { ++s.solved; });
+      send_frame(conn, Op::kSolveResponse, resp.encode());
+    } catch (const BadRequestError& e) {
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
+    } catch (const dopf::runtime::ScenarioError& e) {
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
+    } catch (const dopf::robust::PreflightError& e) {
+      bump([](ServerStats& s) { ++s.rejected_preflight; });
+      send_reject(conn, id, RejectCode::kPreflight, 0, e.what());
+    } catch (const dopf::runtime::CheckpointError& e) {
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kBadRequest, 0,
+                  std::string("resume checkpoint rejected: ") + e.what());
+    } catch (const dopf::runtime::SimulatedCrash& e) {
+      bump([this](ServerStats&) { io_failure = true; });
+      send_reject(conn, id, RejectCode::kInternal, 0,
+                  std::string("durable checkpoint failed: ") + e.what());
+    } catch (const dopf::runtime::IoError& e) {
+      bump([this](ServerStats&) { io_failure = true; });
+      send_reject(conn, id, RejectCode::kInternal, 0,
+                  std::string("durable checkpoint failed: ") + e.what());
+    } catch (const dopf::feeders::FeederFormatError& e) {
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
+    } catch (const std::invalid_argument& e) {
+      // Unknown builtin feeder name, bad policy text, ...
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
+    } catch (const std::exception& e) {
+      bump([](ServerStats& s) { ++s.rejected_bad_request; });
+      send_reject(conn, id, RejectCode::kInternal, 0,
+                  std::string("internal error: ") + e.what());
+    }
+  }
+};
+
+Server::Server(ServeOptions options) : impl_(new Impl(std::move(options))) {}
+
+Server::~Server() { delete impl_; }
+
+void Server::start() {
+  if (impl_->opts.drain == nullptr) {
+    throw WireError("ServeOptions.drain token is required");
+  }
+  impl_->listen_fd = listen_unix(impl_->opts.socket_path, /*backlog=*/64);
+}
+
+int Server::run() {
+  Impl& im = *impl_;
+  const int nworkers = im.opts.workers < 1 ? 1 : im.opts.workers;
+  for (int i = 0; i < nworkers; ++i) {
+    im.workers.emplace_back([&im] { im.worker_loop(); });
+  }
+
+  while (!im.draining()) {
+    struct pollfd pfd;
+    pfd.fd = im.listen_fd.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // drain signal; loop re-checks
+      break;
+    }
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(im.listen_fd.get(), nullptr, nullptr);
+    if (cfd < 0) continue;
+    auto conn = std::make_shared<Connection>(Fd(cfd));
+    std::lock_guard<std::mutex> lock(im.threads_mu);
+    im.conn_threads.emplace_back([&im, conn] { im.reader_loop(conn); });
+  }
+
+  // Drain: stop listening, close the ring (workers finish what is queued —
+  // handle_request sheds it typed — and in-flight solves observe the drain
+  // token through their parent link).
+  im.listen_fd.reset();
+  im.ring.close();
+  for (auto& th : im.workers) th.join();
+  {
+    std::lock_guard<std::mutex> lock(im.threads_mu);
+    for (auto& th : im.conn_threads) th.join();
+  }
+  ::unlink(im.opts.socket_path.c_str());
+
+  std::lock_guard<std::mutex> lock(im.stats_mu);
+  if (im.io_failure) return 7;
+  return im.stats_snapshot.drain_checkpointed > 0 ? 6 : 0;
+}
+
+ServerStats Server::stats() const {
+  Impl& im = *impl_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(im.stats_mu);
+    out = im.stats_snapshot;
+  }
+  out.cache = im.cache.stats();
+  out.faults = im.faults.counts();
+  return out;
+}
+
+}  // namespace dopf::serve

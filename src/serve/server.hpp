@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/cancel.hpp"
+#include "core/solve_session.hpp"
+#include "runtime/durable.hpp"
+#include "serve/cache.hpp"
+#include "serve/fault.hpp"
+
+namespace dopf::serve {
+
+struct ServeOptions {
+  std::string socket_path;
+  /// Solve worker threads consuming the request ring.
+  int workers = 2;
+  /// Bounded request-ring depth: admitted-but-unstarted requests. A full
+  /// ring sheds with kOverloaded (never blocks the connection readers).
+  std::size_t queue_depth = 16;
+  /// Resident-memory budget for the model cache (estimated bytes).
+  std::size_t cache_budget_bytes = 256u << 20;
+  /// Directory for drain checkpoints of in-flight solves; empty disables
+  /// checkpointing (drained work is shed with kShuttingDown instead).
+  std::string checkpoint_dir;
+  /// Deterministic transport fault schedule (tests).
+  ServeFaultPlan faults;
+  /// Durability options for drain checkpoints.
+  dopf::runtime::DurableOptions durable;
+  /// External drain token; flipped by SIGTERM/SIGINT (see
+  /// runtime/signals.hpp). Required.
+  dopf::core::CancelToken* drain = nullptr;
+};
+
+struct ServerStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_preflight = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_wire = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t drain_checkpointed = 0;
+  std::uint64_t pings = 0;
+  /// Aggregated session reuse counters across all request solves (same
+  /// field vocabulary as dopf_solve --json "session").
+  dopf::core::SessionStats session;
+  /// Aggregated durable-I/O stats from drain checkpoint writes/reads.
+  dopf::runtime::IoStats io;
+  ModelCache::Stats cache;
+  ServeFaultInjector::Counts faults;
+};
+
+/// The long-lived solve server: admission control (preflight), a bounded
+/// MPSC request ring, worker sessions coalescing requests onto cached
+/// SolveModel/ScenarioBinding pairs, per-request deadlines, transport
+/// fault injection, and graceful drain. See DESIGN.md §10.
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on the socket. Throws WireError on failure.
+  void start();
+
+  /// Serve until the drain token fires, then drain: stop admitting, shed
+  /// queued-but-unstarted work (kShuttingDown), let in-flight solves
+  /// finish or checkpoint durably (kDrained), join everything. Returns the
+  /// process exit code: 0 clean drain, 6 drained with checkpoints written,
+  /// 7 durable I/O failure during drain.
+  int run();
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace dopf::serve

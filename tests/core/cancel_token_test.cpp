@@ -1,0 +1,180 @@
+/// Concurrency contract of core::CancelToken, written to run under
+/// ThreadSanitizer (tools/ci.sh sanitizer pass): many threads spamming
+/// request() against many threads polling cancelled()/reason() must
+/// produce exactly one observable false->true transition, and reason()
+/// must always return one of the literals that was actually requested —
+/// never null, garbage, or a torn pointer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hpp"
+
+namespace dopf::core {
+namespace {
+
+TEST(CancelTokenTest, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_exceeded());
+}
+
+TEST(CancelTokenTest, RequestIsSticky) {
+  CancelToken token;
+  token.request("stop now");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "stop now");
+  // A second request may change the reason but never un-cancels.
+  token.request("stop again");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "stop again");
+}
+
+TEST(CancelTokenTest, PastDeadlineCancelsWithDeadlineReason) {
+  CancelToken token;
+  token.set_deadline_after(-1.0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_STREQ(token.reason(), "deadline exceeded");
+}
+
+TEST(CancelTokenTest, OwnRequestReasonBeatsDeadline) {
+  CancelToken token;
+  token.set_deadline_after(-1.0);
+  token.request("interrupted by signal");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "interrupted by signal");
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagates) {
+  CancelToken drain;
+  CancelToken request;
+  request.link_parent(&drain);
+  EXPECT_FALSE(request.cancelled());
+
+  drain.request("drain requested");
+  EXPECT_TRUE(request.cancelled());
+  // The child's own deadline did not fire — the server uses exactly this
+  // distinction to emit kDrained instead of kDeadline.
+  EXPECT_FALSE(request.deadline_exceeded());
+  EXPECT_STREQ(request.reason(), "drain requested");
+}
+
+TEST(CancelTokenTest, ChildDeadlineDoesNotCancelParent) {
+  CancelToken drain;
+  CancelToken request;
+  request.link_parent(&drain);
+  request.set_deadline_after(-1.0);
+  EXPECT_TRUE(request.cancelled());
+  EXPECT_TRUE(request.deadline_exceeded());
+  EXPECT_FALSE(drain.cancelled());
+}
+
+/// The TSan-facing test: requester threads spam request() with distinct
+/// static literals while poller threads spin on cancelled() and read
+/// reason(). Every poller must observe a monotone transition (once true,
+/// never false again in its own polling sequence) and every reason() read
+/// after cancellation must be one of the requested literals.
+TEST(CancelTokenTest, ConcurrentRequestSpamVersusPollers) {
+  static const char* const kReasons[] = {
+      "requester 0", "requester 1", "requester 2", "requester 3"};
+  constexpr int kRequesters = 4;
+  constexpr int kPollers = 4;
+  constexpr int kSpins = 2000;
+
+  CancelToken token;
+  std::atomic<bool> start{false};
+  std::atomic<int> bad_reason{0};
+  std::atomic<int> regressions{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kRequesters + kPollers);
+  for (int r = 0; r < kRequesters; ++r) {
+    threads.emplace_back([&, r] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kSpins; ++i) token.request(kReasons[r]);
+    });
+  }
+  for (int p = 0; p < kPollers; ++p) {
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      bool seen_cancelled = false;
+      for (int i = 0; i < kSpins; ++i) {
+        const bool now = token.cancelled();
+        if (seen_cancelled && !now) ++regressions;
+        if (now) {
+          seen_cancelled = true;
+          const char* reason = token.reason();
+          bool known = false;
+          for (const char* candidate : kReasons) {
+            if (reason == candidate) known = true;
+          }
+          if (!known) ++bad_reason;
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(regressions.load(), 0) << "cancelled() went true -> false";
+  EXPECT_EQ(bad_reason.load(), 0) << "reason() returned a non-requested string";
+
+  // After the dust settles the reason is stable: repeated reads return the
+  // same pointer, and it is one of the literals that was requested.
+  const char* final_reason = token.reason();
+  std::set<const char*> requested(std::begin(kReasons), std::end(kReasons));
+  EXPECT_TRUE(requested.count(final_reason) == 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(token.reason(), final_reason);
+}
+
+/// Pollers linked through a parent observe the parent's request exactly as
+/// their own: the server's per-request tokens poll (own flag | parent |
+/// deadline) on every termination check.
+TEST(CancelTokenTest, ConcurrentParentRequestObservedByLinkedChildren) {
+  CancelToken drain;
+  constexpr int kChildren = 8;
+  std::vector<std::unique_ptr<CancelToken>> children;
+  for (int i = 0; i < kChildren; ++i) {
+    children.push_back(std::make_unique<CancelToken>());
+    children.back()->link_parent(&drain);
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<int> observed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kChildren + 1);
+  for (int i = 0; i < kChildren; ++i) {
+    threads.emplace_back([&, i] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!children[i]->cancelled()) {
+      }
+      ++observed;
+    });
+  }
+  threads.emplace_back([&] {
+    while (!start.load(std::memory_order_acquire)) {
+    }
+    drain.request("drain requested");
+  });
+  start.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(observed.load(), kChildren);
+  for (const auto& child : children) {
+    EXPECT_TRUE(child->cancelled());
+    EXPECT_STREQ(child->reason(), "drain requested");
+  }
+}
+
+}  // namespace
+}  // namespace dopf::core

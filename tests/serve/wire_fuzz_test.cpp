@@ -1,0 +1,159 @@
+/// Frame-truncation and bit-flip fuzzing for the serve wire codec, in the
+/// style of tests/runtime/truncation_fuzz_test.cpp: every byte-prefix of a
+/// valid frame and every single-byte flip must surface as a typed
+/// WireError — never a crash, a hang, or a silently partial decode. This
+/// is the receive-side contract behind the transport fault plane: a torn
+/// or corrupted frame is always distinguishable from a good one, so a
+/// retried request can never apply half a response.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/fault.hpp"
+#include "serve/wire.hpp"
+
+namespace dopf::serve {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> corpus() {
+  SolveRequest req;
+  req.request_id = 3;
+  req.deadline_ms = 250;
+  req.preflight = "warn";
+  req.rho = 100.0;
+  req.eps_rel = 1e-3;
+  req.max_iterations = 200000;
+  req.check_every = 10;
+  req.feeder = "builtin:ieee13";
+  req.scenario = "load * scale 1.05\n";
+
+  SolveResponse resp;
+  resp.request_id = 3;
+  resp.status = 2;
+  resp.converged = true;
+  resp.iterations = 1140;
+  resp.objective = 0.8169;
+  resp.primal_residual = 2.5e-3;
+  resp.dual_residual = 1.5e-1;
+  resp.model_fp = 0x4fa556f60c2d954aull;
+  resp.scenario_fp = 0xe7f6b5c9ef4cadaeull;
+
+  Reject rej;
+  rej.request_id = 3;
+  rej.code = RejectCode::kOverloaded;
+  rej.retry_after_ms = 50;
+  rej.message = "queue full; retry after hint";
+
+  return {
+      {"request", encode_frame(Op::kSolveRequest, req.encode())},
+      {"response", encode_frame(Op::kSolveResponse, resp.encode())},
+      {"reject", encode_frame(Op::kReject, rej.encode())},
+      {"ping", encode_frame(Op::kPing, Ping{77}.encode())},
+  };
+}
+
+TEST(WireFuzzTest, FullFramesParse) {
+  // The fuzz loops below prove nothing if the corpus itself is stale.
+  for (const auto& [name, frame] : corpus()) {
+    std::size_t consumed = 0;
+    const Frame decoded = decode_frame(frame, &consumed);
+    EXPECT_EQ(consumed, frame.size()) << name;
+    EXPECT_FALSE(decoded.payload.empty() && name != "ping") << name;
+  }
+}
+
+TEST(WireFuzzTest, EveryBytePrefixRaisesTypedWireError) {
+  for (const auto& [name, frame] : corpus()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::string prefix = frame.substr(0, len);
+      try {
+        decode_frame(prefix);
+        FAIL() << name << ": prefix of " << len << " bytes parsed as a frame";
+      } catch (const WireError&) {
+        // expected: typed rejection
+      } catch (const std::exception& e) {
+        FAIL() << name << ": prefix of " << len << " bytes raised untyped "
+               << typeid(e).name() << ": " << e.what();
+      }
+    }
+  }
+}
+
+/// Truncation is not the only torn shape — a flip anywhere in the frame
+/// (magic, op, length, payload, or the CRC itself) must be detected. CRC-32
+/// catches all single-bit errors; flipping a whole byte is 8 of them, and
+/// magic/length damage is caught by the dedicated header checks first.
+TEST(WireFuzzTest, EverySingleByteFlipRaisesTypedWireError) {
+  for (const auto& [name, frame] : corpus()) {
+    for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+      for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+        std::string mutated = frame;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+        try {
+          decode_frame(mutated);
+          FAIL() << name << ": flip 0x" << std::hex << int(mask) << std::dec
+                 << " at byte " << pos << " went undetected";
+        } catch (const WireError&) {
+          // expected
+        } catch (const std::exception& e) {
+          FAIL() << name << ": flip at byte " << pos << " raised untyped "
+                 << typeid(e).name() << ": " << e.what();
+        }
+      }
+    }
+  }
+}
+
+/// A frame whose CRC validates but whose payload is the wrong shape for
+/// its op (spliced streams, version skew) must fail in the payload
+/// decoders — also typed, still no partial apply.
+TEST(WireFuzzTest, CrossDecodingPayloadsRaisesTypedWireError) {
+  const auto frames = corpus();
+  for (const auto& [name, frame] : frames) {
+    const Frame decoded = decode_frame(frame);
+    const std::string& payload = decoded.payload;
+    int accepted = 0;
+    auto attempt = [&](auto decode_fn) {
+      try {
+        decode_fn(payload);
+        ++accepted;
+      } catch (const WireError&) {
+      } catch (const std::exception& e) {
+        FAIL() << name << ": untyped " << typeid(e).name() << ": " << e.what();
+      }
+    };
+    attempt([](const std::string& p) { SolveRequest::decode(p); });
+    attempt([](const std::string& p) { SolveResponse::decode(p); });
+    attempt([](const std::string& p) { Reject::decode(p); });
+    attempt([](const std::string& p) { Ping::decode(p); });
+    // Its own decoder accepts it; a lookalike may coincidentally parse
+    // (lengths can line up), but never with a crash or untyped error.
+    EXPECT_GE(accepted, 1) << name;
+  }
+}
+
+/// apply_failpoint's corrupt/truncate mutations are exactly the shapes the
+/// client must survive: feed its output straight into the decoder.
+TEST(WireFuzzTest, InjectedFaultShapesAreDetected) {
+  for (const auto& [name, frame] : corpus()) {
+    ServeFailpoint corrupt;
+    corrupt.kind = ServeFailpoint::Kind::kCorrupt;
+    std::string corrupted = frame;
+    bool close_after = false;
+    ASSERT_TRUE(apply_failpoint(corrupt, &corrupted, &close_after));
+    EXPECT_THROW(decode_frame(corrupted), WireError) << name;
+
+    ServeFailpoint truncate;
+    truncate.kind = ServeFailpoint::Kind::kTruncate;
+    std::string truncated = frame;
+    ASSERT_TRUE(apply_failpoint(truncate, &truncated, &close_after));
+    EXPECT_TRUE(close_after);
+    EXPECT_LT(truncated.size(), frame.size()) << name;
+    EXPECT_THROW(decode_frame(truncated), WireError) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dopf::serve

@@ -66,6 +66,15 @@ sh tools/stream_smoke.sh ./build/tools/dopf_solve ./build
 # ieee123 day).
 echo "=== crash-recovery smoke (ieee13 failpoint sweep) ==="
 sh tools/crash_recovery_check.sh ./build/tools/dopf_solve ./build
+
+# Solve-server gate: a mixed request schedule through dopf_serve — ping,
+# coalesced byte-identical solves, typed preflight/deadline/bad-request
+# rejections, clean SIGTERM drain (the tier2 verify_serve_faults entry
+# additionally replays storms under injected transport faults and proves
+# drain-mid-solve resumes byte-identically from the durable checkpoint).
+echo "=== serve smoke (mixed requests + graceful drain) ==="
+sh tools/serve_smoke.sh ./build/tools/dopf_serve ./build/tools/dopf_client \
+  ./build
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 

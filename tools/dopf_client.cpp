@@ -1,0 +1,354 @@
+// dopf_client — driver for the dopf_serve solve server.
+//
+// Usage:
+//   dopf_client --socket PATH [options]
+//
+//   --ping                liveness probe (pong round-trip), then exit
+//   --feeder F            single request: "builtin:NAME" or a feeder path
+//   --override "L"        scenario override line (repeatable, composed in
+//                         order; runtime/scenario.hpp grammar)
+//   --requests FILE       batch mode: one request per line,
+//                         "feeder|ovr1;ovr2|deadline_ms|resume" ('#'
+//                         comments; trailing fields optional)
+//   --repeat N            submit each request N times (distinct ids,
+//                         identical content — exercises coalescing)
+//   --concurrency C       client lanes, one connection each (default 1)
+//   --id N                base request id (default 1)
+//   --deadline-ms N       per-request deadline, armed at server admission
+//   --resume              ask the server to resume from its drain
+//                         checkpoint of this exact request
+//   --rho R --eps E --max-iters N --check-every N
+//                         solver options (dopf_solve defaults)
+//   --preflight MODE      off | warn | auto | strict (default warn)
+//   --retries N           retry budget for transport faults / shedding
+//   --backoff-ms N        jittered exponential backoff base (default 20)
+//   --timeout-ms N        response wait per attempt (default 120000)
+//   --seed S              jitter seed (deterministic storms)
+//
+// Output: one line per request, in request-id order:
+//   response id=... status=... iterations=... objective=0x1.…p+… ...
+//   reject id=... code=... msg=...
+// Response lines are byte-identical for identical requests — the property
+// tools/serve_fault_check.sh asserts under injected transport faults.
+//
+// Exit codes (worst across requests): 0 all converged; 1 usage; 2 a
+// response did not converge; 4 bad-request/internal reject; 5 preflight
+// reject; 6 deadline/drained/shutting-down reject; 7 shed-by-overload
+// retry budget exhausted; 8 connect/transport retry budget exhausted.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "serve/client.hpp"
+#include "verify/codec.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH (--ping | --feeder F [--override L]... |\n"
+      "  --requests FILE) [--repeat N] [--concurrency C] [--id N]\n"
+      "  [--deadline-ms N] [--resume] [--rho R] [--eps E] [--max-iters N]\n"
+      "  [--check-every N] [--preflight MODE] [--retries N]\n"
+      "  [--backoff-ms N] [--timeout-ms N] [--seed S]\n",
+      argv0);
+  std::exit(1);
+}
+
+long parse_long(const char* arg, const char* what, const char* argv0) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '%s' for %s\n", argv0, arg,
+                 what);
+    usage(argv0);
+  }
+  return v;
+}
+
+double parse_double(const char* arg, const char* what, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv0, arg,
+                 what);
+    usage(argv0);
+  }
+  return v;
+}
+
+/// Parse one --requests line: "feeder|ovr1;ovr2|deadline_ms|resume".
+/// Empty trailing fields are optional; ';' in the scenario field becomes a
+/// newline (the wire scenario format).
+dopf::serve::SolveRequest parse_request_line(
+    const dopf::serve::SolveRequest& defaults, const std::string& line,
+    int line_no) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == '|') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  dopf::serve::SolveRequest req = defaults;
+  if (fields.empty() || fields[0].empty()) {
+    throw std::runtime_error("requests file line " + std::to_string(line_no) +
+                             ": empty feeder field");
+  }
+  req.feeder = fields[0];
+  if (fields.size() > 1) {
+    std::string sc = fields[1];
+    std::replace(sc.begin(), sc.end(), ';', '\n');
+    req.scenario = sc;
+  }
+  if (fields.size() > 2 && !fields[2].empty()) {
+    req.deadline_ms = static_cast<std::uint32_t>(
+        std::strtoul(fields[2].c_str(), nullptr, 10));
+  }
+  if (fields.size() > 3 && !fields[3].empty()) {
+    req.resume = fields[3] == "1" || fields[3] == "true";
+  }
+  if (fields.size() > 4) {
+    throw std::runtime_error("requests file line " + std::to_string(line_no) +
+                             ": too many '|' fields");
+  }
+  return req;
+}
+
+std::string format_outcome(const dopf::serve::Outcome& out) {
+  char buf[512];
+  if (out.kind == dopf::serve::Outcome::Kind::kResponse) {
+    const auto& r = out.response;
+    std::snprintf(
+        buf, sizeof(buf),
+        "response id=%" PRIu64
+        " status=%s converged=%d iterations=%u objective=%s primal=%s "
+        "dual=%s model_fp=%016" PRIx64 " scenario_fp=%016" PRIx64,
+        r.request_id,
+        dopf::core::to_string(static_cast<dopf::core::AdmmStatus>(r.status)),
+        r.converged ? 1 : 0, r.iterations,
+        dopf::verify::hex_double(r.objective).c_str(),
+        dopf::verify::hex_double(r.primal_residual).c_str(),
+        dopf::verify::hex_double(r.dual_residual).c_str(), r.model_fp,
+        r.scenario_fp);
+  } else {
+    const auto& rej = out.reject;
+    std::snprintf(buf, sizeof(buf), "reject id=%" PRIu64 " code=%s msg=%s",
+                  rej.request_id, dopf::serve::to_string(rej.code),
+                  rej.message.c_str());
+  }
+  return buf;
+}
+
+int outcome_exit_code(const dopf::serve::Outcome& out) {
+  using dopf::serve::RejectCode;
+  if (out.kind == dopf::serve::Outcome::Kind::kResponse) {
+    return out.response.converged ? 0 : 2;
+  }
+  switch (out.reject.code) {
+    case RejectCode::kPreflight: return 5;
+    case RejectCode::kDeadline:
+    case RejectCode::kDrained:
+    case RejectCode::kShuttingDown: return 6;
+    default: return 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, requests_file;
+  dopf::serve::SolveRequest base;
+  std::vector<std::string> overrides;
+  dopf::serve::ClientOptions copts;
+  bool ping = false;
+  int repeat = 1, concurrency = 1;
+  std::uint64_t base_id = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--feeder") {
+      base.feeder = next();
+    } else if (arg == "--override") {
+      overrides.push_back(next());
+    } else if (arg == "--requests") {
+      requests_file = next();
+    } else if (arg == "--repeat") {
+      repeat = static_cast<int>(parse_long(next(), "--repeat", argv[0]));
+    } else if (arg == "--concurrency") {
+      concurrency =
+          static_cast<int>(parse_long(next(), "--concurrency", argv[0]));
+    } else if (arg == "--id") {
+      base_id = static_cast<std::uint64_t>(parse_long(next(), "--id", argv[0]));
+    } else if (arg == "--deadline-ms") {
+      base.deadline_ms = static_cast<std::uint32_t>(
+          parse_long(next(), "--deadline-ms", argv[0]));
+    } else if (arg == "--resume") {
+      base.resume = true;
+    } else if (arg == "--rho") {
+      base.rho = parse_double(next(), "--rho", argv[0]);
+    } else if (arg == "--eps") {
+      base.eps_rel = parse_double(next(), "--eps", argv[0]);
+    } else if (arg == "--max-iters") {
+      base.max_iterations = static_cast<std::uint32_t>(
+          parse_long(next(), "--max-iters", argv[0]));
+    } else if (arg == "--check-every") {
+      base.check_every = static_cast<std::uint32_t>(
+          parse_long(next(), "--check-every", argv[0]));
+    } else if (arg == "--preflight") {
+      base.preflight = next();
+    } else if (arg == "--retries") {
+      copts.retries = static_cast<int>(parse_long(next(), "--retries", argv[0]));
+    } else if (arg == "--backoff-ms") {
+      copts.backoff_base_ms =
+          static_cast<int>(parse_long(next(), "--backoff-ms", argv[0]));
+    } else if (arg == "--timeout-ms") {
+      copts.response_timeout_ms =
+          static_cast<int>(parse_long(next(), "--timeout-ms", argv[0]));
+    } else if (arg == "--seed") {
+      copts.seed = static_cast<std::uint64_t>(
+          parse_long(next(), "--seed", argv[0]));
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket PATH is required\n", argv[0]);
+    usage(argv[0]);
+  }
+  copts.socket_path = socket_path;
+  if (repeat < 1 || concurrency < 1) {
+    std::fprintf(stderr, "%s: --repeat/--concurrency must be >= 1\n", argv[0]);
+    return 1;
+  }
+
+  if (ping) {
+    dopf::serve::Client client(copts);
+    if (client.ping(base_id)) {
+      std::printf("pong id=%" PRIu64 "\n", base_id);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: no pong from %s\n", argv[0],
+                 socket_path.c_str());
+    return 8;
+  }
+
+  // Assemble the request list.
+  std::vector<dopf::serve::SolveRequest> jobs;
+  try {
+    if (!requests_file.empty()) {
+      std::ifstream in(requests_file);
+      if (!in) {
+        std::fprintf(stderr, "%s: cannot open %s\n", argv[0],
+                     requests_file.c_str());
+        return 1;
+      }
+      std::string line;
+      int line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        std::string trimmed = line;
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed.empty() || trimmed[0] == '#') continue;
+        jobs.push_back(parse_request_line(base, trimmed, line_no));
+      }
+    } else if (!base.feeder.empty()) {
+      dopf::serve::SolveRequest req = base;
+      std::string sc;
+      for (const auto& ovr : overrides) {
+        sc += ovr;
+        sc += '\n';
+      }
+      req.scenario = sc;
+      jobs.push_back(req);
+    } else {
+      std::fprintf(stderr, "%s: need --ping, --feeder or --requests\n",
+                   argv[0]);
+      usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+
+  // Expand repeats and assign ids.
+  std::vector<dopf::serve::SolveRequest> expanded;
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& j : jobs) expanded.push_back(j);
+  }
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    expanded[i].request_id = base_id + i;
+  }
+
+  std::vector<std::string> lines(expanded.size());
+  std::vector<int> codes(expanded.size(), 0);
+
+  const int lanes =
+      std::min<int>(concurrency, static_cast<int>(expanded.size()));
+  auto run_lane = [&](int lane) {
+    dopf::serve::ClientOptions lane_opts = copts;
+    lane_opts.seed = copts.seed + static_cast<std::uint64_t>(lane);
+    dopf::serve::Client client(lane_opts);
+    for (std::size_t i = static_cast<std::size_t>(lane); i < expanded.size();
+         i += static_cast<std::size_t>(lanes)) {
+      try {
+        const auto out = client.submit(expanded[i]);
+        lines[i] = format_outcome(out);
+        codes[i] = outcome_exit_code(out);
+        if (out.attempts > 1) {
+          std::fprintf(stderr, "request %" PRIu64 ": %d attempt(s)\n",
+                       expanded[i].request_id, out.attempts);
+        }
+      } catch (const dopf::serve::ClientError& e) {
+        lines[i] = "error id=" + std::to_string(expanded[i].request_id) +
+                   " msg=" + e.what();
+        codes[i] =
+            e.kind() == dopf::serve::ClientError::Kind::kOverloaded ? 7 : 8;
+      }
+    }
+  };
+
+  if (lanes <= 1) {
+    run_lane(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      threads.emplace_back(run_lane, lane);
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  int code = 0;
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    std::printf("%s\n", lines[i].c_str());
+    code = std::max(code, codes[i]);
+  }
+  return code;
+}

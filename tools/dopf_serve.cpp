@@ -1,0 +1,190 @@
+// dopf_serve — long-lived distributed-OPF solve server.
+//
+// Usage:
+//   dopf_serve --socket PATH [options]
+//
+//   --socket PATH         unix-domain socket to listen on (required)
+//   --workers N           solve worker threads (default 2)
+//   --queue-depth N       bounded request ring depth (default 16); a full
+//                         ring sheds with a typed kOverloaded rejection
+//   --cache-budget-mb M   model-cache resident budget (default 256)
+//   --checkpoint-dir DIR  durable drain checkpoints for in-flight solves;
+//                         without it drained work is shed, not resumable
+//   --serve-faults SPEC   deterministic transport fault schedule, e.g.
+//                         "drop:op=2,frame=response;delay:op=1,ms=80"
+//                         (see src/serve/fault.hpp)
+//   --no-fsync            skip fsync in drain checkpoints (tests on tmpfs)
+//   --metrics-json        print a JSON stats object on exit (field names
+//                         shared with dopf_solve --json)
+//
+// Lifecycle: serves until SIGTERM/SIGINT, then drains — stops admitting,
+// sheds queued-but-unstarted work with kShuttingDown, lets in-flight
+// solves finish or checkpoints them durably (kDrained), joins, exits.
+//
+// Exit codes: 0 clean drain, 1 usage/startup failure, 6 drained with
+// checkpoints written (resubmit those requests with resume), 7 durable
+// I/O failure while checkpointing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cancel.hpp"
+#include "runtime/signals.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--queue-depth N]\n"
+               "  [--cache-budget-mb M] [--checkpoint-dir DIR]\n"
+               "  [--serve-faults SPEC] [--no-fsync] [--metrics-json]\n",
+               argv0);
+  std::exit(1);
+}
+
+dopf::core::CancelToken g_drain;
+
+long parse_long(const char* arg, const char* what, const char* argv0) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '%s' for %s\n", argv0, arg,
+                 what);
+    usage(argv0);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dopf::serve::ServeOptions opts;
+  opts.drain = &g_drain;
+  bool metrics_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.socket_path = next();
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<int>(parse_long(next(), "--workers", argv[0]));
+    } else if (arg == "--queue-depth") {
+      const long v = parse_long(next(), "--queue-depth", argv[0]);
+      if (v < 1) {
+        std::fprintf(stderr, "%s: --queue-depth must be >= 1\n", argv[0]);
+        return 1;
+      }
+      opts.queue_depth = static_cast<std::size_t>(v);
+    } else if (arg == "--cache-budget-mb") {
+      const long v = parse_long(next(), "--cache-budget-mb", argv[0]);
+      if (v < 1) {
+        std::fprintf(stderr, "%s: --cache-budget-mb must be >= 1\n", argv[0]);
+        return 1;
+      }
+      opts.cache_budget_bytes = static_cast<std::size_t>(v) << 20;
+    } else if (arg == "--checkpoint-dir") {
+      opts.checkpoint_dir = next();
+    } else if (arg == "--serve-faults") {
+      try {
+        opts.faults = dopf::serve::ServeFaultPlan::parse(next());
+      } catch (const dopf::serve::WireError& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+    } else if (arg == "--no-fsync") {
+      opts.durable.fsync = false;
+    } else if (arg == "--metrics-json") {
+      metrics_json = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket PATH is required\n", argv[0]);
+    usage(argv[0]);
+  }
+  if (opts.workers < 1) {
+    std::fprintf(stderr, "%s: --workers must be >= 1\n", argv[0]);
+    return 1;
+  }
+
+  dopf::runtime::install_cancel_signal_handlers(&g_drain);
+
+  dopf::serve::Server server(opts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: startup failed: %s\n", argv[0], e.what());
+    return 1;
+  }
+  std::printf("dopf_serve: listening on %s (%d workers, queue %zu)\n",
+              opts.socket_path.c_str(), opts.workers, opts.queue_depth);
+  std::fflush(stdout);
+
+  const int code = server.run();
+  const auto st = server.stats();
+  std::printf(
+      "dopf_serve: drained (%s): admitted=%llu solved=%llu "
+      "rejected{overload=%llu deadline=%llu preflight=%llu bad=%llu "
+      "wire=%llu shutdown=%llu} drained_checkpointed=%llu pings=%llu "
+      "cache{hits=%llu misses=%llu evictions=%llu} "
+      "faults{drop=%d corrupt=%d truncate=%d delay=%d}\n",
+      g_drain.reason(), static_cast<unsigned long long>(st.admitted),
+      static_cast<unsigned long long>(st.solved),
+      static_cast<unsigned long long>(st.rejected_overload),
+      static_cast<unsigned long long>(st.rejected_deadline),
+      static_cast<unsigned long long>(st.rejected_preflight),
+      static_cast<unsigned long long>(st.rejected_bad_request),
+      static_cast<unsigned long long>(st.rejected_wire),
+      static_cast<unsigned long long>(st.rejected_shutdown),
+      static_cast<unsigned long long>(st.drain_checkpointed),
+      static_cast<unsigned long long>(st.pings),
+      static_cast<unsigned long long>(st.cache.hits),
+      static_cast<unsigned long long>(st.cache.misses),
+      static_cast<unsigned long long>(st.cache.evictions), st.faults.dropped,
+      st.faults.corrupted, st.faults.truncated, st.faults.delayed);
+  if (metrics_json) {
+    // Same "io"/"session" vocabulary as dopf_solve --json.
+    std::printf(
+        "{\"admitted\":%llu,\"solved\":%llu,"
+        "\"rejected\":{\"overload\":%llu,\"deadline\":%llu,"
+        "\"preflight\":%llu,\"bad_request\":%llu,\"wire\":%llu,"
+        "\"shutdown\":%llu},\"drained_checkpointed\":%llu,"
+        "\"io\":{\"writes\":%d,\"reads\":%d,\"retries\":%d,"
+        "\"retry_seconds\":%.6f},"
+        "\"session\":{\"solves\":%d,\"cold_solves\":%d,\"warm_solves\":%d,"
+        "\"precompute_reuses\":%d,\"refactorizations\":%d,"
+        "\"rhs_rebinds\":%d},"
+        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+        "\"resident_bytes\":%zu}}\n",
+        static_cast<unsigned long long>(st.admitted),
+        static_cast<unsigned long long>(st.solved),
+        static_cast<unsigned long long>(st.rejected_overload),
+        static_cast<unsigned long long>(st.rejected_deadline),
+        static_cast<unsigned long long>(st.rejected_preflight),
+        static_cast<unsigned long long>(st.rejected_bad_request),
+        static_cast<unsigned long long>(st.rejected_wire),
+        static_cast<unsigned long long>(st.rejected_shutdown),
+        static_cast<unsigned long long>(st.drain_checkpointed), st.io.writes,
+        st.io.reads, st.io.retries, st.io.retry_seconds, st.session.solves,
+        st.session.cold_solves, st.session.warm_solves,
+        st.session.precompute_reuses, st.session.refactorizations,
+        st.session.rhs_rebinds, static_cast<unsigned long long>(st.cache.hits),
+        static_cast<unsigned long long>(st.cache.misses),
+        static_cast<unsigned long long>(st.cache.evictions),
+        st.cache.resident_bytes);
+  }
+  return code;
+}

@@ -99,7 +99,6 @@
 // injected crash failpoint).
 
 #include <algorithm>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -122,7 +121,9 @@
 #include "runtime/instances.hpp"
 #include "robust/preflight.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/signals.hpp"
 #include "runtime/threaded_backend.hpp"
+#include "verify/codec.hpp"
 #include "simt/gpu_admm.hpp"
 #include "simt/multi_gpu.hpp"
 #include "solver/reference.hpp"
@@ -154,11 +155,6 @@ namespace {
 /// Process-wide cancellation token: SIGINT/SIGTERM and --deadline feed it,
 /// every solver loop and stream step boundary polls it.
 dopf::core::CancelToken g_cancel;
-
-extern "C" void handle_cancel_signal(int) {
-  // Async-signal-safe: two lock-free atomic stores of a string literal.
-  g_cancel.request("interrupted by signal");
-}
 
 /// Strict numeric parsing: the whole token must be a number, otherwise the
 /// tool prints a pointed diagnostic plus the usage text and exits 1.
@@ -206,20 +202,35 @@ int exit_code_for(const dopf::core::AdmmResult& res) {
 
 void print_result_json(const dopf::core::AdmmResult& res,
                        const std::string& algorithm,
-                       const std::string& backend) {
+                       const std::string& backend,
+                       const dopf::runtime::IoStats& io) {
+  // "io" counts the durable checkpoint traffic of this run; "session" uses
+  // the SessionStats vocabulary (core/solve_session.hpp) so single-shot
+  // runs, sweeps and the serve metrics all speak the same field names. A
+  // single-shot run is by definition one cold solve with no rebinds.
   std::printf(
       "{\"algorithm\":\"%s\",\"backend\":\"%s\",\"status\":\"%s\","
       "\"converged\":%s,\"warm_started\":%s,\"iterations\":%d,"
-      "\"objective\":%.17g,\"primal_residual\":%.17g,"
+      "\"objective\":%.17g,\"objective_hex\":\"%s\","
+      "\"primal_residual\":%.17g,"
       "\"dual_residual\":%.17g,\"timing\":{\"total\":%.6f,"
       "\"precompute\":%.6f,\"global_update\":%.6f,\"local_update\":%.6f,"
       "\"dual_update\":%.6f,\"precompute_reuse_count\":%d,"
-      "\"refactorizations\":%d}}\n",
+      "\"refactorizations\":%d},"
+      "\"io\":{\"writes\":%d,\"reads\":%d,\"retries\":%d,"
+      "\"retry_seconds\":%.6f},"
+      "\"session\":{\"solves\":1,\"cold_solves\":%d,\"warm_solves\":%d,"
+      "\"precompute_reuses\":%d,\"refactorizations\":%d,"
+      "\"rhs_rebinds\":0}}\n",
       algorithm.c_str(), backend.c_str(), dopf::core::to_string(res.status),
       res.converged ? "true" : "false", res.warm_started ? "true" : "false",
-      res.iterations, res.objective, res.primal_residual, res.dual_residual,
-      res.timing.total(), res.timing.precompute, res.timing.global_update,
-      res.timing.local_update, res.timing.dual_update,
+      res.iterations, res.objective,
+      dopf::verify::hex_double(res.objective).c_str(), res.primal_residual,
+      res.dual_residual, res.timing.total(), res.timing.precompute,
+      res.timing.global_update, res.timing.local_update,
+      res.timing.dual_update, res.timing.precompute_reuse_count,
+      res.timing.refactorizations, io.writes, io.reads, io.retries,
+      io.retry_seconds, res.warm_started ? 0 : 1, res.warm_started ? 1 : 0,
       res.timing.precompute_reuse_count, res.timing.refactorizations);
 }
 
@@ -720,9 +731,10 @@ int main(int argc, char** argv) {
 
   // Cooperative shutdown: a signal (or the deadline) flips the token; the
   // solver loops notice at their next termination check, checkpoint
-  // durably, and exit with the pinned code 6 — never a torn file.
-  std::signal(SIGINT, handle_cancel_signal);
-  std::signal(SIGTERM, handle_cancel_signal);
+  // durably, and exit with the pinned code 6 — never a torn file. The
+  // handlers are installed via sigaction WITHOUT SA_RESTART so a signal
+  // also interrupts blocked I/O (shared with dopf_serve).
+  dopf::runtime::install_cancel_signal_handlers(&g_cancel);
   if (deadline_seconds > 0.0) g_cancel.set_deadline_after(deadline_seconds);
   opt.cancel = &g_cancel;
 
@@ -821,6 +833,7 @@ int main(int argc, char** argv) {
       }
       std::string backend_label = backend;
       dopf::core::AdmmResult res;
+      dopf::runtime::IoStats run_io;  // durable checkpoint traffic (--json)
       if (algorithm == "benchmark") {
         dopf::baseline::BenchmarkAdmm admm(problem, opt);
         res = admm.solve();
@@ -842,6 +855,7 @@ int main(int argc, char** argv) {
         dopf::simt::MultiGpuSolverFreeAdmm admm(problem, mo);
         if (!resume_file.empty()) {
           admm.restore_state(dopf::runtime::load_checkpoint(resume_file));
+          ++run_io.reads;
           std::printf("resumed from %s\n", resume_file.c_str());
         }
         res = admm.solve();
@@ -879,6 +893,7 @@ int main(int argc, char** argv) {
         if (!resume_file.empty()) {
           const auto ck = dopf::runtime::load_checkpoint(resume_file, durable);
           ck.restore(&admm);
+          ++run_io.reads;
           std::printf("resumed from %s (iteration %d)\n", resume_file.c_str(),
                       ck.iteration);
         }
@@ -886,7 +901,7 @@ int main(int argc, char** argv) {
           admm.set_checkpoint_hook(
               checkpoint_every,
               [&](const dopf::core::SolverFreeAdmm& solver, int iteration) {
-                dopf::runtime::save_checkpoint(
+                run_io += dopf::runtime::save_checkpoint(
                     dopf::runtime::AdmmCheckpoint::capture(solver, iteration,
                                                            input),
                     checkpoint_file, durable);
@@ -897,7 +912,7 @@ int main(int argc, char** argv) {
             !checkpoint_file.empty()) {
           // Graceful shutdown contract: the last complete iterate goes out
           // durably before the pinned exit code 6.
-          dopf::runtime::save_checkpoint(
+          run_io += dopf::runtime::save_checkpoint(
               dopf::runtime::AdmmCheckpoint::capture(admm, res.iterations,
                                                      input),
               checkpoint_file, durable);
@@ -933,7 +948,7 @@ int main(int argc, char** argv) {
                     g_cancel.reason(), res.iterations);
         fail_code = 6;
       }
-      if (json) print_result_json(res, algorithm, backend_label);
+      if (json) print_result_json(res, algorithm, backend_label, run_io);
       x = res.x;
       ok = res.converged;
       history = res.history;

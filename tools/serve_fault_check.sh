@@ -1,0 +1,184 @@
+#!/bin/sh
+# Serve fault property harness: replay the same request storm against
+# dopf_serve under each transport fault kind and assert the client-visible
+# outcome is INDISTINGUISHABLE from the fault-free run — every request ends
+# as a response byte-identical to its fault-free solo solve, or as a typed
+# rejection. Zero crashes, zero silent wrong answers. Also exercises:
+#   - overload shedding: a storm against a 1-deep queue must shed with
+#     typed kOverloaded rejections and still converge, via client retries,
+#     to byte-identical responses
+#   - graceful drain mid-storm: SIGTERM checkpoints the in-flight solve
+#     durably (server exit 6, typed kDrained), and a resubmission with
+#     resume completes byte-identically to an uninterrupted run
+#
+# Usage: serve_fault_check.sh <dopf_serve> <dopf_client> <scratch-dir>
+set -eu
+
+SERVE="$1"
+CLIENT="$2"
+DIR="$3"
+work=$(mktemp -d "$DIR/serve_faults.XXXXXX")
+SOCK="$work/s.sock"
+SRV_PID=""
+trap 'if [ -n "$SRV_PID" ]; then kill -TERM "$SRV_PID" 2>/dev/null || true; \
+      wait "$SRV_PID" 2>/dev/null || true; fi; rm -rf "$work"' EXIT INT TERM
+
+failures=0
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# The storm: base case plus load/cost scenario variants of ieee13, twice
+# each, so the model cache coalesces and every fault kind sees several
+# response frames. Format: feeder|overrides|deadline_ms|resume.
+cat > "$work/storm.req" <<'EOF'
+builtin:ieee13||0|0
+builtin:ieee13|load * scale 1.05|0|0
+builtin:ieee13|gen * cost-scale 1.2|0|0
+builtin:ieee13||0|0
+builtin:ieee13|load * scale 1.05|0|0
+builtin:ieee13|gen * cost-scale 1.2|0|0
+EOF
+
+start_server() {
+  # $1 = extra server flags (unquoted word list)
+  # shellcheck disable=SC2086
+  "$SERVE" --socket "$SOCK" $1 --no-fsync > "$work/server.log" 2>&1 &
+  SRV_PID=$!
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if "$CLIENT" --socket "$SOCK" --ping > /dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  cat "$work/server.log" >&2
+  echo "FAIL: server never became ready" >&2
+  exit 1
+}
+
+stop_server() {
+  # $1 = expected exit code
+  kill -TERM "$SRV_PID" 2>/dev/null || true
+  rc=0
+  wait "$SRV_PID" || rc=$?
+  SRV_PID=""
+  [ "$rc" = "$1" ] || { cat "$work/server.log" >&2; \
+    fail "server exited $rc (want $1)"; }
+}
+
+run_storm() {
+  # $1 = output file; client stdout is deterministic (one line per request
+  # in id order, retries logged to stderr only), so whole-file compares.
+  # The per-attempt response timeout is how long a DROPPED response frame
+  # stalls the client before it retries, so keep it tight: these are
+  # sub-second ieee13 solves, and 5 s covers a loaded CI machine.
+  "$CLIENT" --socket "$SOCK" --requests "$work/storm.req" --eps 1e-2 \
+    --timeout-ms 5000 > "$1" 2> "$1.err"
+}
+
+# ---- Fault-free baseline ---------------------------------------------------
+start_server "--workers 2 --queue-depth 8"
+run_storm "$work/baseline.out" || { cat "$work/baseline.out.err" >&2; \
+  echo "FAIL: fault-free storm did not complete" >&2; exit 1; }
+stop_server 0
+[ "$(grep -c '^response ' "$work/baseline.out")" = 6 ] \
+  || { echo "FAIL: baseline storm returned $(cat "$work/baseline.out")" >&2; \
+       exit 1; }
+echo "serve faults: fault-free baseline recorded (6 responses)"
+
+# ---- Each fault kind, same storm, byte-compared outcome --------------------
+# Each plan targets response frames by sent-frame ordinal (deterministic for
+# a fixed schedule); times=2 makes the client retry more than once.
+for spec in \
+  "drop:op=1,times=2,frame=response" \
+  "corrupt:op=2,times=2,frame=response" \
+  "truncate:op=1,frame=response;truncate:op=4,frame=response" \
+  "delay:op=2,ms=250,frame=response;drop:op=5,frame=response" \
+; do
+  kind=$(printf '%s' "$spec" | cut -d: -f1)
+  start_server "--workers 2 --queue-depth 8 --serve-faults $spec"
+  rc=0
+  run_storm "$work/$kind.out" || rc=$?
+  [ "$rc" = 0 ] || fail "$kind: storm exited $rc (want 0)"
+  if cmp -s "$work/$kind.out" "$work/baseline.out"; then
+    echo "serve faults: $kind storm byte-identical to fault-free baseline"
+  else
+    fail "$kind: responses differ from the fault-free baseline"
+    diff "$work/baseline.out" "$work/$kind.out" >&2 || true
+  fi
+  stop_server 0
+  grep -Eq 'faults\{.*(drop=[1-9]|corrupt=[1-9]|truncate=[1-9]|delay=[1-9])' \
+    "$work/server.log" \
+    || fail "$kind: fault plan never fired (stale schedule?)"
+done
+
+# ---- Overload shedding -----------------------------------------------------
+# A 1-worker, 1-deep server under an 8-lane storm MUST shed (typed
+# kOverloaded with a retry-after hint); client backoff must converge every
+# lane to the same byte-identical response.
+start_server "--workers 1 --queue-depth 1"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 \
+  --repeat 8 --concurrency 8 --timeout-ms 60000 \
+  > "$work/overload.out" 2> /dev/null || rc=$?
+[ "$rc" = 0 ] || fail "overload storm exited $rc (want 0)"
+[ "$(grep -c '^response ' "$work/overload.out")" = 8 ] \
+  || fail "overload storm lost responses: $(cat "$work/overload.out")"
+[ "$(sed 's/id=[0-9]*/id=N/' "$work/overload.out" | sort -u | wc -l)" = 1 ] \
+  || fail "overload storm responses are not byte-identical"
+stop_server 0
+if grep -Eq 'rejected\{overload=[1-9]' "$work/server.log"; then
+  echo "serve faults: overload storm shed and converged byte-identically"
+else
+  fail "overload storm never hit the bounded queue (no shed observed)"
+fi
+
+# ---- Drain mid-storm + durable resume --------------------------------------
+# Uninterrupted reference for the long request (ieee123 at eps 1e-5 runs to
+# the iteration limit, a deterministic multi-second endpoint).
+start_server "--workers 1 --queue-depth 8"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 \
+  --timeout-ms 300000 > "$work/long_ref.out" 2> /dev/null || rc=$?
+[ "$rc" = 2 ] || fail "long reference exited $rc (want 2: iteration limit)"
+stop_server 0
+
+# Same request, SIGTERM mid-solve: typed kDrained + durable checkpoint.
+mkdir -p "$work/ckpt"
+start_server "--workers 1 --queue-depth 8 --checkpoint-dir $work/ckpt"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 \
+  --timeout-ms 300000 > "$work/drained.out" 2> /dev/null &
+CLI_PID=$!
+sleep 1
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+[ "$rc" = 6 ] || fail "drain-mid-solve server exited $rc (want 6)"
+rc=0
+wait "$CLI_PID" || rc=$?
+[ "$rc" = 6 ] || fail "drained client exited $rc (want 6)"
+grep -q '^reject id=1 code=drained ' "$work/drained.out" \
+  || fail "expected a typed drained rejection: $(cat "$work/drained.out")"
+ls "$work/ckpt"/req-*.ckpt.* > /dev/null 2>&1 \
+  || fail "drain left no durable checkpoint behind"
+
+# Restart + resume: the finished solve must be byte-identical to the
+# uninterrupted reference (warm restore from the absolute iteration).
+start_server "--workers 1 --queue-depth 8 --checkpoint-dir $work/ckpt"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 --resume \
+  --timeout-ms 300000 > "$work/resumed.out" 2> /dev/null || rc=$?
+[ "$rc" = 2 ] || fail "resumed solve exited $rc (want 2: iteration limit)"
+stop_server 0
+if cmp -s "$work/resumed.out" "$work/long_ref.out"; then
+  echo "serve faults: drained solve resumed byte-identically"
+else
+  fail "resumed solve differs from the uninterrupted reference"
+  diff "$work/long_ref.out" "$work/resumed.out" >&2 || true
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "serve faults: $failures failure(s)" >&2
+  exit 1
+fi
+echo "serve faults: all checks passed"
