@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 
 namespace dopf::core {
 
@@ -62,6 +63,18 @@ class CancelToken {
   bool deadline_exceeded() const {
     return has_deadline_.load(std::memory_order_acquire) &&
            Clock::now() >= deadline_;
+  }
+
+  /// Seconds until this token's own deadline: +infinity when none is armed,
+  /// negative once it has passed. The solve server uses this to rewrite a
+  /// request's relative deadline_ms to the time REMAINING when the request
+  /// is handed to a worker subprocess — queue wait stays charged against
+  /// the deadline even though the worker arms a fresh token.
+  double deadline_remaining_seconds() const {
+    if (!has_deadline_.load(std::memory_order_acquire)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
   }
 
   /// Human-readable reason; meaningful once cancelled() is true. An own

@@ -1,0 +1,28 @@
+#include "runtime/backoff.hpp"
+
+namespace dopf::runtime {
+
+Backoff::Backoff(BackoffOptions opts) : opts_(opts), rng_(opts.seed) {}
+
+double Backoff::delay(int attempt, double floor_hint) {
+  // Iterative growth, not pow(): the durable-write retry prices its
+  // simulated seconds with the exact `d *= factor` accumulation, and
+  // switching to pow() could move the last ulp of priced retry time.
+  double d = opts_.base;
+  for (int i = 0; i < attempt && d < opts_.max; ++i) d *= opts_.factor;
+  if (d > opts_.max) d = opts_.max;
+  if (opts_.jitter_min != opts_.jitter_max) {
+    std::uniform_real_distribution<double> jitter(opts_.jitter_min,
+                                                  opts_.jitter_max);
+    d *= jitter(rng_);
+  }
+  if (d < floor_hint) d = floor_hint;
+  if (d > opts_.max) d = opts_.max;
+  return d;
+}
+
+double Backoff::next(double floor_hint) {
+  return delay(attempt_++, floor_hint);
+}
+
+}  // namespace dopf::runtime

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace dopf::runtime {
+
+/// Policy for one seeded, optionally-jittered exponential backoff sequence.
+/// Three retry loops share this shape (and previously each hand-rolled it):
+/// the serve client's shed/transport retry (real sleeps, jittered so
+/// retrying clients de-synchronize), the durable-write retry (simulated
+/// seconds, deterministic, no jitter), and the supervisor's worker-restart
+/// backoff (real sleeps, jittered per slot). Units are the caller's — the
+/// policy only computes delays, it never sleeps.
+struct BackoffOptions {
+  /// Delay for attempt 0, before jitter.
+  double base = 1.0;
+  /// Multiplicative growth per attempt.
+  double factor = 2.0;
+  /// Cap on the delay, applied both before and after jitter (a floor from
+  /// delay()'s hint may not exceed it either). Default: uncapped.
+  double max = std::numeric_limits<double>::infinity();
+  /// Multiplicative jitter drawn from U[jitter_min, jitter_max) per call.
+  /// Equal bounds (the default) disable jitter AND the RNG draw, so a
+  /// jitter-free sequence is exactly base * factor^attempt.
+  double jitter_min = 1.0;
+  double jitter_max = 1.0;
+  /// Seed for the jitter stream: storms and restart schedules are
+  /// reproducible run to run.
+  std::uint64_t seed = 1;
+};
+
+/// Computes the delay sequence for a retry loop. Stateful in two ways: the
+/// jitter RNG advances one draw per jittered call, and next() tracks the
+/// attempt counter for callers that do not keep their own.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions opts);
+
+  /// Delay for the 0-based `attempt`:
+  ///   min(base * factor^attempt, max) * U[jitter_min, jitter_max)
+  /// floored by `floor_hint` (a server's retry-after hint outranks local
+  /// impatience) and finally clamped to `max`.
+  double delay(int attempt, double floor_hint = 0.0);
+
+  /// delay(n) for the internally-tracked attempt counter n, then n += 1.
+  double next(double floor_hint = 0.0);
+
+  /// Rewind the attempt counter (the jitter stream keeps advancing — a
+  /// reset loop should not replay the exact jitter of the previous one).
+  void reset() { attempt_ = 0; }
+
+  int attempt() const { return attempt_; }
+
+ private:
+  BackoffOptions opts_;
+  std::mt19937_64 rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace dopf::runtime

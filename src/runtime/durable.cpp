@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "runtime/backoff.hpp"
+
 namespace dopf::runtime {
 
 namespace {
@@ -132,7 +134,10 @@ IoStats durable_write_file(const std::string& path, std::string_view content,
   const std::string tmp = path + ".tmp";
   int err = 0;
   std::string detail;
-  double timeout = opts.retry_timeout_s;
+  BackoffOptions bo;
+  bo.base = opts.retry_timeout_s;
+  bo.factor = opts.backoff_factor;
+  Backoff backoff(bo);  // jitter-free: priced retry time is deterministic
   const int attempts = 1 + (opts.max_retries > 0 ? opts.max_retries : 0);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt_write(path, tmp, content, opts, err, detail)) {
@@ -143,8 +148,7 @@ IoStats durable_write_file(const std::string& path, std::string_view content,
       // Transient-failure semantics mirror message retries: charge one
       // (backed-off) detection timeout in simulated seconds and try again.
       ++stats.retries;
-      stats.retry_seconds += timeout;
-      timeout *= opts.backoff_factor;
+      stats.retry_seconds += backoff.next();
     }
   }
   throw IoError("durable write of", path, err,

@@ -8,8 +8,25 @@
 
 namespace dopf::serve {
 
+namespace {
+
+dopf::runtime::BackoffOptions client_backoff(const ClientOptions& opts) {
+  dopf::runtime::BackoffOptions bo;
+  bo.base = static_cast<double>(opts.backoff_base_ms);
+  bo.factor = 2.0;
+  bo.max = 10000.0;
+  // Multiplicative jitter in [0.5, 1.0): retrying clients de-synchronize
+  // instead of stampeding the drained queue in lockstep.
+  bo.jitter_min = 0.5;
+  bo.jitter_max = 1.0;
+  bo.seed = opts.seed;
+  return bo;
+}
+
+}  // namespace
+
 Client::Client(ClientOptions options)
-    : opts_(std::move(options)), rng_(opts_.seed) {}
+    : opts_(std::move(options)), backoff_(client_backoff(opts_)) {}
 
 bool Client::ensure_connected() {
   if (fd_.valid()) return true;
@@ -18,15 +35,10 @@ bool Client::ensure_connected() {
 }
 
 void Client::backoff(int attempt, std::uint32_t server_hint_ms) {
-  // Exponential base with multiplicative jitter in [0.5, 1.0): retrying
-  // clients de-synchronize instead of stampeding the drained queue in
-  // lockstep. The server's hint is a floor, not a cap — it knows the
-  // backlog, we know how often we have been shed.
-  double ms = static_cast<double>(opts_.backoff_base_ms);
-  for (int i = 0; i < attempt && ms < 10000.0; ++i) ms *= 2.0;
-  std::uniform_real_distribution<double> jitter(0.5, 1.0);
-  ms = std::max(ms * jitter(rng_), static_cast<double>(server_hint_ms));
-  if (ms > 10000.0) ms = 10000.0;
+  // The server's hint is a floor, not a cap — it knows the backlog, we
+  // know how often we have been shed (runtime::Backoff policy).
+  const double ms =
+      backoff_.delay(attempt, static_cast<double>(server_hint_ms));
   std::this_thread::sleep_for(
       std::chrono::milliseconds(static_cast<int>(ms)));
 }

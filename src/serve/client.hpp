@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <random>
 #include <stdexcept>
 #include <string>
 
+#include "runtime/backoff.hpp"
 #include "serve/socket_io.hpp"
 #include "serve/wire.hpp"
 
@@ -77,7 +77,7 @@ class Client {
 
   ClientOptions opts_;
   Fd fd_;
-  std::mt19937_64 rng_;
+  dopf::runtime::Backoff backoff_;
   std::uint64_t total_attempts_ = 0;
 };
 

@@ -1,103 +1,34 @@
 #include "serve/server.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
-#include <cmath>
-#include <cstdio>
 #include <memory>
-#include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "core/admm.hpp"
-#include "feeders/feeder_io.hpp"
-#include "network/network.hpp"
-#include "opf/model.hpp"
-#include "robust/preflight.hpp"
-#include "runtime/checkpoint.hpp"
-#include "runtime/instances.hpp"
-#include "runtime/scenario.hpp"
 #include "serve/queue.hpp"
 #include "serve/socket_io.hpp"
 
 namespace dopf::serve {
 namespace {
 
-/// One client connection: the fd plus a write mutex so a worker's response
-/// and the reader's rejects interleave at frame granularity, never byte
-/// granularity. Held by shared_ptr from the reader thread and from every
-/// queued request, so the fd stays open until the last response is written.
+/// One client connection: the fd plus a write mutex so a dispatcher's
+/// relayed response and the reader's rejects interleave at frame
+/// granularity, never byte granularity. Held by shared_ptr from the reader
+/// thread and from every queued request, so the fd stays open until the
+/// last response is written.
 struct Connection {
   explicit Connection(Fd f) : fd(std::move(f)) {}
   Fd fd;
   std::mutex write_mu;
 };
-
-std::string hex_u64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-/// Parse the request's scenario override lines (runtime/scenario.hpp
-/// grammar, one override per line, '#' comments allowed). Throws
-/// ScenarioError with line provenance.
-dopf::runtime::Scenario parse_request_scenario(const std::string& text) {
-  dopf::runtime::Scenario sc;
-  sc.name = "request";
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::istringstream ls(line);
-    std::vector<std::string> tokens;
-    std::string tok;
-    while (ls >> tok) {
-      if (tok[0] == '#') break;
-      tokens.push_back(tok);
-    }
-    if (tokens.empty()) continue;
-    const auto ov = dopf::runtime::parse_scenario_override(tokens, line_no);
-    dopf::runtime::reject_duplicate_override(sc.overrides, ov,
-                                             "request scenario");
-    sc.overrides.push_back(ov);
-  }
-  return sc;
-}
-
-/// Tagged wrapper so handle_request's catch ladder can map a validation
-/// failure to kBadRequest without stringly-typed matching.
-class BadRequestError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-void validate_request(const SolveRequest& req) {
-  if (req.feeder.empty()) throw BadRequestError("empty feeder reference");
-  if (!(req.rho > 0.0) || !std::isfinite(req.rho)) {
-    throw BadRequestError("rho must be finite and > 0");
-  }
-  if (!(req.eps_rel > 0.0) || !std::isfinite(req.eps_rel)) {
-    throw BadRequestError("eps_rel must be finite and > 0");
-  }
-  if (req.max_iterations < 1) {
-    throw BadRequestError("max_iterations must be >= 1");
-  }
-  if (req.check_every < 1) throw BadRequestError("check_every must be >= 1");
-  if (req.preflight != "off") {
-    try {
-      (void)dopf::robust::parse_policy(req.preflight);
-    } catch (const std::invalid_argument& e) {
-      throw BadRequestError(std::string("bad preflight policy: ") + e.what());
-    }
-  }
-}
 
 }  // namespace
 
@@ -113,22 +44,34 @@ struct Server::Impl {
   ServeOptions opts;
   Fd listen_fd;
   ServeFaultInjector faults;
-  ModelCache cache;
+  CrashFaultInjector crash_faults;
+  Quarantine quarantine;
   BoundedMpscRing<QueuedRequest> ring;
   std::atomic<int> inflight{0};
+  std::atomic<int> live_dispatchers{0};
 
   mutable std::mutex stats_mu;
-  ServerStats stats_snapshot;  // counters only; cache/faults filled on read
+  ServerStats stats_snapshot;  // counters only; faults filled on read
   bool io_failure = false;
 
+  // Connection reader threads, keyed so finished ones can be reaped by the
+  // accept loop instead of accumulating for the whole server lifetime.
   std::mutex threads_mu;
-  std::vector<std::thread> conn_threads;
-  std::vector<std::thread> workers;
+  std::unordered_map<std::uint64_t, std::thread> conn_threads;
+  std::vector<std::uint64_t> finished_conns;
+  std::uint64_t next_conn_id = 0;
+  std::vector<std::thread> dispatchers;
+
+  // Live supervisors, registered by their dispatcher threads so run()'s
+  // drain path can forward SIGTERM to every worker subprocess.
+  std::mutex sup_mu;
+  std::vector<WorkerSupervisor*> supervisors;
 
   explicit Impl(ServeOptions o)
       : opts(std::move(o)),
         faults(opts.faults),
-        cache(opts.cache_budget_bytes),
+        crash_faults(opts.crash_faults),
+        quarantine(opts.quarantine_ttl_ms),
         ring(opts.queue_depth) {}
 
   bool draining() const { return opts.drain->cancelled(); }
@@ -137,11 +80,6 @@ struct Server::Impl {
   void bump(Fn&& fn) {
     std::lock_guard<std::mutex> lock(stats_mu);
     fn(stats_snapshot);
-  }
-
-  std::string checkpoint_path(const SolveRequest& req) const {
-    return opts.checkpoint_dir + "/req-" + hex_u64(req.content_hash()) +
-           ".ckpt";
   }
 
   /// Every outgoing frame funnels through here: the fault injector sees
@@ -177,6 +115,14 @@ struct Server::Impl {
       bump([](ServerStats& s) { ++s.rejected_shutdown; });
       send_reject(*conn, id, RejectCode::kShuttingDown, 0,
                   "server is draining; request not admitted");
+      return;
+    }
+    if (live_dispatchers.load(std::memory_order_acquire) == 0) {
+      // Every worker slot spent its restart budget: nothing will ever
+      // consume the ring again. Shed typed — the server stays up.
+      bump([](ServerStats& s) { ++s.rejected_degraded; });
+      send_reject(*conn, id, RejectCode::kInternal, 0,
+                  "all solve workers degraded; restart budget exhausted");
       return;
     }
     QueuedRequest qr;
@@ -255,6 +201,8 @@ struct Server::Impl {
           break;
         }
         default:
+          // Includes the supervisor-link ops (kCrashArm, kWorkerStats): a
+          // client has no business sending those.
           bump([](ServerStats& s) { ++s.rejected_bad_request; });
           send_reject(*conn, 0, RejectCode::kBadRequest, 0,
                       std::string("unexpected frame kind from client: ") +
@@ -264,211 +212,226 @@ struct Server::Impl {
     }
   }
 
-  /// Build one cached topology precompute. Mirrors the dopf_solve cold
-  /// path exactly (preflight -> projector options -> equilibrated
-  /// decompose -> SolveModel) so server solves are byte-identical to solo
-  /// solves of the same request.
-  std::shared_ptr<CachedModel> build_entry(const SolveRequest& req,
-                                           const std::string& key) {
-    auto entry = std::make_shared<CachedModel>();
-    entry->key = key;
-    if (req.feeder.rfind("builtin:", 0) == 0) {
-      entry->net = dopf::runtime::make_instance(req.feeder.substr(8)).net;
-    } else {
-      entry->net = dopf::feeders::load_feeder(req.feeder);
-    }
-    const auto model = dopf::opf::build_model(entry->net);
-    dopf::opf::DistributedProblem problem;
-    if (req.preflight != "off") {
-      dopf::robust::PreflightOptions popt;
-      popt.policy = dopf::robust::parse_policy(req.preflight);
-      const auto pre =
-          dopf::robust::run_preflight(entry->net, model, &problem, popt);
-      if (!pre.accepted) throw dopf::robust::PreflightError(pre);
-      entry->projector = pre.projector_options();
-      entry->decompose.equilibrate_rows = pre.equilibrated;
-    } else {
-      problem = dopf::opf::decompose(entry->net, model);
-    }
-    entry->model =
-        std::make_unique<dopf::core::SolveModel>(problem, entry->projector);
-    entry->binding =
-        std::make_unique<dopf::core::ScenarioBinding>(*entry->model);
-    entry->model_fp = entry->binding->model_fingerprint();
-    entry->bytes = estimate_model_bytes(*entry->binding);
-    return entry;
-  }
-
-  void worker_loop() {
-    while (auto item = ring.pop()) {
-      inflight.fetch_add(1, std::memory_order_relaxed);
-      handle_request(std::move(*item));
-      inflight.fetch_sub(1, std::memory_order_relaxed);
-    }
-  }
-
-  void handle_request(QueuedRequest qr) {
-    const SolveRequest& req = qr.req;
-    Connection& conn = *qr.conn;
-    const std::uint64_t id = req.request_id;
-    try {
-      if (qr.token->deadline_exceeded()) {
-        bump([](ServerStats& s) { ++s.rejected_deadline; });
-        send_reject(conn, id, RejectCode::kDeadline, 0,
-                    "deadline expired while queued");
-        return;
-      }
-      if (draining()) {
-        bump([](ServerStats& s) { ++s.rejected_shutdown; });
-        send_reject(conn, id, RejectCode::kShuttingDown, 0,
-                    "server draining; queued request shed before starting");
-        return;
-      }
-      validate_request(req);
-
-      const std::string key = req.feeder + "#" + req.preflight;
-      const std::shared_ptr<CachedModel> entry =
-          cache.acquire(key, [&] { return build_entry(req, key); });
-
-      const dopf::runtime::Scenario sc = parse_request_scenario(req.scenario);
-
-      // One scenario bound at a time per model; requests against other
-      // cached models keep solving on other workers.
-      std::lock_guard<std::mutex> model_lock(entry->mu);
-
-      const auto net_s = dopf::runtime::apply_scenario(entry->net, sc);
-      const auto model_s = dopf::opf::build_model(net_s);
-      const auto problem_s =
-          dopf::opf::decompose(net_s, model_s, entry->decompose);
-      if (req.preflight != "off") {
-        dopf::robust::PreflightOptions popt;
-        popt.policy = dopf::robust::parse_policy(req.preflight);
-        popt.decompose = entry->decompose;
-        const auto pre = dopf::robust::run_scenario_preflight(
-            entry->model->problem(), problem_s, popt);
-        if (!pre.accepted) {
-          bump([](ServerStats& s) { ++s.rejected_preflight; });
-          send_reject(conn, id, RejectCode::kPreflight, 0, pre.rejection);
-          return;
-        }
-      }
-
-      dopf::core::AdmmOptions opt;
-      opt.rho = req.rho;
-      opt.eps_rel = req.eps_rel;
-      opt.max_iterations = static_cast<int>(req.max_iterations);
-      opt.check_every = static_cast<int>(req.check_every);
-      opt.projector = entry->projector;
-      opt.cancel = qr.token.get();
-
-      // A FRESH session per request: the rebind is bit-identical to a cold
-      // build (retained factorizations, PR 6), and a cold solve over it
-      // reproduces a solo dopf_solve byte for byte — the determinism the
-      // fault harness asserts. Reuse lives in the model/binding, not in
-      // iterate state.
-      dopf::core::SolveSession session(*entry->binding, opt);
-      session.rebind(problem_s);
-
-      if (req.resume && !opts.checkpoint_dir.empty()) {
-        dopf::runtime::CheckpointStore store(checkpoint_path(req),
-                                             opts.durable);
-        if (store.any_slot_exists()) {
-          auto loaded = store.load();
-          loaded.checkpoint.validate_for(session.solver(), req.feeder);
-          loaded.checkpoint.restore(&session.solver(), req.feeder);
-          session.mark_warm();
-        }
-      }
-
-      dopf::core::AdmmResult res = session.solve();
-      bump([&](ServerStats& s) {
-        const auto& st = session.stats();
-        s.session.solves += st.solves;
-        s.session.cold_solves += st.cold_solves;
-        s.session.warm_solves += st.warm_solves;
-        s.session.precompute_reuses += st.precompute_reuses;
-        s.session.refactorizations += st.refactorizations;
-        s.session.rhs_rebinds += st.rhs_rebinds;
-      });
-
-      if (res.status == dopf::core::AdmmStatus::kCancelled) {
-        if (qr.token->deadline_exceeded()) {
-          bump([](ServerStats& s) { ++s.rejected_deadline; });
-          send_reject(conn, id, RejectCode::kDeadline, 0,
-                      "deadline expired after " +
-                          std::to_string(res.iterations) + " iterations");
-          return;
-        }
-        // Drain: checkpoint the in-flight solve durably so a resubmission
-        // with resume continues byte-identically.
-        if (opts.checkpoint_dir.empty()) {
-          bump([](ServerStats& s) { ++s.rejected_shutdown; });
-          send_reject(conn, id, RejectCode::kShuttingDown, 0,
-                      "drained at iteration " +
-                          std::to_string(res.iterations) +
-                          "; no checkpoint dir, progress discarded");
-          return;
-        }
-        auto ck = dopf::runtime::AdmmCheckpoint::capture(
-            session.solver(), res.iterations, req.feeder);
-        dopf::runtime::CheckpointStore store(checkpoint_path(req),
-                                             opts.durable);
-        const auto io = store.save(std::move(ck));
-        bump([&](ServerStats& s) {
-          ++s.drain_checkpointed;
-          s.io += io;
-        });
-        send_reject(conn, id, RejectCode::kDrained, 0,
-                    "drained at iteration " + std::to_string(res.iterations) +
-                        "; resubmit with resume to continue");
-        return;
-      }
-
-      SolveResponse resp;
-      resp.request_id = id;
-      resp.status = static_cast<std::uint8_t>(res.status);
-      resp.converged = res.converged;
-      resp.iterations = static_cast<std::uint32_t>(res.iterations);
-      resp.objective = res.objective;
-      resp.primal_residual = res.primal_residual;
-      resp.dual_residual = res.dual_residual;
-      resp.model_fp = entry->binding->model_fingerprint();
-      resp.scenario_fp = entry->binding->scenario_fingerprint();
+  /// Relay a worker's reply frame to the client, bumping the counter the
+  /// in-process server used to bump when it produced the frame itself.
+  void relay(Connection& conn, const Frame& frame) {
+    if (frame.op == Op::kSolveResponse) {
       bump([](ServerStats& s) { ++s.solved; });
-      send_frame(conn, Op::kSolveResponse, resp.encode());
+    } else if (frame.op == Op::kReject) {
+      try {
+        const Reject rej = Reject::decode(frame.payload);
+        bump([&rej](ServerStats& s) {
+          switch (rej.code) {
+            case RejectCode::kDeadline: ++s.rejected_deadline; break;
+            case RejectCode::kPreflight: ++s.rejected_preflight; break;
+            case RejectCode::kDrained: ++s.drain_checkpointed; break;
+            case RejectCode::kShuttingDown: ++s.rejected_shutdown; break;
+            case RejectCode::kBadRequest:
+            case RejectCode::kInternal:
+            default: ++s.rejected_bad_request; break;
+          }
+        });
+      } catch (const WireError&) {
+        // Undecodable worker reject: still relay the bytes; the client's
+        // decoder is the authority.
+      }
+    }
+    send_frame(conn, frame.op, frame.payload);
+  }
+
+  /// Drive one queued request through a worker subprocess: pre-checks in
+  /// the parent (deadline, drain, validation, quarantine), then up to two
+  /// dispatch attempts — a crash victim is re-queued exactly once, and a
+  /// second crash quarantines the content hash.
+  void dispatch(WorkerSupervisor& sup, QueuedRequest qr) {
+    Connection& conn = *qr.conn;
+    const std::uint64_t id = qr.req.request_id;
+    if (qr.token->deadline_exceeded()) {
+      bump([](ServerStats& s) { ++s.rejected_deadline; });
+      send_reject(conn, id, RejectCode::kDeadline, 0,
+                  "deadline expired while queued");
+      return;
+    }
+    if (draining()) {
+      bump([](ServerStats& s) { ++s.rejected_shutdown; });
+      send_reject(conn, id, RejectCode::kShuttingDown, 0,
+                  "server draining; queued request shed before starting");
+      return;
+    }
+    try {
+      validate_request(qr.req);
     } catch (const BadRequestError& e) {
       bump([](ServerStats& s) { ++s.rejected_bad_request; });
       send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
-    } catch (const dopf::runtime::ScenarioError& e) {
-      bump([](ServerStats& s) { ++s.rejected_bad_request; });
-      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
-    } catch (const dopf::robust::PreflightError& e) {
-      bump([](ServerStats& s) { ++s.rejected_preflight; });
-      send_reject(conn, id, RejectCode::kPreflight, 0, e.what());
-    } catch (const dopf::runtime::CheckpointError& e) {
-      bump([](ServerStats& s) { ++s.rejected_bad_request; });
-      send_reject(conn, id, RejectCode::kBadRequest, 0,
-                  std::string("resume checkpoint rejected: ") + e.what());
-    } catch (const dopf::runtime::SimulatedCrash& e) {
-      bump([this](ServerStats&) { io_failure = true; });
-      send_reject(conn, id, RejectCode::kInternal, 0,
-                  std::string("durable checkpoint failed: ") + e.what());
-    } catch (const dopf::runtime::IoError& e) {
-      bump([this](ServerStats&) { io_failure = true; });
-      send_reject(conn, id, RejectCode::kInternal, 0,
-                  std::string("durable checkpoint failed: ") + e.what());
-    } catch (const dopf::feeders::FeederFormatError& e) {
-      bump([](ServerStats& s) { ++s.rejected_bad_request; });
-      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
-    } catch (const std::invalid_argument& e) {
-      // Unknown builtin feeder name, bad policy text, ...
-      bump([](ServerStats& s) { ++s.rejected_bad_request; });
-      send_reject(conn, id, RejectCode::kBadRequest, 0, e.what());
-    } catch (const std::exception& e) {
-      bump([](ServerStats& s) { ++s.rejected_bad_request; });
-      send_reject(conn, id, RejectCode::kInternal, 0,
-                  std::string("internal error: ") + e.what());
+      return;
     }
+    const std::uint64_t hash = qr.req.content_hash();
+    if (const std::uint32_t ttl = quarantine.active_ms(hash)) {
+      bump([](ServerStats& s) { ++s.rejected_quarantined; });
+      send_reject(conn, id, RejectCode::kQuarantined, ttl,
+                  "request quarantined: identical content crashed solve "
+                  "workers twice; readmitted in " +
+                      std::to_string(ttl) + " ms");
+      return;
+    }
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      // Rewrite the relative deadline to the time REMAINING: the worker
+      // arms a fresh token, and the queue wait (plus any first crashed
+      // attempt) must stay charged against the request's budget.
+      SolveRequest req = qr.req;
+      if (req.deadline_ms > 0) {
+        const double rem = qr.token->deadline_remaining_seconds();
+        req.deadline_ms =
+            rem <= 1e-3 ? 1u : static_cast<std::uint32_t>(rem * 1000.0);
+      }
+      const CrashFailpoint* fp = crash_faults.on_dispatch();
+      const std::string frame = encode_frame(Op::kSolveRequest, req.encode());
+
+      auto ex = sup.exchange(frame, fp);
+      switch (ex.kind) {
+        case WorkerSupervisor::Exchange::Kind::kFrame:
+          relay(conn, ex.frame);
+          return;
+        case WorkerSupervisor::Exchange::Kind::kDegraded:
+          if (draining()) {
+            bump([](ServerStats& s) { ++s.rejected_shutdown; });
+            send_reject(conn, id, RejectCode::kShuttingDown, 0,
+                        "server draining; queued request shed before "
+                        "starting");
+          } else {
+            bump([](ServerStats& s) { ++s.rejected_degraded; });
+            send_reject(conn, id, RejectCode::kInternal, 0,
+                        "solve worker unavailable; restart budget exhausted");
+          }
+          return;
+        case WorkerSupervisor::Exchange::Kind::kWorkerExit: {
+          if (draining() && ex.exit.kind == WorkerExit::Kind::kClean) {
+            // The worker drained out from under the exchange — an orderly
+            // exit, not a crash.
+            bump([](ServerStats& s) { ++s.rejected_shutdown; });
+            send_reject(conn, id, RejectCode::kShuttingDown, 0,
+                        "worker drained before answering; resubmit");
+            return;
+          }
+          bump([](ServerStats& s) { ++s.worker_crashes; });
+          const int crashes = quarantine.record_crash(hash);
+          if (crashes >= 2) {
+            const std::uint32_t ttl = quarantine.active_ms(hash);
+            bump([](ServerStats& s) { ++s.rejected_quarantined; });
+            send_reject(conn, id, RejectCode::kQuarantined, ttl,
+                        "request quarantined after " +
+                            std::to_string(crashes) +
+                            " worker crashes (last: " + ex.exit.to_string() +
+                            "); readmitted in " + std::to_string(ttl) + " ms");
+            return;
+          }
+          // Re-queue the victim exactly once: the crash may have been the
+          // worker's fault (heap corruption from an earlier request, an
+          // OOM kill), not this request's.
+          bump([](ServerStats& s) { ++s.requeued; });
+          continue;
+        }
+      }
+    }
+    // Both attempts crashed — unreachable in practice because the second
+    // crash trips the >= 2 quarantine branch above, but a typed reply must
+    // exist on every path.
+    bump([](ServerStats& s) { ++s.rejected_bad_request; });
+    send_reject(conn, id, RejectCode::kInternal, 0,
+                "request failed twice on crashing workers");
+  }
+
+  /// Fold one worker's farewell stats (and its supervisor's restart
+  /// bookkeeping) into the server aggregate.
+  void absorb(const WorkerSupervisor& sup,
+              const WorkerSupervisor::ShutdownReport& rep) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats_snapshot.worker_restarts +=
+        static_cast<std::uint64_t>(sup.restarts());
+    if (sup.degraded()) ++stats_snapshot.workers_degraded;
+    if (rep.have_stats) {
+      const WorkerStatsMsg& m = rep.stats;
+      stats_snapshot.session.solves += m.session.solves;
+      stats_snapshot.session.cold_solves += m.session.cold_solves;
+      stats_snapshot.session.warm_solves += m.session.warm_solves;
+      stats_snapshot.session.precompute_reuses += m.session.precompute_reuses;
+      stats_snapshot.session.refactorizations += m.session.refactorizations;
+      stats_snapshot.session.rhs_rebinds += m.session.rhs_rebinds;
+      stats_snapshot.io += m.io;
+      stats_snapshot.cache.hits += m.cache_hits;
+      stats_snapshot.cache.misses += m.cache_misses;
+      stats_snapshot.cache.evictions += m.cache_evictions;
+      stats_snapshot.cache.resident_bytes +=
+          static_cast<std::size_t>(m.cache_resident_bytes);
+      stats_snapshot.cache.entries += static_cast<std::size_t>(m.cache_entries);
+      if (m.io_failure) io_failure = true;
+    } else if (rep.exit.kind == WorkerExit::Kind::kNonZero &&
+               rep.exit.code == 7) {
+      // Farewell frame lost but the worker pinned its exit code: a durable
+      // I/O failure must still surface as exit 7.
+      io_failure = true;
+    }
+  }
+
+  SupervisorOptions supervisor_options(int slot) const {
+    SupervisorOptions so;
+    so.worker_command = opts.worker_command;
+    so.worker_entry = opts.worker_entry;
+    so.restart_budget = opts.restart_budget;
+    so.backoff_seed = opts.supervisor_seed;
+    so.hang_timeout_ms = opts.hang_timeout_ms;
+    so.grace_ms = opts.drain_grace_ms;
+    (void)slot;  // the slot index seeds the backoff inside WorkerSupervisor
+    return so;
+  }
+
+  void dispatch_loop(int slot) {
+    WorkerSupervisor sup(slot, supervisor_options(slot), opts.drain);
+    {
+      std::lock_guard<std::mutex> lock(sup_mu);
+      supervisors.push_back(&sup);
+    }
+    while (auto item = ring.pop()) {
+      inflight.fetch_add(1, std::memory_order_relaxed);
+      dispatch(sup, std::move(*item));
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (sup.degraded()) break;  // this slot is done; others keep serving
+    }
+    const auto rep = sup.shutdown();
+    absorb(sup, rep);
+    {
+      std::lock_guard<std::mutex> lock(sup_mu);
+      for (auto it = supervisors.begin(); it != supervisors.end(); ++it) {
+        if (*it == &sup) {
+          supervisors.erase(it);
+          break;
+        }
+      }
+    }
+    if (live_dispatchers.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        !draining()) {
+      // Last slot degraded with the server still up: nothing will consume
+      // the ring again, so shed what is queued typed (admit() sheds new
+      // arrivals from here on).
+      while (auto leftover = ring.try_pop()) {
+        bump([](ServerStats& s) { ++s.rejected_degraded; });
+        send_reject(*leftover->conn, leftover->req.request_id,
+                    RejectCode::kInternal, 0,
+                    "all solve workers degraded; restart budget exhausted");
+      }
+    }
+  }
+
+  /// Join reader threads that have announced completion (under threads_mu).
+  void reap_finished_conns_locked() {
+    for (const std::uint64_t cid : finished_conns) {
+      auto it = conn_threads.find(cid);
+      if (it == conn_threads.end()) continue;
+      it->second.join();
+      conn_threads.erase(it);
+    }
+    finished_conns.clear();
   }
 };
 
@@ -480,14 +443,24 @@ void Server::start() {
   if (impl_->opts.drain == nullptr) {
     throw WireError("ServeOptions.drain token is required");
   }
+  if (impl_->opts.worker_command.empty() &&
+      impl_->opts.worker_entry == nullptr) {
+    throw WireError(
+        "ServeOptions.worker_command (or worker_entry) is required: solves "
+        "run in supervised worker subprocesses");
+  }
   impl_->listen_fd = listen_unix(impl_->opts.socket_path, /*backlog=*/64);
+  // Worker subprocesses must not inherit the listening socket: a worker
+  // holding a copy would keep the socket alive past the parent's drain.
+  ::fcntl(impl_->listen_fd.get(), F_SETFD, FD_CLOEXEC);
 }
 
 int Server::run() {
   Impl& im = *impl_;
   const int nworkers = im.opts.workers < 1 ? 1 : im.opts.workers;
+  im.live_dispatchers.store(nworkers, std::memory_order_release);
   for (int i = 0; i < nworkers; ++i) {
-    im.workers.emplace_back([&im] { im.worker_loop(); });
+    im.dispatchers.emplace_back([&im, i] { im.dispatch_loop(i); });
   }
 
   while (!im.draining()) {
@@ -503,20 +476,60 @@ int Server::run() {
     if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
     const int cfd = ::accept(im.listen_fd.get(), nullptr, nullptr);
     if (cfd < 0) continue;
-    auto conn = std::make_shared<Connection>(Fd(cfd));
+    ::fcntl(cfd, F_SETFD, FD_CLOEXEC);  // not for worker subprocesses
+
     std::lock_guard<std::mutex> lock(im.threads_mu);
-    im.conn_threads.emplace_back([&im, conn] { im.reader_loop(conn); });
+    im.reap_finished_conns_locked();
+    if (static_cast<int>(im.conn_threads.size()) >= im.opts.max_connections) {
+      // Connection cap: shed typed instead of spawning reader thread
+      // N+1. The Connection destructor closes the fd after the reject.
+      Connection shed{Fd(cfd)};
+      im.bump([](ServerStats& s) { ++s.rejected_overload; });
+      im.send_reject(shed, 0, RejectCode::kOverloaded, 100,
+                     "connection limit (" +
+                         std::to_string(im.opts.max_connections) +
+                         ") reached; retry after the hint");
+      continue;
+    }
+    const std::uint64_t cid = im.next_conn_id++;
+    auto conn = std::make_shared<Connection>(Fd(cfd));
+    im.conn_threads.emplace(cid, std::thread([&im, conn, cid] {
+                              im.reader_loop(conn);
+                              std::lock_guard<std::mutex> l(im.threads_mu);
+                              im.finished_conns.push_back(cid);
+                            }));
   }
 
-  // Drain: stop listening, close the ring (workers finish what is queued —
-  // handle_request sheds it typed — and in-flight solves observe the drain
-  // token through their parent link).
+  // Drain: stop listening, forward the signal to every worker subprocess
+  // (in-flight solves observe it and checkpoint), close the ring
+  // (dispatchers shed what is queued, typed), then collect farewells.
   im.listen_fd.reset();
-  im.ring.close();
-  for (auto& th : im.workers) th.join();
   {
-    std::lock_guard<std::mutex> lock(im.threads_mu);
-    for (auto& th : im.conn_threads) th.join();
+    std::lock_guard<std::mutex> lock(im.sup_mu);
+    for (WorkerSupervisor* sup : im.supervisors) sup->signal_drain();
+  }
+  im.ring.close();
+  for (auto& th : im.dispatchers) th.join();
+  // Anything still queued (possible only when every slot degraded early):
+  // shed typed rather than drop silently.
+  while (auto leftover = im.ring.try_pop()) {
+    im.bump([](ServerStats& s) { ++s.rejected_shutdown; });
+    im.send_reject(*leftover->conn, leftover->req.request_id,
+                   RejectCode::kShuttingDown, 0,
+                   "server is draining; request not admitted");
+  }
+  {
+    // Move the readers out, THEN join without the lock: a reader's last act
+    // is to take threads_mu and announce completion, so joining while
+    // holding it deadlocks against any reader between its loop returning
+    // and that announcement.
+    std::unordered_map<std::uint64_t, std::thread> readers;
+    {
+      std::lock_guard<std::mutex> lock(im.threads_mu);
+      readers.swap(im.conn_threads);
+      im.finished_conns.clear();
+    }
+    for (auto& kv : readers) kv.second.join();
   }
   ::unlink(im.opts.socket_path.c_str());
 
@@ -532,8 +545,9 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lock(im.stats_mu);
     out = im.stats_snapshot;
   }
-  out.cache = im.cache.stats();
+  out.quarantined = im.quarantine.total_quarantined();
   out.faults = im.faults.counts();
+  out.crash_faults = im.crash_faults.counts();
   return out;
 }
 

@@ -24,7 +24,7 @@ std::uint32_t read_u32(const unsigned char* p) {
 
 bool known_op(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(Op::kSolveRequest) &&
-         op <= static_cast<std::uint8_t>(Op::kPong);
+         op <= static_cast<std::uint8_t>(Op::kWorkerStats);
 }
 
 }  // namespace
@@ -36,6 +36,8 @@ const char* to_string(Op op) {
     case Op::kReject: return "reject";
     case Op::kPing: return "ping";
     case Op::kPong: return "pong";
+    case Op::kCrashArm: return "crash-arm";
+    case Op::kWorkerStats: return "worker-stats";
   }
   return "unknown";
 }
@@ -50,6 +52,7 @@ const char* to_string(RejectCode code) {
     case RejectCode::kBadRequest: return "bad-request";
     case RejectCode::kDrained: return "drained";
     case RejectCode::kInternal: return "internal";
+    case RejectCode::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -297,7 +300,7 @@ Reject Reject::decode(std::string_view payload) {
   rej.request_id = r.u64("request_id");
   const std::uint8_t code = r.u8("code");
   if (code < static_cast<std::uint8_t>(RejectCode::kOverloaded) ||
-      code > static_cast<std::uint8_t>(RejectCode::kInternal)) {
+      code > static_cast<std::uint8_t>(RejectCode::kQuarantined)) {
     throw WireError("unknown reject code " + std::to_string(code));
   }
   rej.code = static_cast<RejectCode>(code);

@@ -25,6 +25,10 @@ enum class Op : std::uint8_t {
   kReject = 3,         ///< server -> client: typed rejection
   kPing = 4,           ///< client -> server: liveness / readiness probe
   kPong = 5,           ///< server -> client: ping reply (echoes the id)
+  // Supervisor link only (parent <-> worker subprocess over a socketpair;
+  // see serve/supervisor.hpp). A client sending these gets kBadRequest.
+  kCrashArm = 6,       ///< parent -> worker: crash on the next solve (drill)
+  kWorkerStats = 7,    ///< worker -> parent: final stats report before exit
 };
 
 /// Why a request was rejected instead of solved. Every rejection carries
@@ -41,6 +45,9 @@ enum class RejectCode : std::uint8_t {
   kDrained = 7,       ///< in-flight solve checkpointed durably on drain;
                       ///< resubmit with resume to continue byte-identically
   kInternal = 8,      ///< unexpected server-side failure (typed, not crash)
+  kQuarantined = 9,   ///< poison-pill circuit breaker: this request's
+                      ///< content_hash crashed a worker twice; retry_after_ms
+                      ///< carries the quarantine TTL (readmission time)
 };
 
 const char* to_string(Op op);

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "serve/fault.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/wire.hpp"
+#include "verify/codec.hpp"
 
 namespace dopf::serve {
 namespace {
@@ -131,6 +133,67 @@ TEST(WireFuzzTest, CrossDecodingPayloadsRaisesTypedWireError) {
     // Its own decoder accepts it; a lookalike may coincidentally parse
     // (lengths can line up), but never with a crash or untyped error.
     EXPECT_GE(accepted, 1) << name;
+  }
+}
+
+/// Hand-assemble a frame with an arbitrary op byte and a VALID CRC —
+/// encode_frame() can't produce these, but a peer speaking a future
+/// protocol version can.
+std::string raw_frame(std::uint8_t op, std::string_view payload) {
+  std::string out;
+  auto put32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put32(kWireMagic);
+  const std::size_t crc_begin = out.size();
+  out.push_back(static_cast<char>(op));
+  put32(static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put32(dopf::verify::crc32(
+      std::string_view(out.data() + crc_begin, out.size() - crc_begin)));
+  return out;
+}
+
+/// An unknown op with an intact CRC is a protocol-version mismatch, not
+/// line noise — it must still surface as a typed WireError (after the CRC
+/// check, so the message can say "mismatch" rather than "corrupt").
+TEST(WireFuzzTest, CrcValidUnknownOpRaisesTypedWireError) {
+  for (const std::uint8_t op : {0, 8, 99, 255}) {
+    const std::string frame = raw_frame(op, "payload");
+    try {
+      decode_frame(frame);
+      FAIL() << "op " << int(op) << " accepted";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown frame op"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// A CRC-valid frame with a ZERO-LENGTH payload passes the frame layer
+/// (the length field is honest), so every payload decoder must reject the
+/// empty payload typed — no default-constructed request or farewell stats
+/// leaking out of a frame that carried nothing.
+TEST(WireFuzzTest, ZeroLengthPayloadRejectsTypedInEveryPayloadDecoder) {
+  const std::pair<Op, void (*)(const std::string&)> cases[] = {
+      {Op::kSolveRequest, [](const std::string& p) { SolveRequest::decode(p); }},
+      {Op::kSolveResponse,
+       [](const std::string& p) { SolveResponse::decode(p); }},
+      {Op::kReject, [](const std::string& p) { Reject::decode(p); }},
+      {Op::kPing, [](const std::string& p) { Ping::decode(p); }},
+      {Op::kCrashArm, [](const std::string& p) { CrashArm::decode(p); }},
+      {Op::kWorkerStats,
+       [](const std::string& p) { WorkerStatsMsg::decode(p); }},
+  };
+  for (const auto& [op, decode] : cases) {
+    const std::string frame = encode_frame(op, "");
+    const Frame f = decode_frame(frame);  // frame layer accepts it
+    EXPECT_EQ(f.op, op);
+    EXPECT_TRUE(f.payload.empty());
+    EXPECT_THROW(decode(f.payload), WireError) << to_string(op);
   }
 }
 

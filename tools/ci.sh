@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: run the verify suite twice — a plain Release pass and an
-# ASan+UBSan pass (-DDOPF_SANITIZE=ON). Both must be green.
+# CI gate: run the verify suite three times — a plain Release pass, an
+# ASan+UBSan pass (-DDOPF_SANITIZE=ON), and a ThreadSanitizer pass
+# (-DDOPF_SANITIZE_THREAD=ON) scoped to the thread-dense serve/runtime
+# suites. All must be green.
 #
 # Test tiers (see TESTING.md):
 #   tier1 — fast deterministic tests; run in BOTH configurations. This
@@ -78,4 +80,16 @@ sh tools/serve_smoke.sh ./build/tools/dopf_serve ./build/tools/dopf_client \
 # Sanitizers: tier1 only.
 run_pass build-asan "-LE tier2" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE=ON
 
-echo "=== ci.sh: both passes green ==="
+# ThreadSanitizer lane: the serve stack is the most thread-dense code in
+# the tree (connection readers, dispatcher threads, supervisor drain
+# signaling, the MPSC ring), so it gets a dedicated TSan pass over the
+# serve-side suites plus the shared-runtime concurrency tests. Scoped by
+# the `threads` label (set in tests/CMakeLists.txt and on the cli_serve_*
+# script tests) so the lane stays minutes, not hours; -R by suite name
+# would silently match nothing, since gtest_discover_tests registers
+# per-case names without the binary prefix.
+run_pass build-tsan \
+  "-L threads" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOPF_SANITIZE_THREAD=ON
+
+echo "=== ci.sh: all passes green ==="

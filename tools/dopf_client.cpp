@@ -34,7 +34,9 @@
 // Exit codes (worst across requests): 0 all converged; 1 usage; 2 a
 // response did not converge; 4 bad-request/internal reject; 5 preflight
 // reject; 6 deadline/drained/shutting-down reject; 7 shed-by-overload
-// retry budget exhausted; 8 connect/transport retry budget exhausted.
+// retry budget exhausted; 8 connect/transport retry budget exhausted;
+// 9 quarantined (the request's content crashed solve workers twice —
+// retrying before the quarantine TTL expires returns the same reject).
 
 #include <algorithm>
 #include <cinttypes>
@@ -164,6 +166,7 @@ int outcome_exit_code(const dopf::serve::Outcome& out) {
     case RejectCode::kDeadline:
     case RejectCode::kDrained:
     case RejectCode::kShuttingDown: return 6;
+    case RejectCode::kQuarantined: return 9;
     default: return 4;
   }
 }

@@ -1,0 +1,251 @@
+#!/bin/sh
+# Worker-crash property harness: replay a fixed request storm against
+# dopf_serve while its solve workers are killed out from under it, and
+# assert the server-level contract:
+#   - zero healthy requests dropped: every storm request still ends as a
+#     response BYTE-IDENTICAL to the fault-free baseline (a crashed
+#     worker's victim request is re-queued and re-solved deterministically)
+#   - a hung worker is SIGKILLed by --hang-timeout-ms and its request
+#     retried, client-invisibly
+#   - poison requests (content that crashes workers twice) are rejected
+#     with the typed kQuarantined code + TTL hint (client exit 9), and
+#     readmitted after the TTL expires
+#   - a fully degraded server (restart budget 0) sheds typed kInternal
+#     rejections but NEVER exits on a worker crash, and still drains
+#     cleanly on SIGTERM (exit 0)
+#   - drain-mid-solve still checkpoints durably from inside a worker (exit
+#     6) even when checkpoint writes hit transient ENOSPC, and a resume
+#     completes byte-identically to an uninterrupted run
+#
+# Usage: serve_crash_check.sh <dopf_serve> <dopf_client> <scratch-dir>
+set -eu
+
+SERVE="$1"
+CLIENT="$2"
+DIR="$3"
+work=$(mktemp -d "$DIR/serve_crash.XXXXXX")
+SOCK="$work/s.sock"
+SRV_PID=""
+
+# TERM -> bounded wait -> KILL: a wedged server must not wedge CI cleanup.
+cleanup() {
+  if [ -n "$SRV_PID" ]; then
+    kill -TERM "$SRV_PID" 2>/dev/null || true
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+      kill -0 "$SRV_PID" 2>/dev/null || break
+      sleep 0.2
+    done
+    kill -KILL "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+failures=0
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# Same storm shape as serve_fault_check.sh: three distinct contents, twice
+# each, submitted sequentially so dispatch ordinals are deterministic.
+cat > "$work/storm.req" <<'EOF'
+builtin:ieee13||0|0
+builtin:ieee13|load * scale 1.05|0|0
+builtin:ieee13|gen * cost-scale 1.2|0|0
+builtin:ieee13||0|0
+builtin:ieee13|load * scale 1.05|0|0
+builtin:ieee13|gen * cost-scale 1.2|0|0
+EOF
+
+start_server() {
+  # $1 = extra server flags (unquoted word list)
+  # shellcheck disable=SC2086
+  "$SERVE" --socket "$SOCK" $1 --no-fsync > "$work/server.log" 2>&1 &
+  SRV_PID=$!
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if "$CLIENT" --socket "$SOCK" --ping > /dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  cat "$work/server.log" >&2
+  echo "FAIL: server never became ready" >&2
+  exit 1
+}
+
+stop_server() {
+  # $1 = expected exit code
+  kill -TERM "$SRV_PID" 2>/dev/null || true
+  rc=0
+  wait "$SRV_PID" || rc=$?
+  SRV_PID=""
+  [ "$rc" = "$1" ] || { cat "$work/server.log" >&2; \
+    fail "server exited $rc (want $1)"; }
+}
+
+run_storm() {
+  # $1 = output file. A crash costs one worker-restart backoff plus a full
+  # re-solve, so the per-attempt timeout is looser than the fault check's.
+  "$CLIENT" --socket "$SOCK" --requests "$work/storm.req" --eps 1e-2 \
+    --timeout-ms 30000 > "$1" 2> "$1.err"
+}
+
+# ---- Fault-free baseline ---------------------------------------------------
+start_server "--workers 2 --queue-depth 8"
+run_storm "$work/baseline.out" || { cat "$work/baseline.out.err" >&2; \
+  echo "FAIL: fault-free storm did not complete" >&2; exit 1; }
+stop_server 0
+[ "$(grep -c '^response ' "$work/baseline.out")" = 6 ] \
+  || { echo "FAIL: baseline storm returned $(cat "$work/baseline.out")" >&2; \
+       exit 1; }
+echo "serve crash: fault-free baseline recorded (6 responses)"
+
+# ---- Crash chaos: segfault + unclean exit mid-storm ------------------------
+# Dispatch ordinal 2 (request 2) segfaults its worker; its re-dispatch is
+# ordinal 3, so ordinal 5 (request 4) then dies with exit(3). Each content
+# crashes at most once -- no quarantine -- and a response delay fault rides
+# along to prove the planes compose. The client must see NOTHING: same six
+# responses, byte-identical.
+start_server "--workers 2 --queue-depth 8 \
+  --crash-faults signal:request=2;exit:request=5 \
+  --serve-faults delay:op=2,ms=100,frame=response"
+rc=0
+run_storm "$work/chaos.out" || rc=$?
+[ "$rc" = 0 ] || { cat "$work/chaos.out.err" >&2; \
+  fail "crash chaos storm exited $rc (want 0)"; }
+if cmp -s "$work/chaos.out" "$work/baseline.out"; then
+  echo "serve crash: chaos storm byte-identical to fault-free baseline"
+else
+  fail "crash chaos responses differ from the fault-free baseline"
+  diff "$work/baseline.out" "$work/chaos.out" >&2 || true
+fi
+stop_server 0
+grep -Eq 'workers\{crashes=2 restarts=2 degraded=0 requeued=2' \
+  "$work/server.log" \
+  || fail "chaos: expected 2 crashes / 2 restarts / 2 requeues: \
+$(grep 'drained' "$work/server.log")"
+grep -Eq 'crash_faults\{signal=1 exit=1 hang=0' "$work/server.log" \
+  || fail "chaos: crash fault plan never fully fired"
+
+# ---- Hung worker: SIGKILL by the hang reaper, client-invisible -------------
+start_server "--workers 2 --queue-depth 8 --hang-timeout-ms 2000 \
+  --crash-faults hang:request=2"
+rc=0
+run_storm "$work/hang.out" || rc=$?
+[ "$rc" = 0 ] || fail "hang storm exited $rc (want 0)"
+if cmp -s "$work/hang.out" "$work/baseline.out"; then
+  echo "serve crash: hung worker reaped; storm byte-identical"
+else
+  fail "hang storm responses differ from the fault-free baseline"
+  diff "$work/baseline.out" "$work/hang.out" >&2 || true
+fi
+stop_server 0
+grep -Eq 'crash_faults\{signal=0 exit=0 hang=1' "$work/server.log" \
+  || fail "hang fault never fired"
+
+# ---- Poison request: quarantine + TTL readmission --------------------------
+# The same content crashes a worker on dispatch 1 AND its requeue
+# (ordinal 2): that's the two-strike threshold, so the client gets a typed
+# kQuarantined reject (exit 9). A resubmission inside the TTL is rejected
+# at admission without touching a worker; after the TTL it is readmitted
+# and must solve cleanly.
+start_server "--workers 2 --queue-depth 8 --quarantine-ttl-ms 3000 \
+  --crash-faults signal:request=1,times=2"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 \
+  --timeout-ms 30000 > "$work/poison1.out" 2> /dev/null || rc=$?
+[ "$rc" = 9 ] || fail "poisoned request exited $rc (want 9: quarantined)"
+grep -q '^reject id=1 code=quarantined ' "$work/poison1.out" \
+  || fail "expected a typed quarantined reject: $(cat "$work/poison1.out")"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 \
+  --timeout-ms 30000 > "$work/poison2.out" 2> /dev/null || rc=$?
+[ "$rc" = 9 ] || fail "in-TTL resubmission exited $rc (want 9)"
+sleep 3.2
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 \
+  --timeout-ms 30000 > "$work/poison3.out" 2> /dev/null || rc=$?
+[ "$rc" = 0 ] || fail "post-TTL readmission exited $rc (want 0)"
+grep -q '^response id=1 status=converged ' "$work/poison3.out" \
+  || fail "readmitted request did not converge: $(cat "$work/poison3.out")"
+stop_server 0
+grep -Eq 'rejected\{[^}]*quarantined=2' "$work/server.log" \
+  || fail "expected 2 quarantined rejections in the stats line"
+grep -Eq 'workers\{[^}]*quarantined=1\}' "$work/server.log" \
+  || fail "expected 1 quarantined content hash in the stats line"
+echo "serve crash: poison request quarantined typed, readmitted after TTL"
+
+# ---- Degraded server: budget 0, still standing, still drains ---------------
+start_server "--workers 1 --restart-budget 0 --crash-faults exit:request=1"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 --retries 0 \
+  --timeout-ms 30000 > "$work/degraded1.out" 2> /dev/null || rc=$?
+[ "$rc" = 4 ] || fail "degrading request exited $rc (want 4: internal)"
+grep -q '^reject id=1 code=internal ' "$work/degraded1.out" \
+  || fail "expected a typed internal reject: $(cat "$work/degraded1.out")"
+# The server must still be alive and answering...
+"$CLIENT" --socket "$SOCK" --ping > /dev/null 2>&1 \
+  || fail "degraded server stopped answering pings"
+# ...shedding solve work typed at admission...
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee13 --eps 1e-2 --retries 0 \
+  --timeout-ms 30000 > "$work/degraded2.out" 2> /dev/null || rc=$?
+[ "$rc" = 4 ] || fail "post-degrade request exited $rc (want 4)"
+# ...and still honoring the SIGTERM drain contract.
+stop_server 0
+grep -Eq 'workers\{[^}]*degraded=1' "$work/server.log" \
+  || fail "expected 1 degraded worker slot in the stats line"
+grep -Eq 'rejected\{[^}]*degraded=[1-9]' "$work/server.log" \
+  || fail "expected degraded-shed rejections in the stats line"
+echo "serve crash: degraded server shed typed and drained cleanly"
+
+# ---- Drain mid-solve + transient ENOSPC in the worker's checkpoint ---------
+# Uninterrupted reference (ieee123 at eps 1e-5 runs to the iteration
+# limit, a deterministic multi-second endpoint).
+start_server "--workers 1 --queue-depth 8"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 \
+  --timeout-ms 300000 > "$work/long_ref.out" 2> /dev/null || rc=$?
+[ "$rc" = 2 ] || fail "long reference exited $rc (want 2: iteration limit)"
+stop_server 0
+
+# SIGTERM mid-solve; the worker's drain checkpoint write hits ENOSPC twice
+# and must be absorbed by the durable retry loop (server exit 6, not 7).
+mkdir -p "$work/ckpt"
+start_server "--workers 1 --queue-depth 8 --checkpoint-dir $work/ckpt \
+  --io-faults enospc:op=1,times=2"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 \
+  --timeout-ms 300000 > "$work/drained.out" 2> /dev/null &
+CLI_PID=$!
+sleep 1
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+[ "$rc" = 6 ] || fail "drain-mid-solve server exited $rc (want 6)"
+rc=0
+wait "$CLI_PID" || rc=$?
+[ "$rc" = 6 ] || fail "drained client exited $rc (want 6)"
+grep -q '^reject id=1 code=drained ' "$work/drained.out" \
+  || fail "expected a typed drained rejection: $(cat "$work/drained.out")"
+ls "$work/ckpt"/req-*.ckpt.* > /dev/null 2>&1 \
+  || fail "drain left no durable checkpoint behind"
+
+start_server "--workers 1 --queue-depth 8 --checkpoint-dir $work/ckpt"
+rc=0
+"$CLIENT" --socket "$SOCK" --feeder builtin:ieee123 --eps 1e-5 --resume \
+  --timeout-ms 300000 > "$work/resumed.out" 2> /dev/null || rc=$?
+[ "$rc" = 2 ] || fail "resumed solve exited $rc (want 2: iteration limit)"
+stop_server 0
+if cmp -s "$work/resumed.out" "$work/long_ref.out"; then
+  echo "serve crash: drained solve resumed byte-identically under ENOSPC"
+else
+  fail "resumed solve differs from the uninterrupted reference"
+  diff "$work/long_ref.out" "$work/resumed.out" >&2 || true
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "serve crash: $failures failure(s)" >&2
+  exit 1
+fi
+echo "serve crash: all checks passed"

@@ -18,8 +18,21 @@ DIR="$3"
 work=$(mktemp -d "$DIR/serve_smoke.XXXXXX")
 SOCK="$work/s.sock"
 SRV_PID=""
-trap 'if [ -n "$SRV_PID" ]; then kill -TERM "$SRV_PID" 2>/dev/null || true; \
-      wait "$SRV_PID" 2>/dev/null || true; fi; rm -rf "$work"' EXIT INT TERM
+
+# TERM -> bounded wait -> KILL: a wedged server must not wedge CI cleanup.
+cleanup() {
+  if [ -n "$SRV_PID" ]; then
+    kill -TERM "$SRV_PID" 2>/dev/null || true
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+      kill -0 "$SRV_PID" 2>/dev/null || break
+      sleep 0.2
+    done
+    kill -KILL "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
 
 failures=0
 fail() {
